@@ -1,0 +1,96 @@
+/// Reproduces Fig. 5: function network throughput at 20 ms intervals with a
+/// short traffic pause that refills the rechargeable half of the token
+/// bucket. One Lambda client against an over-provisioned iPerf server, run
+/// for inbound and outbound directions; ten repetitions, median run shown.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "common/stats.h"
+#include "net/iperf.h"
+#include "platform/report.h"
+
+using namespace skyrise;
+
+namespace {
+
+net::IperfResult RunOnce(net::Direction direction, uint64_t seed) {
+  net::Fabric::Options fabric_options;
+  fabric_options.seed = seed;
+  fabric_options.jitter_sigma = 0.08;  // Mild co-tenant contention.
+  net::Fabric fabric(fabric_options);
+  net::LambdaNic client;
+  net::UnlimitedNic server(100e9);
+  net::IperfConfig config;
+  config.duration = Seconds(5);
+  config.pause_at = Seconds(1);
+  config.pause_duration = Seconds(3);
+  config.direction = direction;
+  config.flows = 4;  // One TCP connection per vCPU.
+  return RunIperf(&fabric, &client, &server, config);
+}
+
+void Report(const char* label, net::Direction direction) {
+  // Ten repetitions; show the run with the median total bytes.
+  std::vector<net::IperfResult> runs;
+  std::vector<double> totals;
+  for (uint64_t rep = 0; rep < 10; ++rep) {
+    runs.push_back(RunOnce(direction, 100 + rep));
+    totals.push_back(runs.back().total_bytes);
+  }
+  const double median_total = stats::Median(totals);
+  size_t best = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (std::fabs(totals[i] - median_total) <
+        std::fabs(totals[best] - median_total)) {
+      best = i;
+    }
+  }
+  const net::IperfResult& run = runs[best];
+
+  std::printf("\n%s throughput [GiB/s] over 5 s (3 s pause at 1 s):\n", label);
+  std::vector<double> series;
+  for (const auto& s : run.samples) series.push_back(s.gib_per_sec);
+  std::fputs(platform::RenderAsciiSeries(series, 8, 100).c_str(), stdout);
+
+  // Burst accounting: first burst before the pause, second after.
+  double first_burst = 0, second_burst = 0;
+  for (const auto& s : run.samples) {
+    if (s.gib_per_sec < 0.5) continue;  // Baseline chunk spikes excluded.
+    (s.time < Seconds(1) ? first_burst : second_burst) += s.bytes;
+  }
+  platform::PrintComparison(
+      std::string(label) + " burst throughput [GiB/s]",
+      direction == net::Direction::kIn ? "1.2" : "< inbound",
+      StrFormat("%.2f", run.BurstThroughput()));
+  platform::PrintComparison(std::string(label) + " first burst volume [MiB]",
+                            "~300", StrFormat("%.0f", ToMiB(static_cast<int64_t>(first_burst))));
+  platform::PrintComparison(std::string(label) + " second burst volume [MiB]",
+                            "~150 (renewed half)",
+                            StrFormat("%.0f", ToMiB(static_cast<int64_t>(second_burst))));
+  // Baseline from the post-drain, pre-pause window [0.5 s, 1.0 s).
+  double base_bytes = 0;
+  for (const auto& s : run.samples) {
+    if (s.time >= Millis(500) && s.time < Seconds(1)) base_bytes += s.bytes;
+  }
+  platform::PrintComparison(
+      std::string(label) + " baseline [MiB/s]", "75",
+      StrFormat("%.1f", MiBPerSecond(static_cast<int64_t>(base_bytes),
+                                     Millis(500))));
+}
+
+}  // namespace
+
+int main() {
+  platform::PrintHeader(
+      "Figure 5", "Function network throughput with token-bucket refill");
+  Report("Inbound", net::Direction::kIn);
+  Report("Outbound", net::Direction::kOut);
+  std::printf(
+      "\nMechanism: ~300 MiB initial budget = 150 MiB one-off + 150 MiB\n"
+      "rechargeable; 7.5 MiB baseline chunks per 100 ms (75 MiB/s); the\n"
+      "rechargeable half refills during the pause, so the second burst is\n"
+      "shorter. In/out buckets are independent.\n");
+  return 0;
+}

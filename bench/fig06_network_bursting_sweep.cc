@@ -1,0 +1,99 @@
+/// Reproduces Fig. 6: EC2 C6g and Lambda network bursting behaviour — burst
+/// throughput, sustained baseline throughput, and token bucket size per
+/// instance size. Each configuration runs the network microbenchmark until
+/// its bucket drains and the baseline is observable (3-45 minutes of
+/// virtual time, depending on size), three repetitions, median reported.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "common/stats.h"
+#include "net/instance_specs.h"
+#include "net/iperf.h"
+#include "platform/report.h"
+
+using namespace skyrise;
+
+namespace {
+
+struct Measurement {
+  double burst_gib_s = 0;
+  double baseline_gib_s = 0;
+  double bucket_gib = 0;
+};
+
+Measurement MeasureNic(const std::function<std::unique_ptr<net::Nic>()>& make,
+                       SimDuration duration, uint64_t seed) {
+  std::vector<double> bursts, baselines, buckets;
+  for (uint64_t rep = 0; rep < 3; ++rep) {
+    net::Fabric::Options options;
+    options.seed = seed + rep;
+    options.jitter_sigma = 0.08;
+    net::Fabric fabric(options);
+    auto client = make();
+    net::UnlimitedNic server(200e9);
+    net::IperfConfig config;
+    config.duration = duration;
+    config.sample_interval = duration > Minutes(2) ? Millis(500) : Millis(20);
+    config.flows = 8;  // Enough parallel connections to expose the NIC cap.
+    auto result = RunIperf(&fabric, client.get(), &server, config);
+    bursts.push_back(result.BurstThroughput());
+    baselines.push_back(result.BaselineThroughput());
+    buckets.push_back(result.EstimatedBucketBytes() / kGiB);
+  }
+  return Measurement{stats::Median(bursts), stats::Median(baselines),
+                     stats::Median(buckets)};
+}
+
+}  // namespace
+
+int main() {
+  platform::PrintHeader("Figure 6",
+                        "EC2 C6g vs Lambda network bursting (burst/baseline "
+                        "throughput, token bucket size)");
+  platform::TablePrinter table({"instance", "burst [GiB/s]",
+                                "baseline [GiB/s]", "bucket [GiB]",
+                                "burst duration"});
+  uint64_t seed = 500;
+  for (const auto& spec : net::C6gNetworkSpecs()) {
+    const double drain_rate =
+        GbpsToBytesPerSecond(spec.burst_gbps - spec.baseline_gbps);
+    SimDuration duration = Minutes(3);
+    if (spec.bucket_gib > 0) {
+      duration = static_cast<SimDuration>(spec.bucket_gib * kGiB /
+                                          drain_rate * kSecond * 1.4) +
+                 Minutes(1);
+    }
+    auto m = MeasureNic(
+        [&] {
+          return std::make_unique<net::Ec2Nic>(
+              net::MakeEc2NicOptions(spec.instance_type).ValueOrDie());
+        },
+        duration, seed += 17);
+    const double expected_drain_s =
+        spec.bucket_gib > 0 ? spec.bucket_gib * kGiB / drain_rate : 0;
+    table.AddRow({spec.instance_type, StrFormat("%.2f", m.burst_gib_s),
+                  StrFormat("%.2f", m.baseline_gib_s),
+                  spec.bucket_gib > 0 ? StrFormat("%.1f", m.bucket_gib)
+                                      : std::string("none (sustained)"),
+                  spec.bucket_gib > 0
+                      ? FormatDuration(Seconds(expected_drain_s))
+                      : std::string("-")});
+  }
+  {
+    auto m = MeasureNic([] { return std::make_unique<net::LambdaNic>(); },
+                        Seconds(10), 999);
+    table.AddRow({"lambda (any size)", StrFormat("%.2f", m.burst_gib_s),
+                  StrFormat("%.3f", m.baseline_gib_s),
+                  StrFormat("%.2f", m.bucket_gib), "< 1 s"});
+  }
+  table.Print();
+  std::printf(
+      "\nShape (paper): both services burst via token buckets; EC2 buckets\n"
+      "are orders of magnitude larger and grow with instance size, with\n"
+      "minute-scale burst durations, while Lambda's ~0.3 GiB budget drains\n"
+      "in under a second. Large instances (8xlarge+) have no bucket. Lambda\n"
+      "bandwidth is constant across function sizes (~0.63 Gbps baseline).\n");
+  return 0;
+}

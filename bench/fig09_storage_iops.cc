@@ -1,0 +1,110 @@
+/// Reproduces Fig. 9: operations per second and container-level quotas for
+/// each serverless storage system on freshly created buckets/tables/
+/// filesystems (1 KiB requests, up to 128 nodes x 32 threads). EFS is shown
+/// with one (EFS-1) and two (EFS-2) filesystems.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "platform/report.h"
+#include "platform/storage_io.h"
+#include "platform/testbed.h"
+
+using namespace skyrise;
+
+namespace {
+
+platform::StorageIoResult Measure(storage::ObjectStore* service,
+                                  sim::SimEnvironment* env,
+                                  net::FabricDriver* driver, bool write,
+                                  int clients, SimDuration duration,
+                                  uint64_t seed) {
+  platform::StorageIoConfig config;
+  config.clients = clients;
+  config.threads_per_client = 32;
+  config.request_bytes = kKiB;
+  config.write = write;
+  config.duration = duration;
+  config.object_count = 4096;
+  config.use_fabric = false;  // 1 KiB requests are latency-bound.
+  config.rng_stream = 0xC000 + seed;
+  return platform::RunStorageIo(env, driver, service, config);
+}
+
+}  // namespace
+
+int main() {
+  platform::PrintHeader(
+      "Figure 9", "Storage IOPS vs documented container-level quotas");
+  platform::TablePrinter table({"system", "read IOPS", "read quota",
+                                "write IOPS", "write quota"});
+
+  struct Service {
+    const char* label;
+    storage::ObjectStore::Options options;
+    int clients;           // Enough offered load to exceed the quota.
+    SimDuration duration;  // The paper's <5 min repetition windows.
+  };
+  const Service services[] = {
+      {"S3 Standard", storage::ObjectStore::StandardOptions(), 16,
+       Seconds(15)},
+      {"S3 Express", storage::ObjectStore::ExpressOptions(), 64, Seconds(10)},
+      {"DynamoDB", storage::ObjectStore::DynamoDbOptions(), 16, Seconds(15)},
+      {"EFS-1", storage::ObjectStore::EfsOptions(), 16, Seconds(15)},
+  };
+  uint64_t seed = 100;
+  for (const auto& service : services) {
+    platform::Testbed read_bed(seed += 3), write_bed(seed += 3);
+    storage::ObjectStore read_service(&read_bed.env, service.options, 2100);
+    storage::ObjectStore write_service(&write_bed.env, service.options, 2101);
+    auto reads = Measure(&read_service, &read_bed.env, &read_bed.fabric_driver,
+                         false, service.clients, service.duration, seed);
+    auto writes =
+        Measure(&write_service, &write_bed.env, &write_bed.fabric_driver,
+                true, service.clients, service.duration, seed + 1);
+    const auto& o = service.options;
+    const double read_quota =
+        o.documented_read_iops > 0
+            ? o.documented_read_iops
+            : (o.partitioned ? o.partition_read_iops : o.bucket_read_iops);
+    const double write_quota =
+        o.documented_write_iops > 0
+            ? o.documented_write_iops
+            : (o.partitioned ? o.partition_write_iops : o.bucket_write_iops);
+    table.AddRow({service.label, StrFormat("%.0f", reads.SuccessIops()),
+                  StrFormat("%.0f", read_quota),
+                  StrFormat("%.0f", writes.SuccessIops()),
+                  StrFormat("%.0f", write_quota)});
+  }
+  // EFS-2: shard the load over two filesystems.
+  {
+    double read_iops = 0, write_iops = 0;
+    for (int shard = 0; shard < 2; ++shard) {
+      platform::Testbed bed(seed += 3);
+      storage::ObjectStore fs(&bed.env, storage::ObjectStore::EfsOptions(),
+                              2200 + static_cast<uint64_t>(shard));
+      read_iops += Measure(&fs, &bed.env, &bed.fabric_driver, false, 16,
+                           Seconds(15), seed + 10)
+                       .SuccessIops();
+      platform::Testbed wbed(seed += 3);
+      storage::ObjectStore wfs(&wbed.env, storage::ObjectStore::EfsOptions(),
+                               2300 + static_cast<uint64_t>(shard));
+      write_iops += Measure(&wfs, &wbed.env, &wbed.fabric_driver, true, 16,
+                            Seconds(15), seed + 11)
+                        .SuccessIops();
+    }
+    table.AddRow({"EFS-2 (sharded)", StrFormat("%.0f", read_iops), "2x 250000",
+                  StrFormat("%.0f", write_iops), "2x 50000"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape (paper): S3 Standard lands just above its per-prefix quota\n"
+      "(~8K reads / ~4K writes, thanks to fresh-partition burst); S3\n"
+      "Express is unconstrained by partition quotas (~220K/42K). DynamoDB\n"
+      "slightly exceeds its new-table quotas (~16K/9.6K). EFS misses its\n"
+      "documented per-filesystem quotas by more than an order of magnitude;\n"
+      "read IOPS double by sharding over two filesystems.\n");
+  return 0;
+}

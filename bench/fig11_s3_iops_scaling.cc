@@ -1,0 +1,91 @@
+/// Reproduces Fig. 11: S3 read IOPS scaling from one to five prefix
+/// partitions under carefully increasing load. Lambda-compute clients (10
+/// request slots each, ~300 rps) ramp from 20 to 100 instances; the S3
+/// client uses 200 ms timeouts with exponential backoff. Reported: average
+/// successful and failed IOPS over time, the partition count, and the
+/// straggler-induced throughput drops.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "s3_scaling_common.h"
+
+using namespace skyrise;
+using namespace skyrise::bench;
+
+int main() {
+  platform::PrintHeader(
+      "Figure 11",
+      StrFormat("S3 IOPS scaling, 20 -> 100 Lambda clients (time axis "
+                "compressed %.0fx, rescaled in output)",
+                kTimeCompression));
+  platform::Testbed bed(1111);
+  storage::ObjectStore bucket(&bed.env, CompressedS3Options(), 3100);
+
+  // 40 configurations, +2 clients each, ~10 s (compressed) per config:
+  // ~26.7 rescaled minutes in total, like the paper's run.
+  auto result = RunS3Ramp(&bed, &bucket, 20, 2, 100, Seconds(10));
+
+  std::printf("Successful read IOPS over time:\n");
+  std::vector<double> ok_series, fail_series;
+  for (const auto& s : result.samples) {
+    ok_series.push_back(s.success_iops);
+    fail_series.push_back(s.failure_iops);
+  }
+  std::fputs(platform::RenderAsciiSeries(ok_series, 8, 100).c_str(), stdout);
+  std::printf("Failed (throttled/timed out) IOPS over time:\n");
+  std::fputs(platform::RenderAsciiSeries(fail_series, 6, 100).c_str(),
+             stdout);
+
+  platform::TablePrinter table({"time [min]", "clients", "partitions",
+                                "success IOPS", "failed IOPS", "error rate"});
+  for (size_t i = 0; i < result.samples.size();
+       i += std::max<size_t>(1, result.samples.size() / 14)) {
+    const auto& s = result.samples[i];
+    const double total = s.success_iops + s.failure_iops;
+    table.AddRow({StrFormat("%.1f", s.minutes), StrFormat("%d", s.clients),
+                  StrFormat("%d", s.partitions),
+                  StrFormat("%.0f", s.success_iops),
+                  StrFormat("%.0f", s.failure_iops),
+                  total > 0 ? StrFormat("%.1f%%",
+                                        100.0 * s.failure_iops / total)
+                            : "-"});
+  }
+  table.Print();
+
+  const auto& first = result.samples.front();
+  const auto& last = result.samples.back();
+  double peak_iops = 0;
+  for (const auto& s : result.samples) {
+    peak_iops = std::max(peak_iops, s.success_iops);
+  }
+  double error_sum = 0;
+  for (const auto& s : result.samples) {
+    const double total = s.success_iops + s.failure_iops;
+    error_sum += total > 0 ? s.failure_iops / total : 0;
+  }
+  platform::PrintComparison("IOPS scaling range", "~5K -> 27.5K",
+                            StrFormat("%.0f -> %.0f (peak %.0f)",
+                                      first.success_iops, last.success_iops,
+                                      peak_iops));
+  platform::PrintComparison("partitions", "1 -> 5",
+                            StrFormat("%d -> %d", first.partitions,
+                                      last.partitions));
+  platform::PrintComparison(
+      "time to five partitions [min]", "~26",
+      StrFormat("%.1f (rescaled)", last.minutes));
+  platform::PrintComparison(
+      "overall error rate", "~10% throughout",
+      StrFormat("%.1f%%", 100.0 * error_sum /
+                              static_cast<double>(result.samples.size())));
+  platform::PrintComparison("total requests", "63M (paper, full scale)",
+                            StrFormat("%lld (compressed run)",
+                                      static_cast<long long>(
+                                          result.total_requests)));
+  std::printf(
+      "\nNote: transient IOPS drops are caused by clients whose requests\n"
+      "are repeatedly rejected backing off exponentially (stragglers), not\n"
+      "by S3's scaling behaviour (Section 4.4.1).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Reproduces Fig. 12: required time and budget for S3 IOPS scaling.
+/// Measured data points (time and cumulative request cost at each partition
+/// split) are fitted with a quadratic and extrapolated to 20 prefix
+/// partitions / 110K IOPS, as in the paper's analysis.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "common/stats.h"
+#include "pricing/price_list.h"
+#include "s3_scaling_common.h"
+
+using namespace skyrise;
+using namespace skyrise::bench;
+
+int main() {
+  platform::PrintHeader("Figure 12",
+                        "Time and budget required for S3 IOPS scaling");
+  platform::Testbed bed(1212);
+  storage::ObjectStore bucket(&bed.env, CompressedS3Options(), 3200);
+
+  // The sustained-overload ramp: the load always stays ahead of capacity so
+  // every split is demand-driven; run to seven partitions for fit points.
+  auto result = RunS3Ramp(&bed, &bucket, 20, 4, 160, Seconds(8));
+
+  // Extract (iops_capacity, time, cost) at each partition-count change.
+  const double request_price =
+      pricing::PriceList::Default().Storage("s3").ValueOrDie().read_request;
+  std::vector<double> iops_points, time_points, cost_points;
+  int seen = 1;
+  for (const auto& s : result.samples) {
+    if (s.partitions > seen) {
+      seen = s.partitions;
+      iops_points.push_back(5500.0 * seen);
+      time_points.push_back(s.minutes / 60.0);  // Hours, rescaled.
+      cost_points.push_back(static_cast<double>(s.cumulative_requests) *
+                            request_price);
+    }
+  }
+  if (iops_points.size() < 3) {
+    std::printf("not enough split points measured (%zu)\n",
+                iops_points.size());
+    return 1;
+  }
+  const auto time_fit = stats::PolyFit(iops_points, time_points, 2);
+  const auto cost_fit = stats::PolyFit(iops_points, cost_points, 2);
+
+  platform::TablePrinter table({"partitions", "IOPS", "time [h]",
+                                "budget [$]", "source"});
+  for (size_t i = 0; i < iops_points.size(); ++i) {
+    table.AddRow({StrFormat("%.0f", iops_points[i] / 5500),
+                  StrFormat("%.0f", iops_points[i]),
+                  StrFormat("%.2f", time_points[i]),
+                  StrFormat("%.0f", cost_points[i]), "measured"});
+  }
+  for (double iops : {40000.0, 50000.0, 70000.0, 100000.0, 110000.0}) {
+    table.AddRow({StrFormat("%.0f", iops / 5500), StrFormat("%.0f", iops),
+                  StrFormat("%.2f", stats::PolyEval(time_fit, iops)),
+                  StrFormat("%.0f", stats::PolyEval(cost_fit, iops)),
+                  "extrapolated"});
+  }
+  table.Print();
+
+  platform::PrintComparison(
+      "50K IOPS", "~2 h, ~$228 (paper)",
+      StrFormat("%.1f h, $%.0f", stats::PolyEval(time_fit, 50000),
+                stats::PolyEval(cost_fit, 50000)));
+  platform::PrintComparison(
+      "100K IOPS", "~9 h, ~$1094 (paper)",
+      StrFormat("%.1f h, $%.0f", stats::PolyEval(time_fit, 100000),
+                stats::PolyEval(cost_fit, 100000)));
+  std::printf(
+      "\nTakeaway: object storage IOPS scaling is a quickly growing expense\n"
+      "for users, while S3 allocates resources only linearly and with delay\n"
+      "(admission control). Prefix naming does not change this, and write\n"
+      "IOPS do not scale beyond a single partition at all.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+/// Google-benchmark microbenchmarks for the performance-critical library
+/// components: the simulation kernel, rate limiters, encodings, expression
+/// evaluation, and vectorized operators.
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "datagen/tpch.h"
+#include "engine/executor.h"
+#include "engine/queries.h"
+#include "format/cof.h"
+#include "sim/environment.h"
+#include "sim/token_bucket.h"
+
+using namespace skyrise;
+
+namespace {
+
+void BM_RngNextUint64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextUint64());
+}
+BENCHMARK(BM_RngNextUint64);
+
+void BM_RngLognormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.LognormalMedianSigma(27, 0.6));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) h.Record(rng.Exponential(30));
+  benchmark::DoNotOptimize(h.Percentile(99));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimEnvironment env(1);
+    for (int i = 0; i < 1000; ++i) {
+      env.Schedule(i * 10, [] {});
+    }
+    env.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_TokenBucketConsume(benchmark::State& state) {
+  sim::TokenBucket bucket(1e9, 1e6, 1e9);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 10;
+    benchmark::DoNotOptimize(bucket.TryConsume(1, now));
+  }
+}
+BENCHMARK(BM_TokenBucketConsume);
+
+void BM_JsonParsePlan(benchmark::State& state) {
+  const std::string text = engine::BuildTpchQ12().ToJson().Dump();
+  for (auto _ : state) {
+    auto parsed = Json::Parse(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParsePlan);
+
+data::Chunk MakeLineitem(int64_t rows) {
+  datagen::TpchConfig config;
+  config.scale_factor =
+      static_cast<double>(rows) / 6000000.0;  // ~rows lineitems.
+  return datagen::GenerateLineitemPartition(config, 0, 1);
+}
+
+void BM_CofEncode(benchmark::State& state) {
+  data::Chunk chunk = MakeLineitem(60000);
+  for (auto _ : state) {
+    std::string file = format::WriteCofFile(chunk.schema(), {chunk});
+    benchmark::DoNotOptimize(file.size());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(file.size()));
+  }
+}
+BENCHMARK(BM_CofEncode);
+
+void BM_CofDecode(benchmark::State& state) {
+  data::Chunk chunk = MakeLineitem(60000);
+  const std::string file = format::WriteCofFile(chunk.schema(), {chunk});
+  auto meta =
+      format::ParseFooter(file, 0, static_cast<int64_t>(file.size()))
+          .ValueOrDie();
+  std::vector<std::string> projection;
+  for (const auto& f : meta.schema.fields()) projection.push_back(f.name);
+  for (auto _ : state) {
+    for (size_t rg = 0; rg < meta.row_groups.size(); ++rg) {
+      std::vector<std::string> bytes;
+      for (const auto& cm : meta.row_groups[rg].columns) {
+        bytes.push_back(file.substr(static_cast<size_t>(cm.offset),
+                                    static_cast<size_t>(cm.size)));
+      }
+      auto decoded = format::DecodeRowGroup(meta, rg, projection, bytes);
+      benchmark::DoNotOptimize(decoded.ok());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(file.size()));
+}
+BENCHMARK(BM_CofDecode);
+
+void BM_ExecutorQ6Fragment(benchmark::State& state) {
+  data::Chunk chunk = MakeLineitem(60000);
+  auto plan = engine::BuildTpchQ6();
+  // The scan pipeline minus the pushdown: apply filter + project + agg.
+  engine::PipelineSpec pipeline = plan.pipelines[0];
+  engine::OperatorSpec filter;
+  filter.op = "filter";
+  filter.predicate = pipeline.inputs[0].pushdown;
+  pipeline.ops.insert(pipeline.ops.begin(), filter);
+  for (auto _ : state) {
+    engine::CostAccumulator cost;
+    auto out = engine::ExecuteFragment(pipeline, chunk, {}, &cost);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * chunk.rows());
+}
+BENCHMARK(BM_ExecutorQ6Fragment);
+
+void BM_HashJoinProbe(benchmark::State& state) {
+  data::Schema dim_schema({{"id", data::DataType::kInt64},
+                           {"v", data::DataType::kString}});
+  data::Chunk dim = data::Chunk::Empty(dim_schema);
+  for (int i = 0; i < 10000; ++i) {
+    dim.column(0).AppendInt(i);
+    dim.column(1).AppendString(i % 2 ? "HIGH" : "LOW");
+  }
+  data::Schema probe_schema({{"key", data::DataType::kInt64}});
+  data::Chunk probe = data::Chunk::Empty(probe_schema);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    probe.column(0).AppendInt(rng.UniformInt(0, 9999));
+  }
+  engine::OperatorSpec join;
+  join.op = "hash_join";
+  join.probe_keys = {"key"};
+  join.build_keys = {"id"};
+  join.build_columns = {"v"};
+  engine::PipelineSpec pipeline;
+  pipeline.ops.push_back(join);
+  for (auto _ : state) {
+    engine::CostAccumulator cost;
+    auto out = engine::ExecuteFragment(pipeline, probe, {dim}, &cost);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * probe.rows());
+}
+BENCHMARK(BM_HashJoinProbe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

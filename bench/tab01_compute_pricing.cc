@@ -1,0 +1,75 @@
+/// Reproduces Table 1: configuration and pricing of the AWS compute services
+/// (Lambda ARM vs EC2 C6g), printed from the price book and network specs.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "net/instance_specs.h"
+#include "platform/report.h"
+#include "pricing/price_list.h"
+
+using namespace skyrise;
+
+int main() {
+  platform::PrintHeader("Table 1",
+                        "Configuration and pricing of AWS compute services");
+  const auto& prices = pricing::PriceList::Default();
+  const auto& lambda = prices.lambda();
+  const auto c6g_small = prices.Ec2("c6g.medium").ValueOrDie();
+  const auto c6g_large = prices.Ec2("c6g.16xlarge").ValueOrDie();
+  const auto xlarge = prices.Ec2("c6g.xlarge").ValueOrDie();
+
+  platform::TablePrinter table({"resource", "Lambda (ARM)", "EC2 (C6g)"});
+  table.AddRow({"memory capacity [GiB]",
+                StrFormat("%.3f - %.0f", lambda.min_memory_gib,
+                          lambda.max_memory_gib),
+                StrFormat("%.0f - %.0f", c6g_small.memory_gib,
+                          c6g_large.memory_gib)});
+  table.AddRow(
+      {"memory price [c/GiB-h]",
+       StrFormat("%.2f - %.2f", lambda.gib_second_last_tier * 3600 * 100,
+                 lambda.gib_second_first_tier * 3600 * 100),
+       StrFormat("%.2f - %.2f",
+                 xlarge.reserved_hourly / xlarge.memory_gib * 100,
+                 xlarge.on_demand_hourly / xlarge.memory_gib * 100)});
+  table.AddRow({"compute capacity [vCPU]",
+                StrFormat("memory-based (1 per %.0f MiB)",
+                          lambda.mib_per_vcpu),
+                StrFormat("%d - %d", c6g_small.vcpus, c6g_large.vcpus)});
+  table.AddRow(
+      {"compute price [c/vCPU-h]",
+       StrFormat("%.2f - %.2f",
+                 lambda.gib_second_last_tier * 3600 * 100 *
+                     lambda.mib_per_vcpu / 1024,
+                 lambda.gib_second_first_tier * 3600 * 100 *
+                     lambda.mib_per_vcpu / 1024),
+       StrFormat("%.2f - %.2f",
+                 xlarge.reserved_hourly / xlarge.vcpus * 100,
+                 xlarge.on_demand_hourly / xlarge.vcpus * 100)});
+  const auto& lspec = net::DefaultLambdaNetworkSpec();
+  const auto& c6g_specs = net::C6gNetworkSpecs();
+  table.AddRow({"network bandwidth [Gbps]",
+                StrFormat("%.2f (constant over sizes)",
+                          BytesPerSecondToGbps(lspec.baseline_mib_s *
+                                                    kMiB)),
+                StrFormat("%.3f - %.0f", c6g_specs.front().baseline_gbps / 1.0,
+                          c6g_specs.back().baseline_gbps)});
+  table.Print();
+
+  platform::PrintComparison("Lambda/EC2 memory unit price ratio", "2.5 - 5.9x",
+                            StrFormat("%.1f - %.1fx",
+                                      lambda.gib_second_last_tier * 3600 /
+                                          (xlarge.on_demand_hourly /
+                                           xlarge.memory_gib),
+                                      lambda.gib_second_first_tier * 3600 /
+                                          (xlarge.reserved_hourly /
+                                           xlarge.memory_gib)));
+  platform::PrintComparison("c6g.xlarge on-demand [$/h]", "0.136",
+                            StrFormat("%.3f", xlarge.on_demand_hourly));
+  platform::PrintComparison("Lambda baseline bandwidth [Gbps]", "0.63",
+                            StrFormat("%.2f",
+                                      BytesPerSecondToGbps(
+                                          lspec.baseline_mib_s * kMiB)));
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Reproduces Table 2: pricing of the AWS serverless storage services,
+/// printed from the price book, plus the derived warm-S3 observation from
+/// Section 2.2.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "platform/report.h"
+#include "pricing/cost_meter.h"
+
+using namespace skyrise;
+
+int main() {
+  platform::PrintHeader("Table 2", "Pricing of AWS serverless storage");
+  const auto& prices = pricing::PriceList::Default();
+  platform::TablePrinter table({"service", "read [c/M req]", "write [c/M req]",
+                                "read xfer [c/GiB]", "write xfer [c/GiB]",
+                                "storage [c/GiB-mo]"});
+  struct Row {
+    const char* service;
+    const char* label;
+  };
+  for (const Row row : {Row{"s3", "S3 Standard"}, Row{"s3express", "S3 Express"},
+                        Row{"dynamodb", "DynamoDB"}, Row{"efs", "EFS"}}) {
+    const auto p = prices.Storage(row.service).ValueOrDie();
+    table.AddRow({row.label, StrFormat("%.0f", p.read_request * 1e8),
+                  StrFormat("%.0f", p.write_request * 1e8),
+                  StrFormat("%.2f", p.read_transfer_gib * 100),
+                  StrFormat("%.2f", p.write_transfer_gib * 100),
+                  StrFormat("%.1f", p.storage_gib_month * 100)});
+  }
+  table.Print();
+
+  // Derived observations the paper highlights.
+  pricing::CostMeter meter;
+  for (int i = 0; i < 100000; ++i) {
+    meter.RecordStorageRequest("s3", false, kKiB, true);
+  }
+  platform::PrintComparison("keeping S3 warm at 100K IOPS [$/h]", "144",
+                            StrFormat("%.0f", meter.StorageUsd() * 3600));
+  const double std_8mib =
+      prices.StorageRequestCost("s3", false, 8 * kMiB).ValueOrDie();
+  const double express_8mib =
+      prices.StorageRequestCost("s3express", false, 8 * kMiB).ValueOrDie();
+  const double express_16mib =
+      prices.StorageRequestCost("s3express", false, 16 * kMiB).ValueOrDie();
+  const double std_16mib =
+      prices.StorageRequestCost("s3", false, 16 * kMiB).ValueOrDie();
+  platform::PrintComparison(
+      "S3 Express / Standard request cost at 8-16 MiB", "24 - 115x",
+      StrFormat("%.0f - %.0fx", express_8mib / std_8mib,
+                express_16mib / std_16mib));
+  platform::PrintComparison("S3 request cost flat from 1 B to 5 TiB", "yes",
+                            prices.StorageRequestCost("s3", false, 1)
+                                        .ValueOrDie() ==
+                                    std_16mib
+                                ? "yes"
+                                : "no");
+  return 0;
+}

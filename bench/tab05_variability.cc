@@ -1,0 +1,162 @@
+/// Reproduces Table 5: performance variability between and within regions —
+/// the median-to-US-median ratio (MR) and the coefficient of variation (CoV)
+/// of the query-suite runtime, under cold (fresh function instances, spaced
+/// runs) and warm (back-to-back, pre-warmed) execution. Regions are modelled
+/// by their contention profiles: the EU region starts large clusters ~1.5x
+/// slower; local (temporal) variability stems from coldstart stragglers and
+/// network jitter.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "datagen/dataset.h"
+#include "datagen/tpch.h"
+#include "datagen/tpcxbb.h"
+#include "engine/queries.h"
+#include "platform/report.h"
+#include "platform/testbed.h"
+
+using namespace skyrise;
+
+namespace {
+
+struct RegionProfile {
+  const char* name;
+  double contention;        ///< Coldstart/ramp/storage latency multiplier.
+  double straggler_p;       ///< Coldstart straggler probability.
+  double fabric_jitter;
+};
+
+// us-east-1 shows the highest local variability in the paper's cold runs;
+// eu-west-1 is slower but steadier; ap-northeast-1 sits close to US speed.
+const RegionProfile kRegions[] = {
+    {"US", 1.00, 0.060, 0.10},
+    {"EU", 1.45, 0.006, 0.06},
+    {"AP", 0.96, 0.018, 0.07},
+};
+
+double RunSuiteOnce(const RegionProfile& region, bool warm, uint64_t seed) {
+  platform::EngineTestbed bed(seed);
+  bed.lambda = nullptr;
+  faas::LambdaPlatform::Options options;
+  options.account_concurrency = 10000;
+  options.region_contention = region.contention;
+  options.coldstart_straggler_probability = region.straggler_p;
+  bed.lambda = std::make_unique<faas::LambdaPlatform>(
+      &bed.base.env, &bed.base.fabric_driver, &bed.registry, options);
+  // Regional contention also inflates storage latency: the paper observes
+  // the EU region ~1.5x slower both cold and warm.
+  auto s3_options = storage::ObjectStore::StandardOptions();
+  s3_options.read_latency.median_ms *= region.contention;
+  s3_options.write_latency.median_ms *= region.contention;
+  static std::unique_ptr<storage::ObjectStore> regional_store;
+  regional_store =
+      std::make_unique<storage::ObjectStore>(&bed.base.env, s3_options, 4400);
+  bed.engine->context()->table_store = regional_store.get();
+  bed.engine->context()->shuffle_store = regional_store.get();
+  storage::ObjectStore& table_store = *regional_store;
+
+  datagen::TpchConfig tpch;
+  tpch.scale_factor = 0.002;
+  datagen::TpcxBbConfig bb;
+  bb.scale_factor = 0.01;
+  const int parts = 6;
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &table_store, "lineitem", datagen::LineitemSchema(),
+                       parts,
+                       [&](int p) {
+                         return datagen::GenerateLineitemPartition(tpch, p,
+                                                                   parts);
+                       })
+                       .status());
+  SKYRISE_CHECK_OK(
+      datagen::UploadDataset(&table_store, "orders", datagen::OrdersSchema(),
+                             parts,
+                             [&](int p) {
+                               return datagen::GenerateOrdersPartition(tpch, p,
+                                                                       parts);
+                             })
+          .status());
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &table_store, "clickstreams",
+                       datagen::ClickstreamsSchema(), parts,
+                       [&](int p) {
+                         return datagen::GenerateClickstreamsPartition(bb, p,
+                                                                       parts);
+                       })
+                       .status());
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &table_store, "item", datagen::ItemSchema(), 1,
+                       [&](int) { return datagen::GenerateItemTable(bb); })
+                       .status());
+  if (warm) {
+    bed.lambda->Prewarm(engine::kWorkerFunction, 16);
+    bed.lambda->Prewarm(engine::kCoordinatorFunction, 1);
+  }
+  engine::QuerySuiteOptions options2;
+  options2.join_partitions = 4;
+  double total_ms = 0;
+  int query_index = 0;
+  for (const auto& plan : engine::BuildQuerySuite(options2)) {
+    auto response = bed.RunOnLambda(
+        plan, StrFormat("suite-%d-%llu", query_index++,
+                        static_cast<unsigned long long>(seed)), 2);
+    SKYRISE_CHECK_OK(response.status());
+    total_ms += response->runtime_ms;
+    if (!warm) {
+      // Cold pattern: 15-minute gaps reap the sandboxes between queries.
+      bed.base.env.RunUntil(bed.base.env.now() + Minutes(15));
+    }
+  }
+  return total_ms;
+}
+
+}  // namespace
+
+int main() {
+  platform::PrintHeader("Table 5",
+                        "Query-suite variability between and within regions");
+  constexpr int kRuns = 9;
+  platform::TablePrinter table({"measure", "US", "EU", "AP"});
+  std::vector<double> cold_medians, warm_medians, cold_cov, warm_cov;
+  for (bool warm : {false, true}) {
+    std::vector<double> medians, covs;
+    for (const auto& region : kRegions) {
+      std::vector<double> runtimes;
+      for (int run = 0; run < kRuns; ++run) {
+        runtimes.push_back(RunSuiteOnce(
+            region, warm,
+            5000 + static_cast<uint64_t>(run) * 31 +
+                (warm ? 1000 : 0) +
+                static_cast<uint64_t>(&region - kRegions) * 7));
+      }
+      medians.push_back(stats::Median(runtimes));
+      covs.push_back(stats::CoV(runtimes));
+    }
+    (warm ? warm_medians : cold_medians) = medians;
+    (warm ? warm_cov : cold_cov) = covs;
+  }
+  auto mr_row = [&](const char* label, const std::vector<double>& medians) {
+    table.AddRow({label, "1", StrFormat("%.2f", medians[1] / medians[0]),
+                  StrFormat("%.2f", medians[2] / medians[0])});
+  };
+  auto cov_row = [&](const char* label, const std::vector<double>& covs) {
+    table.AddRow({label, StrFormat("%.2f", covs[0]),
+                  StrFormat("%.2f", covs[1]), StrFormat("%.2f", covs[2])});
+  };
+  mr_row("Cold MR (US)", cold_medians);
+  cov_row("Cold CoV", cold_cov);
+  mr_row("Warm MR (US)", warm_medians);
+  cov_row("Warm CoV", warm_cov);
+  table.Print();
+
+  std::printf(
+      "\nPaper: Cold MR 1 / 1.48 / 0.95 and CoV 22.65 / 4.76 / 7.65;\n"
+      "Warm MR 1 / 1.52 / 0.96 and CoV 5.23 / 8.96 / 6.44. Shape: the EU\n"
+      "region runs the suite ~1.5x slower (large-cluster startup\n"
+      "contention); local variability is higher in US/AP, with cold runs\n"
+      "more variable than warm ones — frequent usage pre-provisions\n"
+      "resources and improves robustness.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+/// Reproduces Table 6: execution statistics and derived economic metrics —
+/// FaaS vs IaaS runtime for TPC-H Q6 and Q12, cumulated worker time, FaaS
+/// query cost, the break-even query throughput against a peak-provisioned
+/// VM cluster, and the intra-query peak-to-average node ratio.
+///
+/// Queries run at SF1000 geometry over synthetic payloads: Q6 with 5
+/// partitions per worker (199 workers), Q12 with 8 per worker and a 320-way
+/// join, matching Section 5.2's deployment. The EC2 fleet is 284
+/// pre-provisioned c6g.xlarge VMs running the same binaries via the shim.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "datagen/dataset.h"
+#include "datagen/tpch.h"
+#include "engine/queries.h"
+#include "platform/report.h"
+#include "platform/testbed.h"
+
+using namespace skyrise;
+
+namespace {
+
+void UploadSf1000(platform::EngineTestbed* bed) {
+  SKYRISE_CHECK_OK(datagen::UploadSyntheticDataset(
+                       &bed->base.s3, &bed->catalog, "lineitem",
+                       datagen::LineitemSchema(), 996, 6030000,
+                       static_cast<int64_t>(182.4 * kMiB),
+                       {{"l_shipdate", 0,
+                         static_cast<double>(data::DaysSinceEpoch(1998, 12, 1))}})
+                       .status());
+  SKYRISE_CHECK_OK(datagen::UploadSyntheticDataset(
+                       &bed->base.s3, &bed->catalog, "orders",
+                       datagen::OrdersSchema(), 249, 6024000,
+                       static_cast<int64_t>(176.1 * kMiB), {})
+                       .status());
+}
+
+struct Row {
+  double iaas_s = 0;
+  double faas_s = 0;
+  double cumulated_s = 0;
+  double faas_cost_cents = 0;
+  double break_even_qph = 0;
+  double peak_to_average = 0;
+  int peak_workers = 0;
+  int64_t requests = 0;
+  double storage_cost_cents = 0;
+};
+
+Row RunQuery(const engine::QueryPlan& plan, int ppw, uint64_t seed) {
+  Row row;
+  // --- FaaS run (warmed functions, as in the paper). ---
+  {
+    platform::EngineTestbed bed(seed);
+    UploadSf1000(&bed);
+    bed.lambda->Prewarm(engine::kWorkerFunction, 360);
+    bed.lambda->Prewarm(engine::kCoordinatorFunction, 1);
+    bed.lambda->Prewarm(engine::kInvokerFunction, 12);
+    auto response = bed.RunOnLambda(plan, plan.query_name + "-faas", ppw);
+    SKYRISE_CHECK_OK(response.status());
+    row.faas_s = response->runtime_ms / 1000.0;
+    row.cumulated_s = response->cumulated_worker_ms / 1000.0;
+    row.faas_cost_cents = bed.lambda->meter()->ComputeUsd() * 100;
+    row.requests = response->requests;
+    row.storage_cost_cents = bed.meter.StorageUsd() * 100;
+    row.peak_workers = response->peak_workers;
+    // Peak-to-average node count across stages.
+    double stage_worker_sum = 0;
+    int stage_count = 0;
+    for (const auto& stage : response->raw.Get("stages").AsArray()) {
+      stage_worker_sum += stage.GetDouble("fragments");
+      ++stage_count;
+    }
+    const double average = stage_worker_sum / std::max(1, stage_count);
+    row.peak_to_average = response->peak_workers / std::max(1.0, average);
+  }
+  // --- IaaS run (pre-provisioned 284-VM cluster). ---
+  {
+    platform::EngineTestbed bed(seed + 1);
+    UploadSf1000(&bed);
+    faas::Ec2Fleet::Options fleet_options;
+    fleet_options.instance_count = 284;
+    fleet_options.slots_per_instance = 1;  // 4-vCPU worker per 4-vCPU VM.
+    faas::Ec2Fleet fleet(&bed.base.env, &bed.base.fabric_driver,
+                         &bed.registry, fleet_options);
+    fleet.Start(nullptr);
+    bed.base.env.RunUntil(Seconds(1));
+    auto response = bed.RunOnFleet(&fleet, plan, plan.query_name + "-iaas",
+                                   ppw);
+    SKYRISE_CHECK_OK(response.status());
+    row.iaas_s = response->runtime_ms / 1000.0;
+  }
+  // Break-even: cost of the peak-provisioned cluster per hour divided by
+  // the FaaS cost per query.
+  const double cluster_per_hour = row.peak_workers * 0.136;
+  row.break_even_qph = cluster_per_hour / (row.faas_cost_cents / 100.0);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  platform::PrintHeader("Table 6",
+                        "FaaS vs IaaS execution statistics and break-even "
+                        "query throughput (SF1000 geometry)");
+  engine::QuerySuiteOptions options;
+  options.join_partitions = 64;  // Table 6's standard deployment (the
+                                 // 320-way join is the Fig. 15 variant).
+  Row q6 = RunQuery(engine::BuildTpchQ6(), 5, 600);
+  Row q12 = RunQuery(engine::BuildTpchQ12(options), 4, 612);
+
+  platform::TablePrinter table({"metric", "H-Q6", "H-Q12", "paper Q6",
+                                "paper Q12"});
+  table.AddRow({"IaaS runtime [s]", StrFormat("%.1f", q6.iaas_s),
+                StrFormat("%.1f", q12.iaas_s), "5.2", "18.1"});
+  table.AddRow({"FaaS runtime [s]", StrFormat("%.1f", q6.faas_s),
+                StrFormat("%.1f", q12.faas_s), "5.7", "19.2"});
+  table.AddRow({"cumulated time [s]", StrFormat("%.1f", q6.cumulated_s),
+                StrFormat("%.1f", q12.cumulated_s), "515.9", "2227.3"});
+  table.AddRow({"FaaS cost [c]", StrFormat("%.2f", q6.faas_cost_cents),
+                StrFormat("%.2f", q12.faas_cost_cents), "4.87", "21.19"});
+  table.AddRow({"break-even [Q/h]", StrFormat("%.0f", q6.break_even_qph),
+                StrFormat("%.0f", q12.break_even_qph), "558", "128"});
+  table.AddRow({"peak workers", StrFormat("%d", q6.peak_workers),
+                StrFormat("%d", q12.peak_workers), "201", "284"});
+  table.AddRow({"peak-to-average nodes", StrFormat("%.2fx", q6.peak_to_average),
+                StrFormat("%.2fx", q12.peak_to_average), "2.21x", "2.43x"});
+  table.AddRow({"storage requests", StrFormat("%lld", (long long)q6.requests),
+                StrFormat("%lld", (long long)q12.requests), "1401", "30033"});
+  table.AddRow({"storage cost [c]", StrFormat("%.2f", q6.storage_cost_cents),
+                StrFormat("%.2f", q12.storage_cost_cents), "0.16", "1.39"});
+  table.Print();
+
+  std::printf(
+      "\nReading: FaaS runtimes trail IaaS by the per-stage function startup\n"
+      "(~6-10%% in the paper); FaaS deployment is economical up to the\n"
+      "break-even rate of queries per hour against a peak-provisioned\n"
+      "cluster, and intra-query elasticity saves the peak-to-average factor\n"
+      "over static provisioning.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Reproduces Table 7: break-even intervals for different data access sizes
+/// and storage combinations (the cloud variants of Gray's five-minute rule,
+/// Section 5.3.1), computed from the formulas and the AWS price book.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+#include "platform/report.h"
+#include "pricing/break_even.h"
+
+using namespace skyrise;
+
+namespace {
+
+std::string HumanInterval(double seconds) {
+  if (seconds >= 86400) return StrFormat("%.0fd", seconds / 86400);
+  if (seconds >= 3600) return StrFormat("%.0fh", seconds / 3600);
+  if (seconds >= 60) return StrFormat("%.0fmin", seconds / 60);
+  return StrFormat("%.0fs", seconds);
+}
+
+}  // namespace
+
+int main() {
+  platform::PrintHeader("Table 7",
+                        "Break-even intervals in the cloud storage hierarchy");
+  const std::vector<int64_t> sizes = {4 * kKiB, 16 * kKiB, 4 * kMiB,
+                                      16 * kMiB};
+  auto rows = pricing::ComputeStorageHierarchyTable(
+      pricing::PriceList::Default(), sizes);
+
+  platform::TablePrinter table(
+      {"combination", "4 KiB", "16 KiB", "4 MiB", "16 MiB"});
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{row.combination};
+    for (double s : row.interval_seconds) cells.push_back(HumanInterval(s));
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+
+  struct PaperRow {
+    const char* combination;
+    const char* cells[4];
+  };
+  const PaperRow paper[] = {
+      {"RAM/SSD", {"38s", "31s", "31s", "31s"}},
+      {"RAM/EBS", {"27min", "7min", "3min", "3min"}},
+      {"RAM/S3 Standard", {"2d", "12h", "3min", "41s"}},
+      {"RAM/S3 Express", {"23h", "6h", "36min", "39min"}},
+      {"SSD/S3 Standard", {"59d", "15d", "1h", "21min"}},
+      {"SSD/S3 Express", {"29d", "7d", "18h", "20h"}},
+      {"SSD/S3 X-Region", {"70d", "26d", "11d", "11d"}},
+  };
+  std::printf("\nPaper-reported values:\n");
+  platform::TablePrinter reference(
+      {"combination", "4 KiB", "16 KiB", "4 MiB", "16 MiB"});
+  for (const auto& row : paper) {
+    reference.AddRow({row.combination, row.cells[0], row.cells[1],
+                      row.cells[2], row.cells[3]});
+  }
+  reference.Print();
+
+  std::printf(
+      "\nTakeaways (Section 5.3.1): SSD caching is economical across a wide\n"
+      "range of sizes/frequencies; >= 16 MiB hourly accesses define cold\n"
+      "data that belongs in object storage; bandwidth-bound sizes share one\n"
+      "interval within an instance family; transfer fees (S3 Express,\n"
+      "cross-region) break the inverse proportionality to access size.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// Cost advisor: applies the paper's Section 5 economics to a user-described
+/// workload. Given an access size and an access interval, it recommends the
+/// economical storage tier via the cloud five-minute-rule variants; given a
+/// query rate and per-query function cost, it recommends FaaS or IaaS.
+///
+/// Usage: cost_advisor [access_size_kib] [interval_seconds] [queries_per_hour]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "pricing/break_even.h"
+
+using namespace skyrise;
+
+int main(int argc, char** argv) {
+  const int64_t access_kib = argc > 1 ? std::atoll(argv[1]) : 4096;
+  const double interval_s = argc > 2 ? std::atof(argv[2]) : 3600;
+  const double queries_per_hour = argc > 3 ? std::atof(argv[3]) : 100;
+  const int64_t access_bytes = access_kib * kKiB;
+  const auto& prices = pricing::PriceList::Default();
+  const auto& h = prices.hierarchy();
+
+  std::printf("Workload: %s accesses every %s, %.0f queries/h\n\n",
+              FormatBytes(access_bytes).c_str(),
+              FormatDuration(static_cast<SimDuration>(interval_s * kSecond))
+                  .c_str(),
+              queries_per_hour);
+
+  // --- Storage tiering advice (Section 5.3.1). ---
+  const double ram_mb_hourly = h.ram_gib_hour / 1024.0;
+  const double ssd_aps =
+      std::min(h.ssd_max_iops,
+               h.ssd_max_bandwidth_mb_s * 1e6 / static_cast<double>(access_bytes));
+  const double ram_ssd = pricing::BreakEvenIntervalCapacityPriced(
+      access_bytes, ssd_aps, h.ssd_device_hourly, ram_mb_hourly);
+  const auto s3 = prices.Storage("s3").ValueOrDie();
+  const double ram_s3 = pricing::BreakEvenIntervalRequestPriced(
+      access_bytes, s3.read_request, ram_mb_hourly);
+  const double ssd_mb_hourly = h.ssd_device_hourly / (h.ssd_device_gb * 1000.0);
+  const double ssd_s3 = pricing::BreakEvenIntervalRequestPriced(
+      access_bytes, s3.read_request, ssd_mb_hourly);
+
+  std::printf("Break-even intervals for this access size:\n");
+  std::printf("  RAM vs SSD        : %.0f s\n", ram_ssd);
+  std::printf("  RAM vs S3 Standard: %.0f s\n", ram_s3);
+  std::printf("  SSD vs S3 Standard: %.0f s\n", ssd_s3);
+  const char* tier = interval_s < ram_ssd               ? "RAM"
+                     : interval_s < ssd_s3              ? "VM-attached SSD"
+                                                        : "S3 object storage";
+  std::printf("=> keep this data in: %s\n\n", tier);
+
+  // --- Compute deployment advice (Section 5.2). ---
+  // Assume the paper's Q6-like profile: per-query FaaS cost scales with the
+  // cumulated function time; a peak cluster of N c6g.xlarge.
+  const double faas_cost_per_query = 0.0487;  // $ (Table 6, Q6).
+  const int peak_vms = 201;
+  const double cluster_per_hour = peak_vms * 0.136;
+  const double break_even_qph = cluster_per_hour / faas_cost_per_query;
+  std::printf("Compute (Q6-like query, %d-VM peak cluster):\n", peak_vms);
+  std::printf("  FaaS cost/query: $%.4f, cluster: $%.2f/h, break-even: %.0f"
+              " queries/h\n",
+              faas_cost_per_query, cluster_per_hour, break_even_qph);
+  std::printf("=> at %.0f queries/h, run on: %s\n", queries_per_hour,
+              queries_per_hour < break_even_qph
+                  ? "serverless functions (FaaS)"
+                  : "a provisioned VM cluster (IaaS)");
+
+  // --- Shuffle medium advice (Section 5.3.2). ---
+  auto cells = pricing::ComputeShuffleBeasTable(prices);
+  double beas_mb = 0;
+  for (const auto& cell : cells) {
+    if (cell.instance_type == "c6g.xlarge" && !cell.reserved &&
+        cell.storage_class == "s3") {
+      beas_mb = cell.access_size_mb;
+    }
+  }
+  std::printf("\nShuffle: object storage beats a c6g.xlarge VM cluster for\n"
+              "average I/O sizes above %.1f MB; your %s accesses should %s\n",
+              beas_mb, FormatBytes(access_bytes).c_str(),
+              static_cast<double>(access_bytes) / 1e6 >= beas_mb
+                  ? "use S3 for shuffling"
+                  : "be combined into larger writes or use a VM-based store");
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// Storage explorer: a compact version of the paper's Section 4.3
+/// comparison. Probes each simulated serverless storage service for
+/// throughput, IOPS, and latency at small scale and prints the tradeoffs a
+/// data system designer cares about, including price efficiency.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "platform/report.h"
+#include "platform/storage_io.h"
+#include "platform/testbed.h"
+
+using namespace skyrise;
+
+namespace {
+
+struct Probe {
+  double throughput_gib_s = 0;
+  double iops = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+Probe Explore(const storage::ObjectStore::Options& options,
+              int64_t large_object, uint64_t seed) {
+  Probe probe;
+  {  // Throughput: 8 VMs x 32 threads of large objects.
+    platform::Testbed bed(seed);
+    storage::ObjectStore service(&bed.env, options, 6100);
+    platform::StorageIoConfig config;
+    config.clients = 8;
+    config.threads_per_client = 32;
+    config.request_bytes = large_object;
+    config.duration = Seconds(8);
+    auto r = platform::RunStorageIo(&bed.env, &bed.fabric_driver, &service,
+                                    config);
+    probe.throughput_gib_s = r.ThroughputGiBps();
+  }
+  {  // IOPS + latency: 1 KiB requests.
+    platform::Testbed bed(seed + 1);
+    storage::ObjectStore service(&bed.env, options, 6200);
+    platform::StorageIoConfig config;
+    config.clients = 8;
+    config.threads_per_client = 16;
+    config.request_bytes = kKiB;
+    config.duration = Seconds(10);
+    config.use_fabric = false;
+    auto r = platform::RunStorageIo(&bed.env, &bed.fabric_driver, &service,
+                                    config);
+    probe.iops = r.SuccessIops();
+    probe.p50_ms = r.latency_ms.Percentile(50);
+    probe.p99_ms = r.latency_ms.Percentile(99);
+  }
+  return probe;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Serverless storage explorer (simulated AWS us-east-1)\n");
+  platform::TablePrinter table({"service", "throughput [GiB/s]",
+                                "IOPS (1 KiB)", "p50 [ms]", "p99 [ms]",
+                                "read cost [c/GiB/s]"});
+  const auto& prices = pricing::PriceList::Default();
+  struct Service {
+    const char* label;
+    const char* price_key;
+    storage::ObjectStore::Options options;
+    int64_t object_bytes;
+  };
+  const Service services[] = {
+      {"S3 Standard", "s3", storage::ObjectStore::StandardOptions(),
+       64 * kMiB},
+      {"S3 Express", "s3express", storage::ObjectStore::ExpressOptions(),
+       64 * kMiB},
+      {"DynamoDB", "dynamodb", storage::ObjectStore::DynamoDbOptions(),
+       400 * kKiB},
+      {"EFS", "efs", storage::ObjectStore::EfsOptions(), 4 * kMiB},
+  };
+  uint64_t seed = 60;
+  for (const auto& service : services) {
+    auto probe = Explore(service.options, service.object_bytes, seed += 13);
+    // Cost to sustain 1 GiB/s of reads at this access size.
+    const double requests_per_second =
+        1.0 * kGiB / static_cast<double>(service.object_bytes);
+    const double cents_per_gibps =
+        prices.StorageRequestCost(service.price_key, false,
+                                  service.object_bytes)
+            .ValueOrDie() *
+        requests_per_second * 100;
+    table.AddRow({service.label, StrFormat("%.2f", probe.throughput_gib_s),
+                  StrFormat("%.0f", probe.iops),
+                  StrFormat("%.1f", probe.p50_ms),
+                  StrFormat("%.1f", probe.p99_ms),
+                  StrFormat("%.5f", cents_per_gibps)});
+  }
+  table.Print();
+  std::printf(
+      "\nConclusions (Section 4.3.4): S3 offers the most economic scalable\n"
+      "throughput but the lowest out-of-the-box IOPS at the highest\n"
+      "latency; S3 Express pairs the highest IOPS with consistent low\n"
+      "latency at a higher price; DynamoDB has the lowest latency but the\n"
+      "lowest throughput; EFS is balanced but dominated by S3 Express.\n"
+      "Object storage is the most suitable substrate for scalable data\n"
+      "processing.\n");
+  return 0;
+}

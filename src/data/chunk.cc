@@ -1,0 +1,83 @@
+#include "data/chunk.h"
+
+namespace skyrise::data {
+
+void Column::AppendFrom(const Column& other, size_t row) {
+  SKYRISE_CHECK(type_ == other.type_);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(other.doubles_[row]);
+      break;
+    case DataType::kString:
+      strings_.push_back(other.strings_[row]);
+      break;
+    default:
+      ints_.push_back(other.ints_[row]);
+  }
+}
+
+Column Column::Filter(const std::vector<uint32_t>& selection) const {
+  Column out(type_);
+  switch (type_) {
+    case DataType::kDouble:
+      out.doubles_.reserve(selection.size());
+      for (uint32_t i : selection) out.doubles_.push_back(doubles_[i]);
+      break;
+    case DataType::kString:
+      out.strings_.reserve(selection.size());
+      for (uint32_t i : selection) out.strings_.push_back(strings_[i]);
+      break;
+    default:
+      out.ints_.reserve(selection.size());
+      for (uint32_t i : selection) out.ints_.push_back(ints_[i]);
+  }
+  return out;
+}
+
+void Chunk::Append(const Chunk& other) {
+  SKYRISE_CHECK(schema_ == other.schema_);
+  if (is_synthetic() || other.is_synthetic()) {
+    const int64_t total = rows() + other.rows();
+    columns_.clear();
+    synthetic_rows_ = total;
+    return;
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    for (size_t r = 0; r < static_cast<size_t>(other.rows()); ++r) {
+      columns_[c].AppendFrom(other.columns_[c], r);
+    }
+  }
+}
+
+int64_t Chunk::ByteSize() const {
+  int64_t per_row = 0;
+  for (const auto& f : schema_.fields()) {
+    switch (f.type) {
+      case DataType::kString:
+        per_row += 12;  // Typical short TPC string + length.
+        break;
+      default:
+        per_row += 8;
+    }
+  }
+  if (is_synthetic()) return rows() * per_row;
+  int64_t bytes = 0;
+  for (const auto& col : columns_) {
+    switch (col.type()) {
+      case DataType::kDouble:
+        bytes += static_cast<int64_t>(col.doubles().size()) * 8;
+        break;
+      case DataType::kString: {
+        for (const auto& s : col.strings()) {
+          bytes += static_cast<int64_t>(s.size()) + 4;
+        }
+        break;
+      }
+      default:
+        bytes += static_cast<int64_t>(col.ints().size()) * 8;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace skyrise::data

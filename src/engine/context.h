@@ -1,0 +1,59 @@
+#pragma once
+
+#include "engine/executor.h"
+#include "faas/function.h"
+#include "format/cof.h"
+#include "pricing/cost_meter.h"
+#include "storage/queue_service.h"
+#include "storage/retry_client.h"
+#include "storage/storage_service.h"
+
+/// \file context.h
+/// Shared wiring for the engine's coordinator/worker function handlers: the
+/// simulation environment, base-table and shuffle storage, the synthetic
+/// file catalog, retry/timeout policy, and the compute platform workers are
+/// invoked on. One query runs at a time per context.
+
+namespace skyrise::engine {
+
+struct EngineContext {
+  sim::SimEnvironment* env = nullptr;
+  storage::StorageService* table_store = nullptr;
+  storage::StorageService* shuffle_store = nullptr;
+  format::SyntheticFileCatalog* catalog = nullptr;
+  storage::QueueService* queue = nullptr;
+  /// Platform worker invocations go to (set per run: Lambda or EC2 fleet).
+  faas::ComputePlatform* worker_platform = nullptr;
+  /// Experiment-wide request metering hook.
+  pricing::CostMeter* meter = nullptr;
+
+  CostModel cost_model;
+
+  // Worker I/O policy.
+  storage::RetryClient::Options retry;
+  int max_concurrent_requests = 16;
+  int64_t range_chunk_bytes = 8 * kMiB;
+
+  // Coordinator scheduling policy.
+  int partitions_per_worker = 1;
+  int max_parallelism = 10000;        ///< Scheduling wave width.
+  int two_level_threshold = 256;      ///< Fan out via invoker functions.
+  int invoker_fanout = 32;
+
+  EngineContext() {
+    // Straggler re-triggering: generous size-based allowance so congested
+    // (post-burst) scans do not spuriously time out, while first-byte
+    // stragglers are retried.
+    retry.request_timeout = Millis(600);
+    retry.timeout_per_mib = Millis(400);
+    retry.max_attempts = 16;  // Shuffle bursts ride out cold-bucket limits.
+    retry.backoff_cap = Seconds(10);
+  }
+};
+
+/// Well-known function names registered by the engine.
+inline constexpr char kCoordinatorFunction[] = "skyrise-coordinator";
+inline constexpr char kWorkerFunction[] = "skyrise-worker";
+inline constexpr char kInvokerFunction[] = "skyrise-invoker";
+
+}  // namespace skyrise::engine

@@ -1,0 +1,444 @@
+#include "engine/coordinator.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/string_util.h"
+#include "datagen/dataset.h"
+
+namespace skyrise::engine {
+
+namespace {
+
+/// Latency of issuing one Invoke API call from inside a function. Makes the
+/// two-level invocation procedure (Section 3.2) matter: fanning 1,000 calls
+/// from one coordinator serializes ~2 s of dispatch, while two levels of 32
+/// dispatch in ~130 ms.
+constexpr SimDuration kInvokeDispatchLatency = Millis(2);
+
+class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
+ public:
+  CoordinatorTask(EngineContext* ec,
+                  std::shared_ptr<faas::FunctionContext> fctx)
+      : ec_(ec), fctx_(std::move(fctx)) {}
+
+  void Run() {
+    start_ = Now();
+    const Json& payload = fctx_->payload();
+    query_id_ = payload.GetString("query_id");
+    partitions_per_worker_ = static_cast<int>(
+        payload.GetInt("partitions_per_worker", ec_->partitions_per_worker));
+    auto plan = QueryPlan::FromJson(payload.Get("plan"));
+    if (!plan.ok()) {
+      Fail(plan.status());
+      return;
+    }
+    plan_ = std::move(plan).ValueUnsafe();
+    client_ = std::make_unique<storage::RetryClient>(
+        ec_->env, ec_->table_store, ec_->retry, 0x7777);
+    storage_ctx_.nic = fctx_->nic();
+    storage_ctx_.fabric = fctx_->fabric();
+    storage_ctx_.meter = ec_->meter;
+
+    // Collect referenced tables.
+    for (const auto& pipeline : plan_.pipelines) {
+      for (const auto& input : pipeline.inputs) {
+        if (input.type == InputSpec::Type::kTable) {
+          tables_.insert(input.table);
+        }
+      }
+    }
+    FetchNextManifest(tables_.begin());
+  }
+
+ private:
+  SimTime Now() const { return ec_->env->now(); }
+
+  void Fail(Status status) {
+    if (done_) return;
+    done_ = true;
+    fctx_->FinishError(std::move(status));
+  }
+
+  void FetchNextManifest(std::set<std::string>::iterator it) {
+    if (it == tables_.end()) {
+      ScheduleStages();
+      return;
+    }
+    const std::string table = *it;
+    auto self = shared_from_this();
+    client_->Get(datagen::DatasetManifestKey(table), storage_ctx_,
+                 [self, it, table](Result<storage::Blob> result) mutable {
+                   if (!result.ok()) {
+                     self->Fail(result.status());
+                     return;
+                   }
+                   // Synthetic-manifest datasets are not supported: the
+                   // manifest object is always real JSON.
+                   auto json = Json::Parse(result->data());
+                   if (!json.ok()) {
+                     self->Fail(json.status());
+                     return;
+                   }
+                   auto info = datagen::DatasetInfo::FromJson(*json);
+                   if (!info.ok()) {
+                     self->Fail(info.status());
+                     return;
+                   }
+                   self->manifests_[table] = std::move(info).ValueUnsafe();
+                   self->FetchNextManifest(++it);
+                 });
+  }
+
+  // --- Distributed plan compilation and stage-wise scheduling. ---
+
+  void ScheduleStages() {
+    // Topological order over pipeline dependencies.
+    std::set<int> done;
+    std::vector<const PipelineSpec*> order;
+    while (order.size() < plan_.pipelines.size()) {
+      bool progress = false;
+      for (const auto& pipeline : plan_.pipelines) {
+        if (done.count(pipeline.id) > 0) continue;
+        bool ready = true;
+        for (int dep : pipeline.depends_on) {
+          if (done.count(dep) == 0) ready = false;
+        }
+        if (ready) {
+          order.push_back(&pipeline);
+          done.insert(pipeline.id);
+          progress = true;
+        }
+      }
+      if (!progress) {
+        Fail(Status::InvalidArgument("cyclic pipeline dependencies"));
+        return;
+      }
+    }
+    stages_ = std::move(order);
+    RunStage(0);
+  }
+
+  int FragmentsFor(const PipelineSpec& pipeline) {
+    const InputSpec& stream = pipeline.inputs[0];
+    if (stream.type == InputSpec::Type::kShuffle) {
+      // One fragment per upstream shuffle partition.
+      const PipelineSpec* upstream =
+          plan_.FindPipeline(stream.upstream_pipeline);
+      SKYRISE_CHECK(upstream != nullptr);
+      for (const auto& op : upstream->ops) {
+        if (op.op == "partition_write") return op.partition_count;
+      }
+      return 1;
+    }
+    const auto it = manifests_.find(stream.table);
+    SKYRISE_CHECK(it != manifests_.end());
+    const int files = static_cast<int>(it->second.partitions.size());
+    return std::max(1, (files + partitions_per_worker_ - 1) /
+                           partitions_per_worker_);
+  }
+
+  Json BuildWorkerPayload(const PipelineSpec& pipeline, int fragment,
+                          int fragments) {
+    std::vector<WorkerInputAssignment> assignments;
+    for (size_t i = 0; i < pipeline.inputs.size(); ++i) {
+      const InputSpec& input = pipeline.inputs[i];
+      WorkerInputAssignment assignment;
+      if (input.type == InputSpec::Type::kTable) {
+        const auto& parts = manifests_[input.table].partitions;
+        const int n = static_cast<int>(parts.size());
+        if (i == 0) {
+          // Streamed input: contiguous slice of the partition list.
+          const int begin = n * fragment / fragments;
+          const int end = n * (fragment + 1) / fragments;
+          for (int p = begin; p < end; ++p) {
+            assignment.files.push_back(
+                TableFileAssignment{parts[static_cast<size_t>(p)].key,
+                                    parts[static_cast<size_t>(p)].size_bytes});
+          }
+        } else {
+          // Build input: broadcast all files to every fragment.
+          for (const auto& p : parts) {
+            assignment.files.push_back(
+                TableFileAssignment{p.key, p.size_bytes});
+          }
+        }
+      } else {
+        assignment.upstream_fragments =
+            fragments_of_.at(input.upstream_pipeline);
+      }
+      assignments.push_back(std::move(assignment));
+    }
+    Json payload = WorkerPayload(query_id_, pipeline, fragment, assignments);
+    payload["barrier_participants"] = fragments;
+    return payload;
+  }
+
+  void RunStage(size_t stage_index) {
+    if (stage_index >= stages_.size()) {
+      Finish();
+      return;
+    }
+    const PipelineSpec& pipeline = *stages_[stage_index];
+    const int fragments = FragmentsFor(pipeline);
+    fragments_of_[pipeline.id] = fragments;
+    auto state = std::make_shared<StageState>();
+    state->index = stage_index;
+    state->pipeline = &pipeline;
+    state->fragments = fragments;
+    state->start = Now();
+    for (int f = 0; f < fragments; ++f) {
+      state->pending.push_back(BuildWorkerPayload(pipeline, f, fragments));
+    }
+    if (fragments >= ec_->two_level_threshold) {
+      DispatchTwoLevel(state);
+    } else {
+      DispatchDirect(state);
+    }
+  }
+
+  struct StageState {
+    size_t index = 0;
+    const PipelineSpec* pipeline = nullptr;
+    int fragments = 0;
+    SimTime start = 0;
+    std::deque<Json> pending;
+    int running = 0;
+    int completed = 0;
+    int peak_running = 0;
+    bool failed = false;
+    double worker_ms = 0;
+    int64_t requests = 0;
+    int64_t bytes_read = 0;
+    int64_t bytes_written = 0;
+    int cold_starts = 0;
+  };
+
+  void DispatchDirect(std::shared_ptr<StageState> state) {
+    auto self = shared_from_this();
+    // Serialized dispatch: one Invoke API call per kInvokeDispatchLatency,
+    // capped by the scheduling wave width.
+    if (state->failed) return;
+    if (state->pending.empty()) return;
+    if (state->running >= ec_->max_parallelism) return;  // Wave is full.
+    Json payload = std::move(state->pending.front());
+    state->pending.pop_front();
+    ++state->running;
+    state->peak_running = std::max(state->peak_running, state->running);
+    ec_->worker_platform->Invoke(
+        kWorkerFunction, std::move(payload), [self, state](Result<Json> r) {
+          self->OnWorkerDone(state, std::move(r), 1);
+        });
+    ec_->env->Schedule(kInvokeDispatchLatency,
+                       [self, state] { self->DispatchDirect(state); });
+  }
+
+  void DispatchTwoLevel(std::shared_ptr<StageState> state) {
+    // Group fragments into invoker batches and dispatch those serially; each
+    // invoker fans out its batch in parallel with the others.
+    auto self = shared_from_this();
+    std::vector<Json> batches;
+    while (!state->pending.empty()) {
+      Json batch = Json::Object();
+      Json payloads = Json::Array();
+      for (int i = 0; i < ec_->invoker_fanout && !state->pending.empty();
+           ++i) {
+        payloads.Append(std::move(state->pending.front()));
+        state->pending.pop_front();
+      }
+      batch["payloads"] = std::move(payloads);
+      batches.push_back(std::move(batch));
+    }
+    auto batch_list = std::make_shared<std::vector<Json>>(std::move(batches));
+    auto issue = std::make_shared<std::function<void(size_t)>>();
+    *issue = [self, state, batch_list, issue](size_t i) {
+      if (i >= batch_list->size() || state->failed) return;
+      const int count =
+          static_cast<int>((*batch_list)[i].Get("payloads").size());
+      state->running += count;
+      state->peak_running = std::max(state->peak_running, state->running);
+      self->ec_->worker_platform->Invoke(
+          kInvokerFunction, std::move((*batch_list)[i]),
+          [self, state, count](Result<Json> r) {
+            if (!r.ok()) {
+              self->OnWorkerDone(state, r.status(), count);
+              return;
+            }
+            // The invoker returns the collected worker responses.
+            for (const auto& response : r->Get("responses").AsArray()) {
+              self->OnWorkerDone(state, Json(response), 1);
+            }
+          });
+      self->ec_->env->Schedule(kInvokeDispatchLatency,
+                               [issue, i] { (*issue)(i + 1); });
+    };
+    (*issue)(0);
+  }
+
+  void OnWorkerDone(std::shared_ptr<StageState> state, Result<Json> result,
+                    int count) {
+    if (state->failed) return;
+    state->running -= count;
+    state->completed += count;
+    if (!result.ok()) {
+      state->failed = true;
+      Fail(result.status());
+      return;
+    }
+    const Json& response = *result;
+    if (response.Has("error")) {
+      state->failed = true;
+      Fail(Status::Internal(response.GetString("error")));
+      return;
+    }
+    state->worker_ms += response.GetDouble("duration_ms");
+    state->requests += response.GetInt("requests");
+    state->bytes_read += response.GetInt("bytes_read");
+    state->bytes_written += response.GetInt("bytes_written");
+    state->cold_starts += response.GetBool("cold_start") ? 1 : 0;
+    if (state->completed == state->fragments) {
+      FinishStage(state);
+      return;
+    }
+    // A slot freed up: continue dispatching the wave.
+    if (state->fragments < ec_->two_level_threshold) DispatchDirect(state);
+  }
+
+  void FinishStage(const std::shared_ptr<StageState>& state) {
+    Json summary = Json::Object();
+    summary["pipeline"] = state->pipeline->id;
+    summary["fragments"] = state->fragments;
+    summary["runtime_ms"] = ToMillis(Now() - state->start);
+    summary["worker_ms"] = state->worker_ms;
+    summary["peak_workers"] = state->peak_running;
+    summary["requests"] = state->requests;
+    summary["bytes_read"] = state->bytes_read;
+    summary["bytes_written"] = state->bytes_written;
+    summary["cold_starts"] = state->cold_starts;
+    stage_summaries_.push_back(std::move(summary));
+    cumulated_worker_ms_ += state->worker_ms;
+    total_requests_ += state->requests;
+    total_workers_ += state->fragments;
+    peak_workers_ = std::max(peak_workers_, state->peak_running);
+    RunStage(state->index + 1);
+  }
+
+  void Finish() {
+    if (done_) return;
+    done_ = true;
+    Json response = Json::Object();
+    response["query"] = plan_.query_name;
+    response["query_id"] = query_id_;
+    response["result_key"] = ResultKey(query_id_);
+    response["runtime_ms"] = ToMillis(Now() - start_);
+    response["cumulated_worker_ms"] = cumulated_worker_ms_;
+    response["total_workers"] = total_workers_;
+    response["peak_workers"] = peak_workers_;
+    response["requests"] = total_requests_;
+    Json stages = Json::Array();
+    for (auto& s : stage_summaries_) stages.Append(std::move(s));
+    response["stages"] = std::move(stages);
+    fctx_->Finish(std::move(response));
+  }
+
+  EngineContext* ec_;
+  std::shared_ptr<faas::FunctionContext> fctx_;
+  std::unique_ptr<storage::RetryClient> client_;
+  storage::ClientContext storage_ctx_;
+  QueryPlan plan_;
+  std::string query_id_;
+  int partitions_per_worker_ = 1;
+  std::set<std::string> tables_;
+  std::map<std::string, datagen::DatasetInfo> manifests_;
+  std::vector<const PipelineSpec*> stages_;
+  std::map<int, int> fragments_of_;
+  std::vector<Json> stage_summaries_;
+  double cumulated_worker_ms_ = 0;
+  int64_t total_requests_ = 0;
+  int total_workers_ = 0;
+  int peak_workers_ = 0;
+  SimTime start_ = 0;
+  bool done_ = false;
+};
+
+class InvokerTask : public std::enable_shared_from_this<InvokerTask> {
+ public:
+  InvokerTask(EngineContext* ec, std::shared_ptr<faas::FunctionContext> fctx)
+      : ec_(ec), fctx_(std::move(fctx)) {}
+
+  void Run() {
+    const auto& payloads = fctx_->payload().Get("payloads").AsArray();
+    total_ = static_cast<int>(payloads.size());
+    if (total_ == 0) {
+      Finish();
+      return;
+    }
+    responses_.resize(static_cast<size_t>(total_));
+    Issue(0);
+  }
+
+ private:
+  void Issue(size_t i) {
+    const auto& payloads = fctx_->payload().Get("payloads").AsArray();
+    if (i >= payloads.size() || failed_) return;
+    auto self = shared_from_this();
+    ec_->worker_platform->Invoke(
+        kWorkerFunction, payloads[i], [self, i](Result<Json> r) {
+          if (self->failed_) return;
+          if (!r.ok()) {
+            self->failed_ = true;
+            self->fctx_->FinishError(r.status());
+            return;
+          }
+          self->responses_[i] = *r;
+          if (++self->completed_ == self->total_) self->Finish();
+        });
+    ec_->env->Schedule(kInvokeDispatchLatency,
+                       [self, i] { self->Issue(i + 1); });
+  }
+
+  void Finish() {
+    Json response = Json::Object();
+    Json list = Json::Array();
+    for (auto& r : responses_) list.Append(std::move(r));
+    response["responses"] = std::move(list);
+    fctx_->Finish(std::move(response));
+  }
+
+  EngineContext* ec_;
+  std::shared_ptr<faas::FunctionContext> fctx_;
+  std::vector<Json> responses_;
+  int total_ = 0;
+  int completed_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+faas::FunctionHandler MakeCoordinatorHandler(EngineContext* context) {
+  return [context](const std::shared_ptr<faas::FunctionContext>& fctx) {
+    std::make_shared<CoordinatorTask>(context, fctx)->Run();
+  };
+}
+
+faas::FunctionHandler MakeInvokerHandler(EngineContext* context) {
+  return [context](const std::shared_ptr<faas::FunctionContext>& fctx) {
+    std::make_shared<InvokerTask>(context, fctx)->Run();
+  };
+}
+
+Json CoordinatorPayload(const QueryPlan& plan, const std::string& query_id,
+                        int partitions_per_worker) {
+  Json payload = Json::Object();
+  payload["plan"] = plan.ToJson();
+  payload["query_id"] = query_id;
+  if (partitions_per_worker > 0) {
+    payload["partitions_per_worker"] = partitions_per_worker;
+  }
+  return payload;
+}
+
+}  // namespace skyrise::engine

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "engine/coordinator.h"
+#include "engine/context.h"
+#include "faas/ec2_fleet.h"
+#include "faas/lambda_platform.h"
+
+/// \file engine.h
+/// Facade for the Skyrise serverless query engine (Fig. 4): deploys the
+/// coordinator/worker/invoker function binaries into a registry shared by
+/// the FaaS platform and the IaaS shim, and submits physical plans to either
+/// deployment. The query plan and execution logic are identical across
+/// deployments; only the invocation substrate differs.
+
+namespace skyrise::engine {
+
+struct QueryResponse {
+  std::string result_key;
+  double runtime_ms = 0;
+  double cumulated_worker_ms = 0;
+  int total_workers = 0;
+  int peak_workers = 0;
+  int64_t requests = 0;
+  Json raw;
+
+  static QueryResponse FromJson(const Json& json);
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineContext context) : context_(std::move(context)) {}
+  SKYRISE_DISALLOW_COPY_AND_ASSIGN(QueryEngine);
+
+  /// Registers the coordinator, worker, and invoker function binaries.
+  /// Workers use the paper's 4-vCPU / 7,076 MiB configuration by default.
+  Status Deploy(faas::FunctionRegistry* registry,
+                double worker_memory_mib = 7076);
+
+  /// Submits `plan` to the coordinator on `platform` (Lambda or EC2 fleet).
+  /// The response callback receives the coordinator's JSON response.
+  void Run(faas::ComputePlatform* platform, const QueryPlan& plan,
+           const std::string& query_id,
+           std::function<void(Result<QueryResponse>)> callback,
+           int partitions_per_worker = 0);
+
+  EngineContext* context() { return &context_; }
+
+  /// Decodes the final result object of a completed query into a chunk
+  /// (control-plane read; for verification and result display).
+  Result<data::Chunk> FetchResult(const std::string& query_id) const;
+
+ private:
+  EngineContext context_;
+};
+
+}  // namespace skyrise::engine

@@ -1,0 +1,504 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace skyrise::engine {
+
+namespace {
+
+using data::Chunk;
+using data::Column;
+using data::DataType;
+using data::Schema;
+
+/// Builds a compound key string from the named columns of `chunk` at `row`.
+std::string RowKey(const Chunk& chunk, const std::vector<int>& key_indices,
+                   size_t row) {
+  std::string key;
+  for (int idx : key_indices) {
+    const Column& col = chunk.column(static_cast<size_t>(idx));
+    switch (col.type()) {
+      case DataType::kString:
+        key += col.strings()[row];
+        break;
+      case DataType::kDouble:
+        key += StrFormat("%.17g", col.doubles()[row]);
+        break;
+      default:
+        key += std::to_string(col.ints()[row]);
+    }
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+Result<std::vector<int>> ResolveColumns(const Schema& schema,
+                                        const std::vector<std::string>& names) {
+  std::vector<int> out;
+  for (const auto& name : names) {
+    const int idx = schema.FieldIndex(name);
+    if (idx < 0) return Status::NotFound("no column: " + name);
+    out.push_back(idx);
+  }
+  return out;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// --- Per-operator schema propagation. ---
+
+Result<Schema> ProjectSchema(const OperatorSpec& op, const Schema& in) {
+  std::vector<data::Field> fields;
+  for (const auto& [name, expr] : op.projections) {
+    if (expr->kind == Expr::Kind::kColumn) {
+      const int idx = in.FieldIndex(expr->column);
+      if (idx < 0) return Status::NotFound("no column: " + expr->column);
+      fields.push_back(data::Field{name, in.field(static_cast<size_t>(idx)).type});
+    } else {
+      fields.push_back(data::Field{name, DataType::kDouble});
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+Result<Schema> AggSchema(const OperatorSpec& op, const Schema& in) {
+  std::vector<data::Field> fields;
+  for (const auto& name : op.group_by) {
+    const int idx = in.FieldIndex(name);
+    if (idx < 0) return Status::NotFound("no group column: " + name);
+    fields.push_back(in.field(static_cast<size_t>(idx)));
+  }
+  for (const auto& agg : op.aggregates) {
+    fields.push_back(data::Field{
+        agg.as,
+        agg.func == "count" ? DataType::kInt64 : DataType::kDouble});
+  }
+  return Schema(std::move(fields));
+}
+
+Result<Schema> JoinSchema(const OperatorSpec& op, const Schema& probe,
+                          const Schema& build) {
+  std::vector<data::Field> fields = probe.fields();
+  for (const auto& name : op.build_columns) {
+    const int idx = build.FieldIndex(name);
+    if (idx < 0) return Status::NotFound("no build column: " + name);
+    fields.push_back(build.field(static_cast<size_t>(idx)));
+  }
+  return Schema(std::move(fields));
+}
+
+Schema SessionizeSchema() {
+  return Schema({{"item_sk", DataType::kInt64}});
+}
+
+// --- Operator implementations (materialized path). ---
+
+Result<Chunk> ApplyFilter(const OperatorSpec& op, Chunk in,
+                          CostAccumulator* cost) {
+  cost->AddNs(static_cast<double>(in.rows()) *
+              cost->model().filter_ns_per_row);
+  if (in.is_synthetic()) {
+    return Chunk::Synthetic(in.schema(),
+                            static_cast<int64_t>(std::llround(
+                                static_cast<double>(in.rows()) *
+                                op.selectivity)));
+  }
+  std::vector<uint32_t> selection;
+  SKYRISE_ASSIGN_OR_RETURN(selection, EvalPredicate(*op.predicate, in));
+  std::vector<Column> columns;
+  for (size_t c = 0; c < in.num_columns(); ++c) {
+    columns.push_back(in.column(c).Filter(selection));
+  }
+  return Chunk(in.schema(), std::move(columns));
+}
+
+Result<Chunk> ApplyProject(const OperatorSpec& op, Chunk in,
+                           CostAccumulator* cost) {
+  Schema schema;
+  SKYRISE_ASSIGN_OR_RETURN(schema, ProjectSchema(op, in.schema()));
+  cost->AddNs(static_cast<double>(in.rows()) *
+              static_cast<double>(op.projections.size()) *
+              cost->model().project_ns_per_row_col);
+  if (in.is_synthetic()) return Chunk::Synthetic(schema, in.rows());
+  std::vector<Column> columns;
+  for (size_t i = 0; i < op.projections.size(); ++i) {
+    const auto& [name, expr] = op.projections[i];
+    if (expr->kind == Expr::Kind::kColumn) {
+      const int idx = in.schema().FieldIndex(expr->column);
+      columns.push_back(in.column(static_cast<size_t>(idx)));
+    } else {
+      std::vector<double> values;
+      SKYRISE_ASSIGN_OR_RETURN(values, EvalNumeric(*expr, in));
+      Column col(DataType::kDouble);
+      col.doubles() = std::move(values);
+      columns.push_back(std::move(col));
+    }
+  }
+  return Chunk(schema, std::move(columns));
+}
+
+Result<Chunk> ApplyAggregate(const OperatorSpec& op, Chunk in,
+                             CostAccumulator* cost) {
+  Schema schema;
+  SKYRISE_ASSIGN_OR_RETURN(schema, AggSchema(op, in.schema()));
+  cost->AddNs(static_cast<double>(in.rows()) * cost->model().agg_ns_per_row);
+  if (in.is_synthetic()) {
+    return Chunk::Synthetic(schema, std::min(in.rows(), op.groups_hint));
+  }
+  std::vector<int> group_indices;
+  SKYRISE_ASSIGN_OR_RETURN(group_indices,
+                           ResolveColumns(in.schema(), op.group_by));
+  // Evaluate aggregate argument expressions once per chunk.
+  std::vector<std::vector<double>> arguments;
+  for (const auto& agg : op.aggregates) {
+    if (agg.func == "count" && !agg.expr) {
+      arguments.emplace_back();
+      continue;
+    }
+    std::vector<double> values;
+    SKYRISE_ASSIGN_OR_RETURN(values, EvalNumeric(*agg.expr, in));
+    arguments.push_back(std::move(values));
+  }
+
+  struct GroupState {
+    size_t representative_row = 0;
+    std::vector<double> accumulators;
+  };
+  std::unordered_map<std::string, GroupState> groups;
+  const size_t rows = static_cast<size_t>(in.rows());
+  for (size_t row = 0; row < rows; ++row) {
+    const std::string key = RowKey(in, group_indices, row);
+    auto [it, inserted] = groups.try_emplace(key);
+    GroupState& state = it->second;
+    if (inserted) {
+      state.representative_row = row;
+      state.accumulators.resize(op.aggregates.size());
+      for (size_t a = 0; a < op.aggregates.size(); ++a) {
+        const auto& func = op.aggregates[a].func;
+        if (func == "min") {
+          state.accumulators[a] = std::numeric_limits<double>::infinity();
+        } else if (func == "max") {
+          state.accumulators[a] = -std::numeric_limits<double>::infinity();
+        } else {
+          state.accumulators[a] = 0;
+        }
+      }
+    }
+    for (size_t a = 0; a < op.aggregates.size(); ++a) {
+      const auto& func = op.aggregates[a].func;
+      if (func == "count") {
+        state.accumulators[a] += 1;
+      } else {
+        const double v = arguments[a][row];
+        if (func == "sum") {
+          state.accumulators[a] += v;
+        } else if (func == "min") {
+          state.accumulators[a] = std::min(state.accumulators[a], v);
+        } else if (func == "max") {
+          state.accumulators[a] = std::max(state.accumulators[a], v);
+        } else {
+          return Status::InvalidArgument("unknown aggregate: " + func);
+        }
+      }
+    }
+  }
+
+  Chunk out = Chunk::Empty(schema);
+  // Deterministic output order: sort group keys.
+  std::vector<std::pair<std::string, const GroupState*>> ordered;
+  ordered.reserve(groups.size());
+  for (const auto& [key, state] : groups) ordered.emplace_back(key, &state);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, state] : ordered) {
+    for (size_t g = 0; g < group_indices.size(); ++g) {
+      out.column(g).AppendFrom(
+          in.column(static_cast<size_t>(group_indices[g])),
+          state->representative_row);
+    }
+    for (size_t a = 0; a < op.aggregates.size(); ++a) {
+      Column& col = out.column(group_indices.size() + a);
+      if (op.aggregates[a].func == "count") {
+        col.AppendInt(static_cast<int64_t>(std::llround(state->accumulators[a])));
+      } else {
+        col.AppendDouble(state->accumulators[a]);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Chunk> ApplyJoin(const OperatorSpec& op, Chunk probe, const Chunk& build,
+                        CostAccumulator* cost) {
+  Schema schema;
+  SKYRISE_ASSIGN_OR_RETURN(schema,
+                           JoinSchema(op, probe.schema(), build.schema()));
+  cost->AddNs(static_cast<double>(build.rows()) *
+                  cost->model().join_build_ns_per_row +
+              static_cast<double>(probe.rows()) *
+                  cost->model().join_probe_ns_per_row);
+  if (probe.is_synthetic() || build.is_synthetic()) {
+    return Chunk::Synthetic(
+        schema, static_cast<int64_t>(std::llround(
+                    static_cast<double>(probe.rows()) * op.join_multiplier)));
+  }
+  std::vector<int> probe_indices, build_indices, carried;
+  SKYRISE_ASSIGN_OR_RETURN(probe_indices,
+                           ResolveColumns(probe.schema(), op.probe_keys));
+  SKYRISE_ASSIGN_OR_RETURN(build_indices,
+                           ResolveColumns(build.schema(), op.build_keys));
+  SKYRISE_ASSIGN_OR_RETURN(carried,
+                           ResolveColumns(build.schema(), op.build_columns));
+  std::unordered_multimap<std::string, size_t> table;
+  const size_t build_rows = static_cast<size_t>(build.rows());
+  table.reserve(build_rows);
+  for (size_t row = 0; row < build_rows; ++row) {
+    table.emplace(RowKey(build, build_indices, row), row);
+  }
+  Chunk out = Chunk::Empty(schema);
+  const size_t probe_rows = static_cast<size_t>(probe.rows());
+  for (size_t row = 0; row < probe_rows; ++row) {
+    auto [begin, end] = table.equal_range(RowKey(probe, probe_indices, row));
+    for (auto it = begin; it != end; ++it) {
+      for (size_t c = 0; c < probe.num_columns(); ++c) {
+        out.column(c).AppendFrom(probe.column(c), row);
+      }
+      for (size_t c = 0; c < carried.size(); ++c) {
+        out.column(probe.num_columns() + c)
+            .AppendFrom(build.column(static_cast<size_t>(carried[c])),
+                        it->second);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Chunk> ApplySort(const OperatorSpec& op, Chunk in,
+                        CostAccumulator* cost) {
+  const double n = static_cast<double>(std::max<int64_t>(in.rows(), 1));
+  cost->AddNs(n * std::log2(n + 1) * cost->model().sort_ns_per_row_log);
+  if (in.is_synthetic()) return in;
+  std::vector<int> key_indices;
+  SKYRISE_ASSIGN_OR_RETURN(key_indices,
+                           ResolveColumns(in.schema(), op.sort_keys));
+  std::vector<uint32_t> order(static_cast<size_t>(in.rows()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < key_indices.size(); ++k) {
+      const Column& col = in.column(static_cast<size_t>(key_indices[k]));
+      const bool asc =
+          k < op.sort_ascending.size() ? op.sort_ascending[k] : true;
+      int cmp = 0;
+      switch (col.type()) {
+        case DataType::kString:
+          cmp = col.strings()[a].compare(col.strings()[b]);
+          break;
+        case DataType::kDouble:
+          cmp = col.doubles()[a] < col.doubles()[b]
+                    ? -1
+                    : (col.doubles()[a] > col.doubles()[b] ? 1 : 0);
+          break;
+        default:
+          cmp = col.ints()[a] < col.ints()[b]
+                    ? -1
+                    : (col.ints()[a] > col.ints()[b] ? 1 : 0);
+      }
+      if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  std::vector<Column> columns;
+  for (size_t c = 0; c < in.num_columns(); ++c) {
+    columns.push_back(in.column(c).Filter(order));
+  }
+  return Chunk(in.schema(), std::move(columns));
+}
+
+Result<Chunk> ApplyLimit(const OperatorSpec& op, Chunk in) {
+  if (op.limit < 0 || in.rows() <= op.limit) return in;
+  if (in.is_synthetic()) return Chunk::Synthetic(in.schema(), op.limit);
+  std::vector<uint32_t> head(static_cast<size_t>(op.limit));
+  for (size_t i = 0; i < head.size(); ++i) head[i] = static_cast<uint32_t>(i);
+  std::vector<Column> columns;
+  for (size_t c = 0; c < in.num_columns(); ++c) {
+    columns.push_back(in.column(c).Filter(head));
+  }
+  return Chunk(in.schema(), std::move(columns));
+}
+
+/// TPCx-BB Q3 style sessionization UDF: for every purchase of an item in the
+/// target category, emit the same-category items the user viewed within the
+/// preceding window. Requires columns: wcs_click_date, wcs_user_sk,
+/// wcs_item_sk, wcs_sales_sk, i_category_id.
+Result<Chunk> ApplySessionize(const OperatorSpec& op, Chunk in,
+                              CostAccumulator* cost) {
+  cost->AddNs(static_cast<double>(in.rows()) * cost->model().udf_ns_per_row);
+  const Schema out_schema = SessionizeSchema();
+  if (in.is_synthetic()) {
+    return Chunk::Synthetic(out_schema,
+                            static_cast<int64_t>(std::llround(
+                                static_cast<double>(in.rows()) *
+                                op.udf_output_ratio)));
+  }
+  std::vector<int> indices;
+  SKYRISE_ASSIGN_OR_RETURN(
+      indices,
+      ResolveColumns(in.schema(), {"wcs_click_date", "wcs_user_sk",
+                                   "wcs_item_sk", "wcs_sales_sk",
+                                   "i_category_id"}));
+  const auto& date = in.column(static_cast<size_t>(indices[0])).ints();
+  const auto& user = in.column(static_cast<size_t>(indices[1])).ints();
+  const auto& item = in.column(static_cast<size_t>(indices[2])).ints();
+  const auto& sale = in.column(static_cast<size_t>(indices[3])).ints();
+  const auto& category = in.column(static_cast<size_t>(indices[4])).ints();
+
+  // Group row indices per user, sort each user's clicks by date.
+  std::map<int64_t, std::vector<size_t>> by_user;
+  for (size_t row = 0; row < static_cast<size_t>(in.rows()); ++row) {
+    by_user[user[row]].push_back(row);
+  }
+  Chunk out = Chunk::Empty(out_schema);
+  auto& out_items = out.column(0).ints();
+  for (auto& [user_sk, rows] : by_user) {
+    std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      return date[a] < date[b];
+    });
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const size_t purchase = rows[i];
+      if (sale[purchase] <= 0 || category[purchase] != op.target_category) {
+        continue;
+      }
+      // Views on strictly earlier days within the window. Day-granular
+      // semantics keep the result independent of intra-day row order, which
+      // is arbitrary after a shuffle.
+      for (size_t view : rows) {
+        if (sale[view] != 0) continue;
+        if (category[view] != op.target_category) continue;
+        const int64_t gap = date[purchase] - date[view];
+        if (gap < 1 || gap > op.session_window_days) continue;
+        out_items.push_back(item[view]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<FragmentOutput>> ExecuteFragment(
+    const PipelineSpec& pipeline, Chunk stream, std::vector<Chunk> builds,
+    CostAccumulator* cost) {
+  Chunk current = std::move(stream);
+  for (const auto& op : pipeline.ops) {
+    if (op.op == "filter") {
+      SKYRISE_ASSIGN_OR_RETURN(current, ApplyFilter(op, std::move(current), cost));
+    } else if (op.op == "project") {
+      SKYRISE_ASSIGN_OR_RETURN(current,
+                               ApplyProject(op, std::move(current), cost));
+    } else if (op.op == "hash_agg") {
+      SKYRISE_ASSIGN_OR_RETURN(current,
+                               ApplyAggregate(op, std::move(current), cost));
+    } else if (op.op == "hash_join") {
+      const size_t build_index = static_cast<size_t>(op.build_input - 1);
+      if (build_index >= builds.size()) {
+        return Status::InvalidArgument("missing join build input");
+      }
+      SKYRISE_ASSIGN_OR_RETURN(
+          current, ApplyJoin(op, std::move(current), builds[build_index], cost));
+    } else if (op.op == "sort") {
+      SKYRISE_ASSIGN_OR_RETURN(current, ApplySort(op, std::move(current), cost));
+    } else if (op.op == "limit") {
+      SKYRISE_ASSIGN_OR_RETURN(current, ApplyLimit(op, std::move(current)));
+    } else if (op.op == "bb_sessionize") {
+      SKYRISE_ASSIGN_OR_RETURN(current,
+                               ApplySessionize(op, std::move(current), cost));
+    } else if (op.op == "partition_write") {
+      cost->AddNs(static_cast<double>(current.rows()) *
+                  cost->model().partition_ns_per_row);
+      std::vector<FragmentOutput> outputs;
+      const int parts = op.partition_count;
+      if (current.is_synthetic()) {
+        const int64_t rows = current.rows();
+        for (int p = 0; p < parts; ++p) {
+          const int64_t share =
+              rows * (p + 1) / parts - rows * p / parts;
+          outputs.push_back(FragmentOutput{
+              p, Chunk::Synthetic(current.schema(), share)});
+        }
+        return outputs;
+      }
+      std::vector<int> key_indices;
+      SKYRISE_ASSIGN_OR_RETURN(
+          key_indices, ResolveColumns(current.schema(), op.partition_keys));
+      std::vector<std::vector<uint32_t>> selections(
+          static_cast<size_t>(parts));
+      for (size_t row = 0; row < static_cast<size_t>(current.rows()); ++row) {
+        const uint64_t h = HashString(RowKey(current, key_indices, row));
+        selections[h % static_cast<uint64_t>(parts)].push_back(
+            static_cast<uint32_t>(row));
+      }
+      for (int p = 0; p < parts; ++p) {
+        std::vector<Column> columns;
+        for (size_t c = 0; c < current.num_columns(); ++c) {
+          columns.push_back(
+              current.column(c).Filter(selections[static_cast<size_t>(p)]));
+        }
+        outputs.push_back(
+            FragmentOutput{p, Chunk(current.schema(), std::move(columns))});
+      }
+      return outputs;
+    } else if (op.op == "barrier") {
+      // Synchronization barriers are awaited by the worker's I/O state
+      // machine (they poll a shared queue); no data transformation here.
+      continue;
+    } else if (op.op == "collect") {
+      std::vector<FragmentOutput> outputs;
+      outputs.push_back(FragmentOutput{-1, std::move(current)});
+      return outputs;
+    } else {
+      return Status::InvalidArgument("unknown operator: " + op.op);
+    }
+  }
+  // No terminal operator: return the stream as the result.
+  std::vector<FragmentOutput> outputs;
+  outputs.push_back(FragmentOutput{-1, std::move(current)});
+  return outputs;
+}
+
+Result<data::Schema> PipelineOutputSchema(
+    const PipelineSpec& pipeline, const data::Schema& stream_schema,
+    const std::vector<data::Schema>& build_schemas) {
+  Schema current = stream_schema;
+  for (const auto& op : pipeline.ops) {
+    if (op.op == "project") {
+      SKYRISE_ASSIGN_OR_RETURN(current, ProjectSchema(op, current));
+    } else if (op.op == "hash_agg") {
+      SKYRISE_ASSIGN_OR_RETURN(current, AggSchema(op, current));
+    } else if (op.op == "hash_join") {
+      const size_t build_index = static_cast<size_t>(op.build_input - 1);
+      if (build_index >= build_schemas.size()) {
+        return Status::InvalidArgument("missing join build schema");
+      }
+      SKYRISE_ASSIGN_OR_RETURN(
+          current, JoinSchema(op, current, build_schemas[build_index]));
+    } else if (op.op == "bb_sessionize") {
+      current = SessionizeSchema();
+    }
+  }
+  return current;
+}
+
+}  // namespace skyrise::engine

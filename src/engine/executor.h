@@ -1,0 +1,82 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "data/chunk.h"
+#include "engine/plan.h"
+
+/// \file executor.h
+/// In-worker execution of one pipeline fragment: the streamed input chunk is
+/// pushed through the operator chain (vectorized, chunk-at-a-time semantics
+/// with the fragment materialized as one batch), producing either shuffle
+/// partitions or the final result rows. Execution is pure compute —
+/// independent of the simulation — and accounts its CPU cost in a
+/// deterministic model so FaaS/IaaS timing comparisons are reproducible.
+///
+/// Synthetic chunks flow through the same operators: cardinalities propagate
+/// via the plan's hints, schemas and byte sizes stay correct, and the CPU
+/// model charges the same per-row costs.
+
+namespace skyrise::engine {
+
+/// Deterministic per-operator CPU costs (single-core ns), divided by the
+/// worker's vCPU count for wall time.
+struct CostModel {
+  double decode_ns_per_byte = 1.0;   ///< ~1 GB/s/core ZSTD-class decode.
+  double encode_ns_per_byte = 0.80;
+  double filter_ns_per_row = 6;
+  double project_ns_per_row_col = 3;
+  double agg_ns_per_row = 14;
+  double join_build_ns_per_row = 28;
+  double join_probe_ns_per_row = 18;
+  double partition_ns_per_row = 10;
+  double sort_ns_per_row_log = 8;
+  double udf_ns_per_row = 40;
+};
+
+class CostAccumulator {
+ public:
+  explicit CostAccumulator(const CostModel& model = CostModel())
+      : model_(model) {}
+  void AddNs(double ns) { ns_ += ns; }
+  double ns() const { return ns_; }
+  const CostModel& model() const { return model_; }
+  /// Wall-clock duration on `vcpus` cores (operators parallelize across the
+  /// worker's cores in the vectorized model).
+  SimDuration Duration(int vcpus) const {
+    return static_cast<SimDuration>(ns_ / 1000.0 / std::max(1, vcpus));
+  }
+  void Reset() { ns_ = 0; }
+
+ private:
+  CostModel model_;
+  double ns_ = 0;
+};
+
+/// One produced output: shuffle partition id (or -1 for the terminal result)
+/// and its rows.
+struct FragmentOutput {
+  int partition = -1;
+  data::Chunk chunk;
+};
+
+/// Executes `pipeline`'s operator chain over a materialized (or synthetic)
+/// streamed input and the fully-built side inputs. `builds[i]` corresponds
+/// to pipeline input i+1.
+Result<std::vector<FragmentOutput>> ExecuteFragment(
+    const PipelineSpec& pipeline, data::Chunk stream,
+    std::vector<data::Chunk> builds, CostAccumulator* cost);
+
+/// Output schema of the pipeline (after all non-terminal operators), given
+/// the streamed input schema and build schemas. Exposed for planning and
+/// tests.
+Result<data::Schema> PipelineOutputSchema(const PipelineSpec& pipeline,
+                                          const data::Schema& stream_schema,
+                                          const std::vector<data::Schema>&
+                                              build_schemas);
+
+}  // namespace skyrise::engine

@@ -1,0 +1,658 @@
+#include "engine/worker.h"
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace skyrise::engine {
+
+namespace {
+
+using data::Chunk;
+using storage::Blob;
+
+/// One pending ranged read; large column chunks are split into
+/// `range_chunk_bytes` pieces processed in parallel (Section 3.2).
+struct ReadOp {
+  std::string key;
+  int64_t offset = 0;
+  int64_t length = 0;
+  size_t buffer = 0;  ///< Result slot.
+  int64_t buffer_offset = 0;
+};
+
+/// Issues reads with bounded concurrency against a retrying client,
+/// reassembling split ranges, then fires `done` with the buffers.
+class ReadBatch : public std::enable_shared_from_this<ReadBatch> {
+ public:
+  ReadBatch(EngineContext* ec, storage::RetryClient* client,
+            storage::ClientContext storage_ctx, size_t buffer_count)
+      : ec_(ec), client_(client), storage_ctx_(std::move(storage_ctx)) {
+    buffers_.resize(buffer_count);
+    synthetic_.assign(buffer_count, false);
+  }
+
+  void Add(ReadOp op) {
+    // Split oversized ranges into parallel chunked requests.
+    while (op.length > ec_->range_chunk_bytes) {
+      ReadOp piece = op;
+      piece.length = ec_->range_chunk_bytes;
+      pending_.push_back(piece);
+      op.offset += ec_->range_chunk_bytes;
+      op.buffer_offset += ec_->range_chunk_bytes;
+      op.length -= ec_->range_chunk_bytes;
+    }
+    if (op.length > 0) pending_.push_back(op);
+  }
+
+  /// `done(status, buffers, synthetic_flags, bytes_read)`.
+  using DoneFn = std::function<void(Status, std::vector<std::string>,
+                                    std::vector<bool>, int64_t)>;
+
+  void Start(DoneFn done) {
+    done_ = std::move(done);
+    if (pending_.empty()) {
+      Settle(Status::OK());
+      return;
+    }
+    total_ = pending_.size();
+    Pump();
+  }
+
+ private:
+  void Pump() {
+    while (outstanding_ < ec_->max_concurrent_requests && !pending_.empty()) {
+      ReadOp op = pending_.front();
+      pending_.pop_front();
+      ++outstanding_;
+      auto self = shared_from_this();
+      client_->GetRange(op.key, op.offset, op.length, storage_ctx_,
+                        [self, op](Result<Blob> result) {
+                          self->OnRead(op, std::move(result));
+                        });
+    }
+  }
+
+  void OnRead(const ReadOp& op, Result<Blob> result) {
+    --outstanding_;
+    ++completed_;
+    if (settled_) return;
+    if (!result.ok()) {
+      Settle(result.status());
+      return;
+    }
+    bytes_read_ += result->size();
+    if (result->is_synthetic()) {
+      synthetic_[op.buffer] = true;
+    } else {
+      std::string& buffer = buffers_[op.buffer];
+      const size_t end = static_cast<size_t>(op.buffer_offset) +
+                         result->data().size();
+      if (buffer.size() < end) buffer.resize(end);
+      result->data().copy(buffer.data() + op.buffer_offset,
+                          result->data().size());
+    }
+    if (completed_ == total_) {
+      Settle(Status::OK());
+      return;
+    }
+    Pump();
+  }
+
+  void Settle(Status status) {
+    if (settled_) return;
+    settled_ = true;
+    done_(std::move(status), std::move(buffers_), std::move(synthetic_),
+          bytes_read_);
+  }
+
+  EngineContext* ec_;
+  storage::RetryClient* client_;
+  storage::ClientContext storage_ctx_;
+  std::deque<ReadOp> pending_;
+  std::vector<std::string> buffers_;
+  std::vector<bool> synthetic_;
+  size_t total_ = 0;
+  size_t completed_ = 0;
+  int outstanding_ = 0;
+  int64_t bytes_read_ = 0;
+  bool settled_ = false;
+  DoneFn done_;
+};
+
+class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
+ public:
+  WorkerTask(EngineContext* ec,
+             std::shared_ptr<faas::FunctionContext> fctx)
+      : ec_(ec), fctx_(std::move(fctx)), cost_(ec->cost_model) {}
+
+  void Run() {
+    start_ = Now();
+    const Json& payload = fctx_->payload();
+    query_id_ = payload.GetString("query_id");
+    fragment_ = static_cast<int>(payload.GetInt("fragment"));
+    barrier_participants_ =
+        static_cast<int>(payload.GetInt("barrier_participants", 0));
+    auto parsed = PipelineSpec::FromJson(payload.Get("pipeline"));
+    if (!parsed.ok()) {
+      Fail(parsed.status());
+      return;
+    }
+    pipeline_ = std::move(parsed).ValueUnsafe();
+    for (const auto& input : payload.Get("inputs").AsArray()) {
+      WorkerInputAssignment assignment;
+      for (const auto& f : input.Get("files").AsArray()) {
+        assignment.files.push_back(
+            TableFileAssignment{f.GetString("key"), f.GetInt("size")});
+      }
+      assignment.upstream_fragments =
+          static_cast<int>(input.GetInt("upstream_fragments"));
+      assignments_.push_back(std::move(assignment));
+    }
+    if (assignments_.size() != pipeline_.inputs.size()) {
+      Fail(Status::InvalidArgument("input assignment mismatch"));
+      return;
+    }
+    table_client_ = std::make_unique<storage::RetryClient>(
+        ec_->env, ec_->table_store, ec_->retry,
+        0x9000 + static_cast<uint64_t>(fragment_));
+    shuffle_client_ = std::make_unique<storage::RetryClient>(
+        ec_->env, ec_->shuffle_store, ec_->retry,
+        0xA000 + static_cast<uint64_t>(fragment_));
+    storage_ctx_.nic = fctx_->nic();
+    storage_ctx_.fabric = fctx_->fabric();
+    storage_ctx_.meter = ec_->meter;
+    loaded_.resize(pipeline_.inputs.size());
+    LoadInput(0);
+  }
+
+ private:
+  SimTime Now() const { return ec_->env->now(); }
+
+  void Fail(Status status) {
+    if (done_) return;
+    done_ = true;
+    fctx_->FinishError(std::move(status));
+  }
+
+  void LoadInput(size_t index) {
+    if (index >= pipeline_.inputs.size()) {
+      input_done_ = Now();
+      MaybeBarrier();
+      return;
+    }
+    const InputSpec& spec = pipeline_.inputs[index];
+    if (spec.type == InputSpec::Type::kTable) {
+      LoadTableInput(index);
+    } else {
+      LoadShuffleInput(index);
+    }
+  }
+
+  // --- Table input: footer fetch -> prune -> chunked column reads. ---
+
+  void LoadTableInput(size_t index) {
+    auto files = std::make_shared<std::vector<TableFileAssignment>>(
+        assignments_[index].files);
+    LoadNextFile(index, files, 0);
+  }
+
+  void LoadNextFile(size_t index,
+                    std::shared_ptr<std::vector<TableFileAssignment>> files,
+                    size_t file_index) {
+    if (file_index >= files->size()) {
+      LoadInput(index + 1);
+      return;
+    }
+    const TableFileAssignment& file = (*files)[file_index];
+    const int64_t fetch =
+        std::min<int64_t>(file.size, format::kFooterFetchSize);
+    auto self = shared_from_this();
+    table_client_->GetRange(
+        file.key, file.size - fetch, fetch, storage_ctx_,
+        [self, index, files, file_index, file, fetch](Result<Blob> result) {
+          if (!result.ok()) {
+            self->Fail(result.status());
+            return;
+          }
+          self->bytes_read_ += result->size();
+          format::FileMeta meta;
+          if (result->is_synthetic()) {
+            auto found = self->ec_->catalog->Find(file.key);
+            if (!found.ok()) {
+              self->Fail(found.status());
+              return;
+            }
+            meta = std::move(found).ValueUnsafe();
+          } else {
+            auto parsed = format::ParseFooter(result->data(),
+                                              file.size - fetch, file.size);
+            if (!parsed.ok()) {
+              self->Fail(parsed.status());
+              return;
+            }
+            meta = std::move(parsed).ValueUnsafe();
+          }
+          self->ReadFileColumns(index, files, file_index, file,
+                                std::move(meta));
+        });
+  }
+
+  void ReadFileColumns(size_t index,
+                       std::shared_ptr<std::vector<TableFileAssignment>> files,
+                       size_t file_index, const TableFileAssignment& file,
+                       format::FileMeta meta) {
+    const InputSpec& spec = pipeline_.inputs[index];
+    std::vector<std::string> projection = spec.columns;
+    if (projection.empty()) {
+      for (const auto& f : meta.schema.fields()) projection.push_back(f.name);
+    }
+    // Row-group pruning on min/max statistics (selection pushdown).
+    auto meta_ptr = std::make_shared<format::FileMeta>(std::move(meta));
+    auto survivors = std::make_shared<std::vector<size_t>>();
+    for (size_t rg = 0; rg < meta_ptr->row_groups.size(); ++rg) {
+      bool keep = true;
+      if (spec.pushdown) {
+        const auto& groups = meta_ptr->row_groups[rg];
+        keep = RangeMayMatch(
+            *spec.pushdown,
+            [&](const std::string& column, double* min, double* max) {
+              const int idx = meta_ptr->schema.FieldIndex(column);
+              if (idx < 0) return false;
+              const auto& cm = groups.columns[static_cast<size_t>(idx)];
+              if (!cm.min.has_value() || !cm.max.has_value()) return false;
+              *min = *cm.min;
+              *max = *cm.max;
+              return true;
+            });
+      }
+      if (keep) survivors->push_back(rg);
+    }
+
+    // Make the input schema known even if every row group is pruned.
+    {
+      auto projected = meta_ptr->schema.Select(projection);
+      if (!projected.ok()) {
+        Fail(projected.status());
+        return;
+      }
+      if (!loaded_[index].has_value()) {
+        loaded_[index] = Chunk::Empty(*projected);
+      }
+    }
+    auto batch = std::make_shared<ReadBatch>(
+        ec_, table_client_.get(), storage_ctx_,
+        survivors->size() * projection.size());
+    size_t buffer = 0;
+    for (size_t rg : *survivors) {
+      for (const auto& column : projection) {
+        const int idx = meta_ptr->schema.FieldIndex(column);
+        if (idx < 0) {
+          Fail(Status::NotFound("no column in file: " + column));
+          return;
+        }
+        const auto& cm =
+            meta_ptr->row_groups[rg].columns[static_cast<size_t>(idx)];
+        batch->Add(ReadOp{file.key, cm.offset, cm.size, buffer, 0});
+        ++buffer;
+      }
+    }
+    auto self = shared_from_this();
+    auto projection_ptr =
+        std::make_shared<std::vector<std::string>>(std::move(projection));
+    batch->Start([self, index, files, file_index, meta_ptr, survivors,
+                  projection_ptr](Status status,
+                                  std::vector<std::string> buffers,
+                                  std::vector<bool> synthetic,
+                                  int64_t bytes) {
+      if (!status.ok()) {
+        self->Fail(status);
+        return;
+      }
+      self->bytes_read_ += bytes;
+      self->cost_.AddNs(static_cast<double>(bytes) *
+                        self->cost_.model().decode_ns_per_byte);
+      size_t buffer = 0;
+      for (size_t rg : *survivors) {
+        std::vector<std::string> column_bytes;
+        for (size_t c = 0; c < projection_ptr->size(); ++c) {
+          column_bytes.push_back(std::move(buffers[buffer]));
+          (void)synthetic;
+          ++buffer;
+        }
+        auto decoded = format::DecodeRowGroup(*meta_ptr, rg, *projection_ptr,
+                                              column_bytes);
+        if (!decoded.ok()) {
+          self->Fail(decoded.status());
+          return;
+        }
+        Chunk chunk = std::move(decoded).ValueUnsafe();
+        // Apply the pushdown predicate to the decoded rows right away.
+        const InputSpec& spec = self->pipeline_.inputs[index];
+        if (spec.pushdown) {
+          OperatorSpec filter;
+          filter.op = "filter";
+          filter.predicate = spec.pushdown;
+          filter.selectivity = spec.pushdown_selectivity;
+          // Synthetic pruning already reduced groups; apply the residual
+          // selectivity relative to the pruned set.
+          PipelineSpec wrapper;
+          wrapper.ops.push_back(filter);
+          auto filtered = ExecuteFragment(wrapper, std::move(chunk), {},
+                                          &self->cost_);
+          if (!filtered.ok()) {
+            self->Fail(filtered.status());
+            return;
+          }
+          chunk = std::move((*filtered)[0].chunk);
+        }
+        self->AccumulateInput(index, std::move(chunk));
+      }
+      self->LoadNextFile(index, files, file_index + 1);
+    });
+  }
+
+  // --- Shuffle input: read every upstream fragment's partition object. ---
+
+  void LoadShuffleInput(size_t index) {
+    const InputSpec& spec = pipeline_.inputs[index];
+    const int upstream = spec.upstream_pipeline;
+    const int count = assignments_[index].upstream_fragments;
+    auto remaining = std::make_shared<int>(count);
+    auto failed = std::make_shared<bool>(false);
+    if (count == 0) {
+      LoadInput(index + 1);
+      return;
+    }
+    auto self = shared_from_this();
+    auto outstanding = std::make_shared<int>(0);
+    auto next = std::make_shared<int>(0);
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [self, index, upstream, count, remaining, failed, outstanding,
+             next, pump] {
+      while (*outstanding < self->ec_->max_concurrent_requests &&
+             *next < count) {
+        const int uf = (*next)++;
+        ++(*outstanding);
+        const std::string key =
+            ShuffleKey(self->query_id_, upstream, uf, self->fragment_);
+        self->shuffle_client_->Get(
+            key, self->storage_ctx_,
+            [self, index, key, remaining, failed, outstanding,
+             pump](Result<Blob> result) {
+              --(*outstanding);
+              if (*failed) return;
+              if (!result.ok()) {
+                *failed = true;
+                self->Fail(result.status());
+                return;
+              }
+              self->bytes_read_ += result->size();
+              if (!self->DecodeShuffleObject(index, key, *result)) {
+                *failed = true;
+                return;
+              }
+              if (--(*remaining) == 0) {
+                self->LoadInput(index + 1);
+                return;
+              }
+              (*pump)();
+            });
+      }
+    };
+    (*pump)();
+  }
+
+  bool DecodeShuffleObject(size_t index, const std::string& key,
+                           const Blob& blob) {
+    format::FileMeta meta;
+    if (blob.is_synthetic()) {
+      auto found = ec_->catalog->Find(key);
+      if (!found.ok()) {
+        Fail(found.status());
+        return false;
+      }
+      meta = std::move(found).ValueUnsafe();
+    } else {
+      auto parsed = format::ParseFooter(blob.data(), 0,
+                                        static_cast<int64_t>(blob.size()));
+      if (!parsed.ok()) {
+        Fail(parsed.status());
+        return false;
+      }
+      meta = std::move(parsed).ValueUnsafe();
+    }
+    cost_.AddNs(static_cast<double>(blob.size()) *
+                cost_.model().decode_ns_per_byte);
+    std::vector<std::string> projection;
+    for (const auto& f : meta.schema.fields()) projection.push_back(f.name);
+    for (size_t rg = 0; rg < meta.row_groups.size(); ++rg) {
+      std::vector<std::string> column_bytes;
+      for (size_t c = 0; c < projection.size(); ++c) {
+        if (meta.synthetic) {
+          column_bytes.emplace_back();
+        } else {
+          const auto& cm = meta.row_groups[rg].columns[c];
+          column_bytes.push_back(blob.data().substr(
+              static_cast<size_t>(cm.offset), static_cast<size_t>(cm.size)));
+        }
+      }
+      auto decoded = format::DecodeRowGroup(meta, rg, projection, column_bytes);
+      if (!decoded.ok()) {
+        Fail(decoded.status());
+        return false;
+      }
+      AccumulateInput(index, std::move(decoded).ValueUnsafe());
+    }
+    if (meta.row_groups.empty()) {
+      AccumulateInput(index, Chunk::Empty(meta.schema));
+    }
+    return true;
+  }
+
+  void AccumulateInput(size_t index, Chunk chunk) {
+    if (!loaded_[index].has_value()) {
+      loaded_[index] = std::move(chunk);
+      return;
+    }
+    loaded_[index]->Append(chunk);
+  }
+
+  // --- Barrier, compute, output. ---
+
+  void MaybeBarrier() {
+    bool has_barrier = false;
+    for (const auto& op : pipeline_.ops) {
+      if (op.op == "barrier") has_barrier = true;
+    }
+    if (!has_barrier || ec_->queue == nullptr || barrier_participants_ <= 0) {
+      Compute();
+      return;
+    }
+    const std::string name =
+        StrFormat("%s/p%d/barrier", query_id_.c_str(), pipeline_.id);
+    auto self = shared_from_this();
+    ec_->queue->Arrive(name, barrier_participants_,
+                       [self] { self->Compute(); });
+  }
+
+  void Compute() {
+    // Missing inputs (e.g., fully pruned scans) become empty chunks; their
+    // schema is not known here, so use an empty schema — operators tolerate
+    // it only when no rows flow, which is exactly this case.
+    Chunk stream = loaded_[0].has_value() ? std::move(*loaded_[0])
+                                          : Chunk::Empty(data::Schema());
+    std::vector<Chunk> builds;
+    for (size_t i = 1; i < loaded_.size(); ++i) {
+      builds.push_back(loaded_[i].has_value() ? std::move(*loaded_[i])
+                                              : Chunk::Empty(data::Schema()));
+    }
+    auto outputs = ExecuteFragment(pipeline_, std::move(stream),
+                                   std::move(builds), &cost_);
+    if (!outputs.ok()) {
+      Fail(outputs.status());
+      return;
+    }
+    const SimDuration cpu = cost_.Duration(fctx_->config().vcpus());
+    auto self = shared_from_this();
+    auto outs = std::make_shared<std::vector<FragmentOutput>>(
+        std::move(*outputs));
+    fctx_->Compute(cpu, [self, outs] {
+      self->compute_done_ = self->Now();
+      self->WriteOutputs(outs);
+    });
+  }
+
+  void WriteOutputs(std::shared_ptr<std::vector<FragmentOutput>> outputs) {
+    if (outputs->empty()) {
+      Respond();
+      return;
+    }
+    // Encode all outputs (CPU already accounted), then write them with
+    // bounded concurrency — an unbounded PUT volley against a cold bucket
+    // would immediately exceed the write-IOPS envelope for every worker.
+    struct PendingWrite {
+      std::string key;
+      Blob blob;
+    };
+    auto writes = std::make_shared<std::vector<PendingWrite>>();
+    for (auto& output : *outputs) {
+      std::string key;
+      if (output.partition < 0) {
+        key = ResultKey(query_id_);
+      } else {
+        key = ShuffleKey(query_id_, pipeline_.id, fragment_,
+                         output.partition);
+      }
+      Blob blob;
+      if (output.chunk.is_synthetic()) {
+        const int64_t encoded =
+            std::max<int64_t>(static_cast<int64_t>(
+                                  static_cast<double>(output.chunk.ByteSize()) *
+                                  0.55),
+                              64) +
+            format::kCofTrailerSize;
+        format::FileMeta meta = format::BuildSyntheticFileMeta(
+            output.chunk.schema(), output.chunk.rows(), encoded, 1 << 20, {});
+        ec_->catalog->Register(key, std::move(meta));
+        blob = Blob::Synthetic(encoded);
+      } else {
+        std::string bytes =
+            format::WriteCofFile(output.chunk.schema(), {output.chunk});
+        cost_.AddNs(static_cast<double>(bytes.size()) *
+                    cost_.model().encode_ns_per_byte);
+        blob = Blob::FromString(std::move(bytes));
+      }
+      bytes_written_ += blob.size();
+      rows_out_ += output.chunk.rows();
+      writes->push_back(PendingWrite{std::move(key), std::move(blob)});
+    }
+
+    auto self = shared_from_this();
+    auto remaining = std::make_shared<int>(static_cast<int>(writes->size()));
+    auto next = std::make_shared<size_t>(0);
+    auto outstanding = std::make_shared<int>(0);
+    auto failed = std::make_shared<bool>(false);
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [self, writes, remaining, next, outstanding, failed, pump] {
+      while (*outstanding < self->ec_->max_concurrent_requests &&
+             *next < writes->size()) {
+        PendingWrite& w = (*writes)[(*next)++];
+        ++(*outstanding);
+        self->shuffle_client_->Put(
+            w.key, std::move(w.blob), self->storage_ctx_,
+            [self, remaining, outstanding, failed, pump](Status status) {
+              --(*outstanding);
+              if (*failed) return;
+              if (!status.ok()) {
+                *failed = true;
+                self->Fail(status);
+                return;
+              }
+              if (--(*remaining) == 0) {
+                self->Respond();
+                return;
+              }
+              (*pump)();
+            });
+      }
+    };
+    (*pump)();
+  }
+
+  void Respond() {
+    if (done_) return;
+    done_ = true;
+    Json response = Json::Object();
+    response["fragment"] = fragment_;
+    response["rows_out"] = rows_out_;
+    response["bytes_read"] = bytes_read_;
+    response["bytes_written"] = bytes_written_;
+    response["requests"] = table_client_->stats().attempts +
+                           shuffle_client_->stats().attempts;
+    response["cold_start"] = fctx_->cold_start();
+    response["input_ms"] = ToMillis(input_done_ - start_);
+    response["compute_ms"] = ToMillis(compute_done_ - input_done_);
+    response["output_ms"] = ToMillis(Now() - compute_done_);
+    response["duration_ms"] = ToMillis(Now() - start_);
+    fctx_->Finish(std::move(response));
+  }
+
+  EngineContext* ec_;
+  std::shared_ptr<faas::FunctionContext> fctx_;
+  CostAccumulator cost_;
+  std::unique_ptr<storage::RetryClient> table_client_;
+  std::unique_ptr<storage::RetryClient> shuffle_client_;
+  storage::ClientContext storage_ctx_;
+  PipelineSpec pipeline_;
+  std::string query_id_;
+  int fragment_ = 0;
+  int barrier_participants_ = 0;
+  std::vector<WorkerInputAssignment> assignments_;
+  std::vector<std::optional<Chunk>> loaded_;
+  SimTime start_ = 0;
+  SimTime input_done_ = 0;
+  SimTime compute_done_ = 0;
+  int64_t bytes_read_ = 0;
+  int64_t bytes_written_ = 0;
+  int64_t rows_out_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+faas::FunctionHandler MakeWorkerHandler(EngineContext* context) {
+  return [context](const std::shared_ptr<faas::FunctionContext>& fctx) {
+    auto task = std::make_shared<WorkerTask>(context, fctx);
+    task->Run();
+  };
+}
+
+Json WorkerPayload(const std::string& query_id, const PipelineSpec& pipeline,
+                   int fragment,
+                   const std::vector<WorkerInputAssignment>& inputs) {
+  Json payload = Json::Object();
+  payload["query_id"] = query_id;
+  payload["pipeline"] = pipeline.ToJson();
+  payload["fragment"] = fragment;
+  Json input_list = Json::Array();
+  for (const auto& input : inputs) {
+    Json in = Json::Object();
+    Json files = Json::Array();
+    for (const auto& f : input.files) {
+      Json file = Json::Object();
+      file["key"] = f.key;
+      file["size"] = f.size;
+      files.Append(std::move(file));
+    }
+    in["files"] = std::move(files);
+    in["upstream_fragments"] = input.upstream_fragments;
+    input_list.Append(std::move(in));
+  }
+  payload["inputs"] = std::move(input_list);
+  return payload;
+}
+
+}  // namespace skyrise::engine

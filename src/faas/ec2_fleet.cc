@@ -1,0 +1,91 @@
+#include "faas/ec2_fleet.h"
+
+namespace skyrise::faas {
+
+Ec2Fleet::Ec2Fleet(sim::SimEnvironment* env, net::FabricDriver* fabric,
+                   FunctionRegistry* registry, const Options& options)
+    : env_(env),
+      fabric_(fabric),
+      registry_(registry),
+      opt_(options),
+      rng_(env->ForkRng(options.rng_stream)) {
+  SKYRISE_CHECK(opt_.instance_count >= 1 && opt_.slots_per_instance >= 1);
+  auto nic_options = net::MakeEc2NicOptions(opt_.instance_type);
+  SKYRISE_CHECK_OK(nic_options.status());
+  for (int i = 0; i < opt_.instance_count; ++i) {
+    nics_.push_back(std::make_unique<net::Ec2Nic>(*nic_options));
+  }
+}
+
+void Ec2Fleet::Start(std::function<void()> on_ready) {
+  SKYRISE_CHECK(!running_);
+  const SimDuration boot =
+      opt_.pre_provisioned
+          ? 0
+          : static_cast<SimDuration>(
+                static_cast<double>(opt_.provision_time) *
+                rng_.Lognormal(0.0, 0.2));
+  env_->Schedule(boot, [this, on_ready = std::move(on_ready)] {
+    running_ = true;
+    started_at_ = env_->now();
+    free_slots_ = total_slots();
+    if (on_ready) on_ready();
+    MaybeDispatch();
+  });
+}
+
+void Ec2Fleet::Stop() {
+  if (!running_) return;
+  running_ = false;
+  meter_.RecordEc2Usage(opt_.instance_type,
+                        (env_->now() - started_at_) * opt_.instance_count,
+                        opt_.reserved_pricing);
+}
+
+void Ec2Fleet::Invoke(const std::string& function, Json payload,
+                      ResponseCallback callback) {
+  queue_.push_back(Pending{function, std::move(payload), std::move(callback)});
+  MaybeDispatch();
+}
+
+void Ec2Fleet::MaybeDispatch() {
+  while (running_ && free_slots_ > 0 && !queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    --free_slots_;
+    Dispatch(std::move(pending));
+  }
+}
+
+void Ec2Fleet::Dispatch(Pending pending) {
+  auto entry = registry_->Find(pending.function);
+  if (!entry.ok()) {
+    ++free_slots_;
+    pending.callback(entry.status());
+    return;
+  }
+  // Shim dispatch is local: sub-millisecond, no coldstart.
+  const int instance = next_slot_rr_++ % static_cast<int>(nics_.size());
+  env_->Schedule(Micros(300), [this, entry = std::move(entry).ValueUnsafe(),
+                               instance,
+                               pending = std::move(pending)]() mutable {
+    auto ctx = std::make_shared<FunctionContext>(
+        env_, nics_[static_cast<size_t>(instance)].get(), fabric_,
+        std::move(pending.payload), /*cold_start=*/false, entry.config);
+    auto callback =
+        std::make_shared<ResponseCallback>(std::move(pending.callback));
+    ctx->set_on_finish([this, callback](Json response) {
+      ++free_slots_;
+      MaybeDispatch();
+      (*callback)(std::move(response));
+    });
+    ctx->set_on_finish_error([this, callback](Status status) {
+      ++free_slots_;
+      MaybeDispatch();
+      (*callback)(std::move(status));
+    });
+    entry.handler(ctx);
+  });
+}
+
+}  // namespace skyrise::faas

@@ -1,0 +1,198 @@
+#include "faas/lambda_platform.h"
+
+#include <algorithm>
+
+namespace skyrise::faas {
+
+LambdaPlatform::Options::Options() {
+  frontend_latency = storage::LatencyProfile::FromMedianP95(3.0, 7.0);
+  warm_overhead = storage::LatencyProfile::FromMedianP95(6.0, 14.0);
+}
+
+LambdaPlatform::LambdaPlatform(sim::SimEnvironment* env,
+                               net::FabricDriver* fabric,
+                               FunctionRegistry* registry,
+                               const Options& options)
+    : env_(env),
+      fabric_(fabric),
+      registry_(registry),
+      opt_(options),
+      rng_(env->ForkRng(options.rng_stream)) {}
+
+int LambdaPlatform::WarmSandboxCount(const std::string& function) const {
+  auto it = warm_pool_.find(function);
+  return it == warm_pool_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int LambdaPlatform::CurrentScaleLimit() {
+  // Concurrency may jump to the burst limit instantly, then the platform
+  // scales tenant slots at `scale_rate_per_minute`. Regional contention slows
+  // the ramp.
+  int limit = opt_.burst_concurrency;
+  if (ramp_start_ >= 0) {
+    const double minutes = ToSeconds(env_->now() - ramp_start_) / 60.0;
+    limit += static_cast<int>(opt_.scale_rate_per_minute * minutes /
+                              opt_.region_contention);
+  }
+  return std::min(limit, opt_.account_concurrency);
+}
+
+void LambdaPlatform::Invoke(const std::string& function, Json payload,
+                            ResponseCallback callback) {
+  DoInvoke(function, std::move(payload), std::move(callback), 0);
+}
+
+void LambdaPlatform::InvokeAsync(const std::string& function, Json payload,
+                                 ResponseCallback callback) {
+  // Events are polled from queues by the polling service and invoked by
+  // proxy, adding latency to the invocation path.
+  DoInvoke(function, std::move(payload), std::move(callback),
+           opt_.async_poll_latency);
+}
+
+void LambdaPlatform::DoInvoke(const std::string& function, Json payload,
+                              ResponseCallback callback,
+                              SimDuration extra_latency) {
+  const SimDuration frontend =
+      storage::SampleLatency(opt_.frontend_latency, &rng_) + extra_latency;
+  env_->Schedule(frontend, [this, function, payload = std::move(payload),
+                            callback = std::move(callback)]() mutable {
+    ++stats_.invocations;
+    // Admission: account-level concurrent execution quota.
+    auto entry = registry_->Find(function);
+    if (!entry.ok()) {
+      ++stats_.errors;
+      callback(entry.status());
+      return;
+    }
+    if (active_ >= opt_.account_concurrency) {
+      ++stats_.throttles;
+      callback(Status::ResourceExhausted(
+          "429 TooManyRequestsException: account concurrency"));
+      return;
+    }
+    // Burst/ramp scaling: beyond the initial burst, capacity grows at a
+    // fixed rate per minute.
+    if (active_ >= opt_.burst_concurrency && ramp_start_ < 0) {
+      ramp_start_ = env_->now();
+    }
+    if (active_ >= CurrentScaleLimit()) {
+      ++stats_.throttles;
+      callback(Status::ResourceExhausted(
+          "429 TooManyRequestsException: scaling rate"));
+      return;
+    }
+    ++active_;
+
+    // Assignment: look for a warm sandbox.
+    auto& pool = warm_pool_[function];
+    if (!pool.empty()) {
+      std::shared_ptr<Sandbox> sandbox = std::move(pool.front());
+      pool.pop_front();
+      --warm_total_;
+      env_->Cancel(sandbox->reap_event);
+      ++stats_.warm_starts;
+      const SimDuration dispatch =
+          storage::SampleLatency(opt_.warm_overhead, &rng_);
+      env_->Schedule(dispatch, [this, entry = std::move(entry).ValueUnsafe(),
+                                sandbox = std::move(sandbox),
+                                payload = std::move(payload),
+                                callback = std::move(callback)]() mutable {
+        Execute(entry, std::move(sandbox), std::move(payload), /*cold=*/false,
+                std::move(callback));
+      });
+      return;
+    }
+
+    // Placement: create a new execution environment (coldstart).
+    ++stats_.cold_starts;
+    auto sandbox = std::make_shared<Sandbox>();
+    sandbox->nic = std::make_unique<net::LambdaNic>();
+    sandbox->id = next_sandbox_id_++;
+    const SimDuration cold = SampleColdstart(entry->config);
+    env_->Schedule(cold, [this, entry = std::move(entry).ValueUnsafe(),
+                          sandbox = std::move(sandbox),
+                          payload = std::move(payload),
+                          callback = std::move(callback)]() mutable {
+      Execute(entry, std::move(sandbox), std::move(payload), /*cold=*/true,
+              std::move(callback));
+    });
+  });
+}
+
+SimDuration LambdaPlatform::SampleColdstart(const FunctionConfig& config) {
+  double ms = ToMillis(opt_.coldstart_base) +
+              ToMillis(opt_.runtime_init) +
+              static_cast<double>(config.binary_size_bytes) /
+                  opt_.binary_init_rate * 1000.0;
+  ms *= rng_.Lognormal(0.0, opt_.coldstart_sigma) * opt_.region_contention;
+  if (rng_.Bernoulli(opt_.coldstart_straggler_probability)) {
+    ms += rng_.Pareto(opt_.coldstart_straggler_scale_ms,
+                      opt_.coldstart_straggler_alpha);
+  }
+  return Millis(ms);
+}
+
+void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
+                             std::shared_ptr<Sandbox> sandbox, Json payload,
+                             bool cold, ResponseCallback callback) {
+  auto ctx = std::make_shared<FunctionContext>(
+      env_, sandbox->nic.get(), fabric_, std::move(payload), cold,
+      entry.config);
+  const SimTime exec_start = env_->now();
+  const std::string function = entry.config.name;
+  // Shared cleanup used by both completion paths.
+  auto settle = [this, exec_start, function, sandbox,
+                 config = entry.config] {
+    const SimDuration duration = env_->now() - exec_start;
+    meter_.RecordLambdaInvocation(config.memory_gib(),
+                                  std::max<SimDuration>(duration, 1));
+    --active_;
+    sandbox->nic->NotifyIdle();
+    ReleaseSandbox(function, sandbox);
+  };
+  ctx->set_on_finish(
+      [settle, callback](Json response) mutable {
+        settle();
+        callback(std::move(response));
+      });
+  ctx->set_on_finish_error([this, settle, callback](Status status) mutable {
+    ++stats_.errors;
+    settle();
+    callback(std::move(status));
+  });
+  entry.handler(ctx);
+}
+
+void LambdaPlatform::ReleaseSandbox(const std::string& function,
+                                    std::shared_ptr<Sandbox> sandbox) {
+  const uint64_t id = sandbox->id;
+  const double lifetime_ms =
+      ToMillis(opt_.idle_lifetime_median) *
+      rng_.Lognormal(0.0, opt_.idle_lifetime_sigma);
+  sandbox->reap_event = env_->Schedule(Millis(lifetime_ms), [this, function,
+                                                             id] {
+    auto& pool = warm_pool_[function];
+    for (auto it = pool.begin(); it != pool.end(); ++it) {
+      if ((*it)->id == id) {
+        pool.erase(it);
+        --warm_total_;
+        ++stats_.reaped_sandboxes;
+        return;
+      }
+    }
+  });
+  warm_pool_[function].push_back(std::move(sandbox));
+  ++warm_total_;
+}
+
+void LambdaPlatform::Prewarm(const std::string& function, int count) {
+  for (int i = 0; i < count; ++i) {
+    auto sandbox = std::make_shared<Sandbox>();
+    sandbox->nic = std::make_unique<net::LambdaNic>();
+    sandbox->id = next_sandbox_id_++;
+    ReleaseSandbox(function, std::move(sandbox));
+  }
+}
+
+}  // namespace skyrise::faas

@@ -1,0 +1,168 @@
+#include "format/encoding.h"
+
+#include <cstring>
+#include <map>
+
+namespace skyrise::format {
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> GetVarint(const std::string& in, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(in[(*pos)++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return Status::IoError("truncated varint");
+}
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+ColumnEncoding EncodeColumn(const data::Column& column, std::string* out) {
+  using data::DataType;
+  switch (column.type()) {
+    case DataType::kDouble: {
+      out->push_back(static_cast<char>(ColumnEncoding::kDoubleRaw));
+      const auto& vals = column.doubles();
+      const size_t base = out->size();
+      out->resize(base + vals.size() * 8);
+      std::memcpy(out->data() + base, vals.data(), vals.size() * 8);
+      return ColumnEncoding::kDoubleRaw;
+    }
+    case DataType::kString: {
+      const auto& vals = column.strings();
+      // Count distinct values (bail out once clearly high-cardinality).
+      std::map<std::string, uint32_t> dict;
+      for (const auto& s : vals) {
+        dict.emplace(s, 0);
+        if (dict.size() > 255) break;
+      }
+      if (dict.size() <= 255 && !vals.empty()) {
+        out->push_back(static_cast<char>(ColumnEncoding::kStringDict));
+        uint32_t next = 0;
+        for (auto& [key, id] : dict) id = next++;
+        PutVarint(out, dict.size());
+        for (const auto& [key, id] : dict) {
+          PutVarint(out, key.size());
+          out->append(key);
+        }
+        for (const auto& s : vals) {
+          out->push_back(static_cast<char>(dict[s]));
+        }
+        return ColumnEncoding::kStringDict;
+      }
+      out->push_back(static_cast<char>(ColumnEncoding::kStringPlain));
+      for (const auto& s : vals) {
+        PutVarint(out, s.size());
+        out->append(s);
+      }
+      return ColumnEncoding::kStringPlain;
+    }
+    default: {  // kInt64 / kDate.
+      out->push_back(static_cast<char>(ColumnEncoding::kIntDelta));
+      int64_t prev = 0;
+      for (int64_t v : column.ints()) {
+        PutVarint(out, ZigzagEncode(v - prev));
+        prev = v;
+      }
+      return ColumnEncoding::kIntDelta;
+    }
+  }
+}
+
+Result<data::Column> DecodeColumn(const std::string& bytes,
+                                  data::DataType type, int64_t rows) {
+  using data::DataType;
+  if (bytes.empty()) return Status::IoError("empty column chunk");
+  const auto encoding = static_cast<ColumnEncoding>(bytes[0]);
+  size_t pos = 1;
+  data::Column column(type);
+  switch (encoding) {
+    case ColumnEncoding::kDoubleRaw: {
+      if (type != DataType::kDouble) {
+        return Status::IoError("encoding/type mismatch");
+      }
+      if (bytes.size() - pos < static_cast<size_t>(rows) * 8) {
+        return Status::IoError("truncated double chunk");
+      }
+      column.doubles().resize(static_cast<size_t>(rows));
+      std::memcpy(column.doubles().data(), bytes.data() + pos,
+                  static_cast<size_t>(rows) * 8);
+      return column;
+    }
+    case ColumnEncoding::kStringDict: {
+      if (type != DataType::kString) {
+        return Status::IoError("encoding/type mismatch");
+      }
+      uint64_t dict_size;
+      SKYRISE_ASSIGN_OR_RETURN(dict_size, GetVarint(bytes, &pos));
+      std::vector<std::string> dict;
+      dict.reserve(dict_size);
+      for (uint64_t i = 0; i < dict_size; ++i) {
+        uint64_t len;
+        SKYRISE_ASSIGN_OR_RETURN(len, GetVarint(bytes, &pos));
+        if (pos + len > bytes.size()) {
+          return Status::IoError("truncated dictionary");
+        }
+        dict.push_back(bytes.substr(pos, len));
+        pos += len;
+      }
+      if (pos + static_cast<size_t>(rows) > bytes.size()) {
+        return Status::IoError("truncated dict indices");
+      }
+      column.strings().reserve(static_cast<size_t>(rows));
+      for (int64_t i = 0; i < rows; ++i) {
+        const uint8_t id = static_cast<uint8_t>(bytes[pos + static_cast<size_t>(i)]);
+        if (id >= dict.size()) return Status::IoError("bad dict index");
+        column.strings().push_back(dict[id]);
+      }
+      return column;
+    }
+    case ColumnEncoding::kStringPlain: {
+      if (type != DataType::kString) {
+        return Status::IoError("encoding/type mismatch");
+      }
+      column.strings().reserve(static_cast<size_t>(rows));
+      for (int64_t i = 0; i < rows; ++i) {
+        uint64_t len;
+        SKYRISE_ASSIGN_OR_RETURN(len, GetVarint(bytes, &pos));
+        if (pos + len > bytes.size()) return Status::IoError("truncated string");
+        column.strings().push_back(bytes.substr(pos, len));
+        pos += len;
+      }
+      return column;
+    }
+    case ColumnEncoding::kIntDelta: {
+      if (type != DataType::kInt64 && type != DataType::kDate) {
+        return Status::IoError("encoding/type mismatch");
+      }
+      column.ints().reserve(static_cast<size_t>(rows));
+      int64_t prev = 0;
+      for (int64_t i = 0; i < rows; ++i) {
+        uint64_t raw;
+        SKYRISE_ASSIGN_OR_RETURN(raw, GetVarint(bytes, &pos));
+        prev += ZigzagDecode(raw);
+        column.ints().push_back(prev);
+      }
+      return column;
+    }
+  }
+  return Status::IoError("unknown encoding");
+}
+
+}  // namespace skyrise::format

@@ -1,0 +1,92 @@
+#include "platform/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace skyrise::platform {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string RenderAsciiSeries(const std::vector<double>& values, int height,
+                              int max_width) {
+  if (values.empty()) return "(empty series)\n";
+  // Downsample to the display width by averaging.
+  std::vector<double> cols;
+  const int width = std::min<int>(max_width, static_cast<int>(values.size()));
+  for (int c = 0; c < width; ++c) {
+    const size_t begin = values.size() * static_cast<size_t>(c) /
+                         static_cast<size_t>(width);
+    const size_t end = values.size() * static_cast<size_t>(c + 1) /
+                       static_cast<size_t>(width);
+    double sum = 0;
+    for (size_t i = begin; i < std::max(end, begin + 1); ++i) sum += values[i];
+    cols.push_back(sum / static_cast<double>(std::max<size_t>(1, end - begin)));
+  }
+  const double peak = *std::max_element(cols.begin(), cols.end());
+  std::string out;
+  for (int level = height; level >= 1; --level) {
+    const double threshold =
+        peak * (static_cast<double>(level) - 0.5) / static_cast<double>(height);
+    std::string line;
+    for (double v : cols) line += v >= threshold ? '#' : ' ';
+    out += StrFormat("%10.2f |", peak * level / height) + line + "\n";
+  }
+  out += std::string(11, ' ') + "+" + std::string(cols.size(), '-') + "\n";
+  return out;
+}
+
+Status WriteResultFile(const std::string& path, const Json& result) {
+  std::ofstream out(path);
+  if (!out.good()) return Status::IoError("cannot open " + path);
+  out << result.Dump(2) << "\n";
+  return Status::OK();
+}
+
+void PrintHeader(const std::string& experiment_id, const std::string& title) {
+  std::printf("\n=== %s — %s ===\n\n", experiment_id.c_str(), title.c_str());
+}
+
+void PrintComparison(const std::string& metric, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("  %-44s paper: %-14s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace skyrise::platform

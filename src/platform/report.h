@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+/// \file report.h
+/// Result presentation for experiment harnesses: aligned ASCII tables (the
+/// rows/series the paper's figures and tables report) and JSON result files
+/// (the driver's output format in Fig. 3).
+
+namespace skyrise::platform {
+
+/// Column-aligned text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with a header rule; every column padded to its widest cell.
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a numeric series as a fixed-height ASCII chart (the plotter stage
+/// of the framework), e.g. throughput over time.
+std::string RenderAsciiSeries(const std::vector<double>& values,
+                              int height = 8, int max_width = 100);
+
+/// Writes an experiment result document to `path` (pretty JSON).
+Status WriteResultFile(const std::string& path, const Json& result);
+
+/// Prints a experiment banner.
+void PrintHeader(const std::string& experiment_id, const std::string& title);
+
+/// Prints a short paper-vs-measured comparison line.
+void PrintComparison(const std::string& metric, const std::string& paper,
+                     const std::string& measured);
+
+}  // namespace skyrise::platform

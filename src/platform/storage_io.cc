@@ -1,0 +1,173 @@
+#include "platform/storage_io.h"
+
+#include "common/string_util.h"
+
+namespace skyrise::platform {
+
+namespace {
+
+struct BenchState {
+  sim::SimEnvironment* env = nullptr;
+  storage::StorageService* service = nullptr;
+  std::unique_ptr<storage::RetryClient> retry_client;
+  StorageIoConfig config;
+  SimTime start = 0;
+  SimTime deadline = 0;
+  StorageIoResult result;
+  std::vector<std::unique_ptr<net::Nic>> nics;
+  std::vector<storage::ClientContext> contexts;  ///< Per client.
+  Rng rng{0};
+  int64_t next_write_key = 0;
+  int64_t next_read_key = 0;
+  int active_threads = 0;
+  std::function<void()> on_done;
+
+  void RecordSample(SimTime issued, bool ok, int64_t bytes) {
+    ++result.requests;
+    const size_t bucket = static_cast<size_t>(
+        (issued - start) / config.sample_interval);
+    if (result.success_iops_series.size() <= bucket) {
+      result.success_iops_series.resize(bucket + 1, 0);
+      result.failure_iops_series.resize(bucket + 1, 0);
+    }
+    const double per_interval = 1.0 / ToSeconds(config.sample_interval);
+    if (ok) {
+      ++result.successes;
+      result.bytes_moved += bytes;
+      result.latency_ms.Record(ToMillis(env->now() - issued));
+      result.success_iops_series[bucket] += per_interval;
+    } else {
+      ++result.failures;
+      result.failure_iops_series[bucket] += per_interval;
+    }
+  }
+};
+
+void IssueNext(std::shared_ptr<BenchState> state, int client);
+
+void OnComplete(std::shared_ptr<BenchState> state, int client, SimTime issued,
+                bool ok, int64_t bytes) {
+  state->RecordSample(issued, ok, bytes);
+  IssueNext(std::move(state), client);
+}
+
+void IssueNext(std::shared_ptr<BenchState> state, int client) {
+  sim::SimEnvironment* env = state->env;
+  if (env->now() >= state->deadline) {
+    if (--state->active_threads == 0 && state->on_done) state->on_done();
+    return;
+  }
+  // Optional issue pacing (open-ish loop for rate-controlled experiments).
+  SimDuration pacing = 0;
+  if (state->config.max_rps_per_client > 0) {
+    const double mean_gap_s = state->config.threads_per_client /
+                              state->config.max_rps_per_client;
+    pacing = static_cast<SimDuration>(state->rng.Exponential(mean_gap_s) *
+                                      kSecond);
+  }
+  env->Schedule(pacing, [state, client] {
+    sim::SimEnvironment* env = state->env;
+    if (env->now() >= state->deadline) {
+      if (--state->active_threads == 0 && state->on_done) state->on_done();
+      return;
+    }
+    const SimTime issued = env->now();
+    const auto& ctx = state->contexts[static_cast<size_t>(client)];
+    if (state->config.write) {
+      const std::string key =
+          state->config.key_prefix +
+          StrFormat("w-%08lld", static_cast<long long>(state->next_write_key++));
+      auto blob = storage::Blob::Synthetic(state->config.request_bytes);
+      auto cb = [state, client, issued](Status status) {
+        OnComplete(state, client, issued, status.ok(),
+                   state->config.request_bytes);
+      };
+      if (state->retry_client) {
+        state->retry_client->Put(key, std::move(blob), ctx, std::move(cb));
+      } else {
+        state->service->Put(key, std::move(blob), ctx, std::move(cb));
+      }
+    } else {
+      const std::string key =
+          state->config.key_prefix +
+          StrFormat("obj-%08lld",
+                    static_cast<long long>(state->next_read_key++ %
+                                           state->config.object_count));
+      auto cb = [state, client, issued](Result<storage::Blob> result) {
+        OnComplete(state, client, issued, result.ok(),
+                   result.ok() ? result->size() : 0);
+      };
+      if (state->retry_client) {
+        state->retry_client->Get(key, ctx, std::move(cb));
+      } else {
+        state->service->Get(key, ctx, std::move(cb));
+      }
+    }
+  });
+}
+
+}  // namespace
+
+StorageIoResult RunStorageIo(sim::SimEnvironment* env,
+                             net::FabricDriver* fabric,
+                             storage::StorageService* service,
+                             const StorageIoConfig& config) {
+  auto state = std::make_shared<BenchState>();
+  state->env = env;
+  state->service = service;
+  state->config = config;
+  state->rng = env->ForkRng(config.rng_stream);
+  if (config.use_retry_client) {
+    state->retry_client = std::make_unique<storage::RetryClient>(
+        env, service, config.retry, config.rng_stream + 1);
+  }
+
+  // Pre-create read objects (control plane).
+  if (!config.write) {
+    for (int i = 0; i < config.object_count; ++i) {
+      SKYRISE_CHECK_OK(service->Insert(
+          config.key_prefix + StrFormat("obj-%08d", i),
+          storage::Blob::Synthetic(config.request_bytes)));
+    }
+  }
+
+  // One NIC per client (EC2 instance type or Lambda function).
+  for (int c = 0; c < config.clients; ++c) {
+    std::unique_ptr<net::Nic> nic;
+    if (config.client_instance_type == "lambda") {
+      nic = std::make_unique<net::LambdaNic>();
+    } else {
+      auto options = net::MakeEc2NicOptions(config.client_instance_type);
+      SKYRISE_CHECK_OK(options.status());
+      nic = std::make_unique<net::Ec2Nic>(*options);
+    }
+    storage::ClientContext ctx;
+    if (config.use_fabric) {
+      ctx.nic = nic.get();
+      ctx.fabric = fabric;
+    }
+    state->contexts.push_back(ctx);
+    state->nics.push_back(std::move(nic));
+  }
+
+  state->start = env->now();
+  state->deadline = env->now() + config.duration;
+  state->active_threads = config.clients * config.threads_per_client;
+  bool finished = false;
+  state->on_done = [&finished] { finished = true; };
+
+  for (int c = 0; c < config.clients; ++c) {
+    for (int t = 0; t < config.threads_per_client; ++t) {
+      IssueNext(state, c);
+    }
+  }
+  // Drive the simulation until all threads observed the deadline; bound the
+  // tail (stragglers deep in backoff) to 10 minutes past the deadline.
+  while (!finished && env->now() < state->deadline + Minutes(10)) {
+    if (!env->Step()) break;
+  }
+  state->result.elapsed = config.duration;
+  return std::move(state->result);
+}
+
+}  // namespace skyrise::platform

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/units.h"
+
+/// \file environment.h
+/// Discrete-event simulation kernel. All serverless services (network, FaaS
+/// platform, storage) schedule their state transitions on one shared
+/// `SimEnvironment`, which owns the virtual clock and the event queue.
+///
+/// Determinism: ties in event time are broken by insertion sequence number,
+/// and randomness comes from per-entity `Rng` streams forked off the
+/// environment seed, so a run is a pure function of (seed, configuration).
+
+namespace skyrise::sim {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class SimEnvironment {
+ public:
+  explicit SimEnvironment(uint64_t seed = 42);
+  SKYRISE_DISALLOW_COPY_AND_ASSIGN(SimEnvironment);
+
+  SimTime now() const { return now_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now. Returns an id that
+  /// can be passed to Cancel().
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules at an absolute virtual time (>= now).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void Cancel(EventId id);
+
+  /// Runs until the event queue drains. Returns the final virtual time.
+  SimTime Run();
+
+  /// Runs all events with time <= `until`, then sets now to `until`.
+  void RunUntil(SimTime until);
+
+  /// Executes the single next event. Returns false when the queue is empty.
+  bool Step();
+
+  bool empty() const { return pending_count_ == 0; }
+  int64_t events_processed() const { return events_processed_; }
+
+  /// Forks a deterministic RNG stream for an entity.
+  Rng ForkRng(uint64_t stream_id) const { return root_rng_.Fork(stream_id); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t sequence;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  uint64_t seed_;
+  Rng root_rng_;
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 1;
+  EventId next_id_ = 1;
+  int64_t events_processed_ = 0;
+  int64_t pending_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace skyrise::sim

@@ -1,0 +1,169 @@
+#include "storage/retry_client.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyrise::storage {
+
+namespace {
+
+/// Shared between an in-flight attempt and its timeout event: whichever
+/// fires first claims the attempt; the loser becomes a no-op.
+struct AttemptGate {
+  bool settled = false;
+  bool Claim() {
+    if (settled) return false;
+    settled = true;
+    return true;
+  }
+};
+
+}  // namespace
+
+RetryClient::RetryClient(sim::SimEnvironment* env, StorageService* service,
+                         const Options& options, uint64_t rng_stream)
+    : env_(env),
+      service_(service),
+      opt_(options),
+      rng_(env->ForkRng(rng_stream)) {}
+
+SimDuration RetryClient::TimeoutFor(int64_t expected_bytes) const {
+  SimDuration timeout = opt_.request_timeout;
+  if (opt_.timeout_per_mib > 0 && expected_bytes > 0) {
+    timeout += static_cast<SimDuration>(
+        opt_.timeout_per_mib * (static_cast<double>(expected_bytes) / kMiB));
+  }
+  return timeout;
+}
+
+SimDuration RetryClient::BackoffDelay(int attempt) {
+  const double factor = std::pow(2.0, attempt);
+  const SimDuration ceiling = std::min<SimDuration>(
+      opt_.backoff_cap,
+      static_cast<SimDuration>(opt_.backoff_base * factor));
+  if (!opt_.full_jitter) return ceiling;
+  return static_cast<SimDuration>(rng_.NextDouble() *
+                                  static_cast<double>(ceiling));
+}
+
+void RetryClient::Get(const std::string& key, const ClientContext& ctx,
+                      GetCallback callback) {
+  AttemptGet(key, 0, -1, ctx, 0, std::move(callback));
+}
+
+void RetryClient::GetRange(const std::string& key, int64_t offset,
+                           int64_t length, const ClientContext& ctx,
+                           GetCallback callback) {
+  AttemptGet(key, offset, length, ctx, 0, std::move(callback));
+}
+
+void RetryClient::AttemptGet(const std::string& key, int64_t offset,
+                             int64_t length, const ClientContext& ctx,
+                             int attempt, GetCallback callback) {
+  ++stats_.attempts;
+  auto gate = std::make_shared<AttemptGate>();
+  auto shared_cb = std::make_shared<GetCallback>(std::move(callback));
+
+  auto retry_or_fail = [this, key, offset, length, ctx, attempt,
+                        shared_cb](Status error) {
+    if (attempt + 1 >= opt_.max_attempts) {
+      ++stats_.permanent_failures;
+      (*shared_cb)(std::move(error));
+      return;
+    }
+    env_->Schedule(BackoffDelay(attempt),
+                   [this, key, offset, length, ctx, attempt, shared_cb] {
+                     AttemptGet(key, offset, length, ctx, attempt + 1,
+                                std::move(*shared_cb));
+                   });
+  };
+
+  const SimDuration timeout = static_cast<SimDuration>(
+      static_cast<double>(TimeoutFor(length >= 0 ? length : 0)) *
+      std::pow(opt_.timeout_growth, attempt));
+  const sim::EventId timeout_event = env_->Schedule(
+      timeout, [this, gate, retry_or_fail]() mutable {
+        if (!gate->Claim()) return;
+        ++stats_.timeouts;
+        retry_or_fail(Status::DeadlineExceeded("request timed out"));
+      });
+
+  service_->GetRange(
+      key, offset, length, ctx,
+      [this, gate, timeout_event, retry_or_fail,
+       shared_cb](Result<Blob> result) mutable {
+        if (!gate->Claim()) return;  // Timed out; stale response.
+        env_->Cancel(timeout_event);
+        if (result.ok()) {
+          ++stats_.successes;
+          (*shared_cb)(std::move(result));
+          return;
+        }
+        Status st = result.status();
+        if (st.IsResourceExhausted()) ++stats_.throttles;
+        if (st.IsRetriable()) {
+          retry_or_fail(std::move(st));
+        } else {
+          ++stats_.permanent_failures;
+          (*shared_cb)(std::move(st));
+        }
+      });
+}
+
+void RetryClient::Put(const std::string& key, Blob data,
+                      const ClientContext& ctx, PutCallback callback) {
+  AttemptPut(key, std::move(data), ctx, 0, std::move(callback));
+}
+
+void RetryClient::AttemptPut(const std::string& key, Blob data,
+                             const ClientContext& ctx, int attempt,
+                             PutCallback callback) {
+  ++stats_.attempts;
+  auto gate = std::make_shared<AttemptGate>();
+  auto shared_cb = std::make_shared<PutCallback>(std::move(callback));
+
+  auto retry_or_fail = [this, key, data, ctx, attempt,
+                        shared_cb](Status error) {
+    if (attempt + 1 >= opt_.max_attempts) {
+      ++stats_.permanent_failures;
+      (*shared_cb)(std::move(error));
+      return;
+    }
+    env_->Schedule(BackoffDelay(attempt),
+                   [this, key, data, ctx, attempt, shared_cb] {
+                     AttemptPut(key, data, ctx, attempt + 1,
+                                std::move(*shared_cb));
+                   });
+  };
+
+  const SimDuration timeout = static_cast<SimDuration>(
+      static_cast<double>(TimeoutFor(data.size())) *
+      std::pow(opt_.timeout_growth, attempt));
+  const sim::EventId timeout_event =
+      env_->Schedule(timeout, [this, gate, retry_or_fail]() mutable {
+        if (!gate->Claim()) return;
+        ++stats_.timeouts;
+        retry_or_fail(Status::DeadlineExceeded("request timed out"));
+      });
+
+  service_->Put(key, data, ctx,
+                [this, gate, timeout_event, retry_or_fail,
+                 shared_cb](Status status) mutable {
+                  if (!gate->Claim()) return;
+                  env_->Cancel(timeout_event);
+                  if (status.ok()) {
+                    ++stats_.successes;
+                    (*shared_cb)(std::move(status));
+                    return;
+                  }
+                  if (status.IsResourceExhausted()) ++stats_.throttles;
+                  if (status.IsRetriable()) {
+                    retry_or_fail(std::move(status));
+                  } else {
+                    ++stats_.permanent_failures;
+                    (*shared_cb)(std::move(status));
+                  }
+                });
+}
+
+}  // namespace skyrise::storage

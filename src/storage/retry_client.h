@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+
+#include "sim/environment.h"
+#include "storage/storage_service.h"
+
+/// \file retry_client.h
+/// SDK-style storage client with request timeouts and exponential backoff
+/// with full jitter (the Fig. 11 client configuration: "eager but not
+/// aggressive"). Requests that repeatedly fail back off exponentially — the
+/// mechanism behind the straggler-induced IOPS drops in Section 4.4.1.
+
+namespace skyrise::storage {
+
+class RetryClient {
+ public:
+  struct Options {
+    SimDuration request_timeout = Millis(200);
+    int max_attempts = 8;
+    SimDuration backoff_base = Millis(25);
+    SimDuration backoff_cap = Seconds(20);
+    bool full_jitter = true;
+    /// Timeout scaling for large payloads: extra allowance per MiB
+    /// transferred (the engine's size-based straggler timeout); 0 disables.
+    SimDuration timeout_per_mib = 0;
+    /// Timeout growth per retry attempt, so retries of genuinely slow (e.g.,
+    /// congestion-bound) transfers eventually succeed instead of looping.
+    double timeout_growth = 1.5;
+  };
+
+  struct Stats {
+    int64_t attempts = 0;
+    int64_t throttles = 0;
+    int64_t timeouts = 0;
+    int64_t successes = 0;
+    int64_t permanent_failures = 0;
+  };
+
+  RetryClient(sim::SimEnvironment* env, StorageService* service,
+              const Options& options, uint64_t rng_stream = 2001);
+
+  /// Retrying full-object read. The callback receives the final outcome
+  /// after all attempts.
+  void Get(const std::string& key, const ClientContext& ctx,
+           GetCallback callback);
+  void GetRange(const std::string& key, int64_t offset, int64_t length,
+                const ClientContext& ctx, GetCallback callback);
+  void Put(const std::string& key, Blob data, const ClientContext& ctx,
+           PutCallback callback);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+  StorageService* service() { return service_; }
+  const Options& options() const { return opt_; }
+
+ private:
+  SimDuration TimeoutFor(int64_t expected_bytes) const;
+  SimDuration BackoffDelay(int attempt);
+
+  void AttemptGet(const std::string& key, int64_t offset, int64_t length,
+                  const ClientContext& ctx, int attempt, GetCallback callback);
+  void AttemptPut(const std::string& key, Blob data, const ClientContext& ctx,
+                  int attempt, PutCallback callback);
+
+  sim::SimEnvironment* env_;
+  StorageService* service_;
+  Options opt_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace skyrise::storage

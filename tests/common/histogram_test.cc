@@ -1,0 +1,125 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace skyrise {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_NEAR(h.Percentile(50), 42.0, 42.0 * 0.05);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(HistogramTest, ExactMinMaxMeanTracked) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 10.0}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramTest, PercentilesWithinRelativeError) {
+  Histogram h(2);
+  for (int i = 1; i <= 10000; ++i) h.Record(static_cast<double>(i));
+  EXPECT_NEAR(h.Percentile(50), 5000, 5000 * 0.02);
+  EXPECT_NEAR(h.Percentile(95), 9500, 9500 * 0.02);
+  EXPECT_NEAR(h.Percentile(99), 9900, 9900 * 0.02);
+  EXPECT_NEAR(h.Percentile(100), 10000, 1e-9);  // Clamped to true max.
+}
+
+TEST(HistogramTest, SubUnitValues) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(0.001 * (i + 1));
+  EXPECT_NEAR(h.Percentile(50), 0.5, 0.5 * 0.05);
+}
+
+TEST(HistogramTest, HeavyTailPreserved) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.LognormalMedianSigma(27.0, 0.6));
+  }
+  // One extreme outlier, like the paper's 10s S3 tail request.
+  h.Record(10000.0);
+  EXPECT_NEAR(h.Percentile(50), 27.0, 27.0 * 0.08);
+  EXPECT_DOUBLE_EQ(h.max(), 10000.0);
+  EXPECT_GT(h.Percentile(99.999), 100.0);
+}
+
+TEST(HistogramTest, StdDevAndCoV) {
+  Histogram h;
+  for (double v : {10.0, 10.0, 10.0, 10.0}) h.Record(v);
+  EXPECT_NEAR(h.StdDev(), 0.0, 1e-9);
+  EXPECT_NEAR(h.CoV(), 0.0, 1e-9);
+  Histogram g;
+  g.Record(5.0);
+  g.Record(15.0);
+  EXPECT_NEAR(g.StdDev(), 5.0, 1e-9);
+  EXPECT_NEAR(g.CoV(), 50.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeCombinesDistributions) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(1.0);
+  for (int i = 0; i < 100; ++i) b.Record(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_NEAR(a.Percentile(25), 1.0, 0.05);
+  EXPECT_NEAR(a.Percentile(75), 100.0, 5.0);
+}
+
+TEST(HistogramTest, RecordNWeightsValues) {
+  Histogram h;
+  h.RecordN(5.0, 1000);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(HistogramTest, ResetClearsState) {
+  Histogram h;
+  h.Record(7.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, SummaryContainsCount) {
+  Histogram h;
+  h.Record(1.0);
+  const std::string s = h.Summary("ms");
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("ms"), std::string::npos);
+}
+
+TEST(HistogramTest, ZeroAndNegativeGoToFirstBucket) {
+  // The histogram targets non-negative metrics; non-positive values land in
+  // the first bucket and percentiles clamp to the observed range.
+  Histogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_GE(h.Percentile(50), -5.0);
+  EXPECT_LE(h.Percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace skyrise

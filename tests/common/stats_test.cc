@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace skyrise::stats {
+namespace {
+
+TEST(StatsTest, BasicMoments) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(StdDev(xs), 2.138, 0.001);  // Sample stddev.
+  EXPECT_NEAR(CoV(xs), 100.0 * 2.138 / 5.0, 0.05);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, MedianEvenOdd) {
+  EXPECT_DOUBLE_EQ(Median({1, 3, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 12.5), 15.0);
+}
+
+TEST(StatsTest, MinMax) {
+  std::vector<double> xs{3, -1, 7};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+}
+
+TEST(StatsTest, PolyFitRecoversLine) {
+  std::vector<double> xs{0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 + 2.0 * x);
+  auto c = PolyFit(xs, ys, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 3.0, 1e-9);
+  EXPECT_NEAR(c[1], 2.0, 1e-9);
+}
+
+TEST(StatsTest, PolyFitRecoversQuadratic) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i;
+    xs.push_back(x);
+    ys.push_back(1.0 - 0.5 * x + 0.25 * x * x);
+  }
+  auto c = PolyFit(xs, ys, 2);
+  EXPECT_NEAR(c[0], 1.0, 1e-6);
+  EXPECT_NEAR(c[1], -0.5, 1e-6);
+  EXPECT_NEAR(c[2], 0.25, 1e-6);
+}
+
+TEST(StatsTest, PolyEvalHorner) {
+  // 2 + 3x + x^2 at x=4 -> 2+12+16=30.
+  EXPECT_DOUBLE_EQ(PolyEval({2, 3, 1}, 4.0), 30.0);
+  EXPECT_DOUBLE_EQ(PolyEval({}, 4.0), 0.0);
+}
+
+TEST(StatsTest, PolyFitExtrapolationMonotone) {
+  // Fitting a growing cost curve and extrapolating beyond the data, as the
+  // Fig. 12 analysis does, must preserve growth.
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{1, 4.2, 8.8, 16.1, 24.9};
+  auto c = PolyFit(xs, ys, 2);
+  EXPECT_GT(PolyEval(c, 10.0), PolyEval(c, 5.0));
+  EXPECT_GT(PolyEval(c, 20.0), PolyEval(c, 10.0));
+}
+
+}  // namespace
+}  // namespace skyrise::stats

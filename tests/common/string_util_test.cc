@@ -1,0 +1,74 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace skyrise {
+namespace {
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d", 5), "x=5");
+  EXPECT_EQ(StrFormat("%.2f GiB", 1.5), "1.50 GiB");
+  EXPECT_EQ(StrFormat("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  const std::string long_arg(500, 'x');
+  const std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+}
+
+TEST(StringUtilTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("noseparator", ','),
+            (std::vector<std::string>{"noseparator"}));
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("s3://bucket", "s3://"));
+  EXPECT_FALSE(StartsWith("s3", "s3://"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(UnitsTest, ByteFormatting) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(300 * kMiB), "300.00 MiB");
+  EXPECT_EQ(FormatBytes(kGiB), "1.00 GiB");
+  EXPECT_EQ(FormatBytes(2 * kTiB), "2.00 TiB");
+}
+
+TEST(UnitsTest, DurationFormatting) {
+  EXPECT_EQ(FormatDuration(500), "500 us");
+  EXPECT_EQ(FormatDuration(Millis(20)), "20.00 ms");
+  EXPECT_EQ(FormatDuration(Seconds(5.2)), "5.20 s");
+  EXPECT_EQ(FormatDuration(Minutes(26)), "26.0 min");
+  EXPECT_EQ(FormatDuration(Hours(9)), "9.0 h");
+  EXPECT_EQ(FormatDuration(4 * kDay), "4.0 d");
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(Seconds(1.5), 1500000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+  EXPECT_EQ(MiB(1.5), 1572864);
+  EXPECT_DOUBLE_EQ(ToGiB(GiB(3)), 3.0);
+  // 5 Gbps = 625 MB/s.
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSecond(5.0), 625e6);
+  EXPECT_NEAR(BytesPerSecondToGbps(625e6), 5.0, 1e-12);
+  // Rate helpers.
+  EXPECT_DOUBLE_EQ(GiBPerSecond(2 * kGiB, Seconds(2)), 1.0);
+  EXPECT_DOUBLE_EQ(GiBPerSecond(kGiB, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace skyrise

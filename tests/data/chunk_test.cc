@@ -1,0 +1,96 @@
+#include "data/chunk.h"
+
+#include <gtest/gtest.h>
+
+#include "data/types.h"
+
+namespace skyrise::data {
+namespace {
+
+TEST(TypesTest, DateConversions) {
+  EXPECT_EQ(DaysSinceEpoch(1992, 1, 1), 0);
+  EXPECT_EQ(DaysSinceEpoch(1992, 1, 2), 1);
+  EXPECT_EQ(DaysSinceEpoch(1993, 1, 1), 366);  // 1992 is a leap year.
+  EXPECT_EQ(FormatDate(0), "1992-01-01");
+  EXPECT_EQ(FormatDate(DaysSinceEpoch(1998, 9, 2)), "1998-09-02");
+  EXPECT_EQ(FormatDate(DaysSinceEpoch(1994, 12, 31)), "1994-12-31");
+}
+
+TEST(TypesTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kDate), "date");
+}
+
+TEST(SchemaTest, FieldLookupAndSelect) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(schema.FieldIndex("b"), 1);
+  EXPECT_EQ(schema.FieldIndex("z"), -1);
+  auto selected = schema.Select({"b"});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 1u);
+  EXPECT_EQ(selected->field(0).name, "b");
+  EXPECT_FALSE(schema.Select({"z"}).ok());
+}
+
+TEST(ColumnTest, FilterGathersSelection) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 10; ++i) col.AppendInt(i * 10);
+  Column filtered = col.Filter({1, 3, 7});
+  EXPECT_EQ(filtered.ints(), (std::vector<int64_t>{10, 30, 70}));
+  Column strings(DataType::kString);
+  strings.AppendString("a");
+  strings.AppendString("b");
+  EXPECT_EQ(strings.Filter({1}).strings(), (std::vector<std::string>{"b"}));
+}
+
+TEST(ChunkTest, AppendConcatenatesRows) {
+  Schema schema({{"x", DataType::kInt64}});
+  Chunk a = Chunk::Empty(schema);
+  a.column(0).AppendInt(1);
+  Chunk b = Chunk::Empty(schema);
+  b.column(0).AppendInt(2);
+  b.column(0).AppendInt(3);
+  a.Append(b);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.column(0).ints(), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(ChunkTest, SyntheticCarriesRowCount) {
+  Schema schema({{"x", DataType::kInt64}, {"s", DataType::kString}});
+  Chunk c = Chunk::Synthetic(schema, 1000000);
+  EXPECT_TRUE(c.is_synthetic());
+  EXPECT_EQ(c.rows(), 1000000);
+  EXPECT_EQ(c.num_columns(), 0u);
+  // Byte size estimate: 8 + 12 bytes per row.
+  EXPECT_EQ(c.ByteSize(), 20000000);
+}
+
+TEST(ChunkTest, AppendSyntheticContaminates) {
+  Schema schema({{"x", DataType::kInt64}});
+  Chunk real = Chunk::Empty(schema);
+  real.column(0).AppendInt(5);
+  Chunk synthetic = Chunk::Synthetic(schema, 10);
+  real.Append(synthetic);
+  EXPECT_TRUE(real.is_synthetic());
+  EXPECT_EQ(real.rows(), 11);
+}
+
+TEST(ChunkTest, ByteSizeMaterialized) {
+  Schema schema({{"x", DataType::kInt64}, {"s", DataType::kString}});
+  Chunk c = Chunk::Empty(schema);
+  c.column(0).AppendInt(1);
+  c.column(1).AppendString("abcd");
+  EXPECT_EQ(c.ByteSize(), 8 + 4 + 4);
+}
+
+TEST(ChunkTest, ColumnByName) {
+  Schema schema({{"x", DataType::kInt64}, {"y", DataType::kDouble}});
+  Chunk c = Chunk::Empty(schema);
+  c.column(0).AppendInt(7);
+  c.column(1).AppendDouble(2.5);
+  EXPECT_EQ(c.column("x").ints()[0], 7);
+  EXPECT_DOUBLE_EQ(c.column("y").doubles()[0], 2.5);
+}
+
+}  // namespace
+}  // namespace skyrise::data

@@ -1,0 +1,311 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+namespace skyrise::engine {
+namespace {
+
+using data::Chunk;
+using data::DataType;
+using data::Schema;
+
+Chunk SalesChunk() {
+  Schema schema({{"key", DataType::kInt64},
+                 {"amount", DataType::kDouble},
+                 {"region", DataType::kString}});
+  Chunk chunk = Chunk::Empty(schema);
+  const int64_t keys[] = {1, 2, 1, 3, 2, 1};
+  const double amounts[] = {10, 20, 30, 40, 50, 60};
+  const char* regions[] = {"eu", "us", "eu", "ap", "us", "eu"};
+  for (int i = 0; i < 6; ++i) {
+    chunk.column(0).AppendInt(keys[i]);
+    chunk.column(1).AppendDouble(amounts[i]);
+    chunk.column(2).AppendString(regions[i]);
+  }
+  return chunk;
+}
+
+PipelineSpec PipelineWith(std::vector<OperatorSpec> ops) {
+  PipelineSpec p;
+  p.id = 1;
+  p.ops = std::move(ops);
+  return p;
+}
+
+TEST(ExecutorTest, FilterMaterialized) {
+  OperatorSpec filter;
+  filter.op = "filter";
+  filter.predicate = Cmp(">", Col("amount"), Num(25));
+  CostAccumulator cost;
+  auto out = ExecuteFragment(PipelineWith({filter}), SalesChunk(), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].partition, -1);
+  EXPECT_EQ((*out)[0].chunk.rows(), 4);
+  EXPECT_GT(cost.ns(), 0);
+}
+
+TEST(ExecutorTest, FilterSyntheticUsesSelectivity) {
+  OperatorSpec filter;
+  filter.op = "filter";
+  filter.selectivity = 0.25;
+  CostAccumulator cost;
+  Chunk synthetic = Chunk::Synthetic(SalesChunk().schema(), 100000);
+  auto out =
+      ExecuteFragment(PipelineWith({filter}), std::move(synthetic), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0].chunk.rows(), 25000);
+  EXPECT_TRUE((*out)[0].chunk.is_synthetic());
+}
+
+TEST(ExecutorTest, ProjectComputesAndPassesThrough) {
+  OperatorSpec project;
+  project.op = "project";
+  project.projections.emplace_back("region", Col("region"));
+  project.projections.emplace_back("double_amount",
+                                   Arith("*", Col("amount"), Num(2)));
+  CostAccumulator cost;
+  auto out = ExecuteFragment(PipelineWith({project}), SalesChunk(), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  const Chunk& chunk = (*out)[0].chunk;
+  EXPECT_EQ(chunk.schema().field(0).type, DataType::kString);
+  EXPECT_EQ(chunk.schema().field(1).type, DataType::kDouble);
+  EXPECT_DOUBLE_EQ(chunk.column(1).doubles()[0], 20);
+}
+
+TEST(ExecutorTest, HashAggregateGrouped) {
+  OperatorSpec agg;
+  agg.op = "hash_agg";
+  agg.group_by = {"key"};
+  agg.aggregates.push_back({"sum", Col("amount"), "total"});
+  agg.aggregates.push_back({"count", nullptr, "n"});
+  agg.aggregates.push_back({"min", Col("amount"), "lo"});
+  agg.aggregates.push_back({"max", Col("amount"), "hi"});
+  CostAccumulator cost;
+  auto out = ExecuteFragment(PipelineWith({agg}), SalesChunk(), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  const Chunk& chunk = (*out)[0].chunk;
+  ASSERT_EQ(chunk.rows(), 3);
+  // Groups sorted by key string: "1","2","3".
+  EXPECT_EQ(chunk.column(0).ints(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(chunk.column(1).doubles(), (std::vector<double>{100, 70, 40}));
+  EXPECT_EQ(chunk.column(2).ints(), (std::vector<int64_t>{3, 2, 1}));
+  EXPECT_EQ(chunk.column(3).doubles(), (std::vector<double>{10, 20, 40}));
+  EXPECT_EQ(chunk.column(4).doubles(), (std::vector<double>{60, 50, 40}));
+}
+
+TEST(ExecutorTest, HashAggregateScalar) {
+  OperatorSpec agg;
+  agg.op = "hash_agg";
+  agg.aggregates.push_back({"sum", Col("amount"), "total"});
+  CostAccumulator cost;
+  auto out = ExecuteFragment(PipelineWith({agg}), SalesChunk(), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ((*out)[0].chunk.rows(), 1);
+  EXPECT_DOUBLE_EQ((*out)[0].chunk.column(0).doubles()[0], 210);
+}
+
+TEST(ExecutorTest, HashAggregateSyntheticGroupsHint) {
+  OperatorSpec agg;
+  agg.op = "hash_agg";
+  agg.group_by = {"region"};
+  agg.aggregates.push_back({"sum", Col("amount"), "total"});
+  agg.groups_hint = 3;
+  CostAccumulator cost;
+  Chunk synthetic = Chunk::Synthetic(SalesChunk().schema(), 1000000);
+  auto out = ExecuteFragment(PipelineWith({agg}), std::move(synthetic), {},
+                             &cost);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0].chunk.rows(), 3);
+}
+
+TEST(ExecutorTest, HashJoinInner) {
+  Schema dim_schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  Chunk dim = Chunk::Empty(dim_schema);
+  dim.column(0).AppendInt(1);
+  dim.column(1).AppendString("one");
+  dim.column(0).AppendInt(2);
+  dim.column(1).AppendString("two");
+
+  OperatorSpec join;
+  join.op = "hash_join";
+  join.probe_keys = {"key"};
+  join.build_keys = {"id"};
+  join.build_columns = {"name"};
+  CostAccumulator cost;
+  auto out =
+      ExecuteFragment(PipelineWith({join}), SalesChunk(), {dim}, &cost);
+  ASSERT_TRUE(out.ok());
+  const Chunk& chunk = (*out)[0].chunk;
+  // key=3 has no match: 5 of 6 rows survive.
+  EXPECT_EQ(chunk.rows(), 5);
+  EXPECT_EQ(chunk.schema().FieldIndex("name"), 3);
+  // Row 0: key 1 -> "one".
+  EXPECT_EQ(chunk.column(3).strings()[0], "one");
+}
+
+TEST(ExecutorTest, HashJoinMissingBuildInputFails) {
+  OperatorSpec join;
+  join.op = "hash_join";
+  join.probe_keys = {"key"};
+  join.build_keys = {"id"};
+  CostAccumulator cost;
+  auto out = ExecuteFragment(PipelineWith({join}), SalesChunk(), {}, &cost);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(ExecutorTest, SortAndLimit) {
+  OperatorSpec sort;
+  sort.op = "sort";
+  sort.sort_keys = {"amount"};
+  sort.sort_ascending = {false};
+  OperatorSpec limit;
+  limit.op = "limit";
+  limit.limit = 2;
+  CostAccumulator cost;
+  auto out =
+      ExecuteFragment(PipelineWith({sort, limit}), SalesChunk(), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  const Chunk& chunk = (*out)[0].chunk;
+  ASSERT_EQ(chunk.rows(), 2);
+  EXPECT_DOUBLE_EQ(chunk.column(1).doubles()[0], 60);
+  EXPECT_DOUBLE_EQ(chunk.column(1).doubles()[1], 50);
+}
+
+TEST(ExecutorTest, SortMultiKeyWithStrings) {
+  OperatorSpec sort;
+  sort.op = "sort";
+  sort.sort_keys = {"region", "amount"};
+  sort.sort_ascending = {true, true};
+  CostAccumulator cost;
+  auto out = ExecuteFragment(PipelineWith({sort}), SalesChunk(), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  const Chunk& chunk = (*out)[0].chunk;
+  EXPECT_EQ(chunk.column(2).strings()[0], "ap");
+  EXPECT_EQ(chunk.column(2).strings()[1], "eu");
+  EXPECT_DOUBLE_EQ(chunk.column(1).doubles()[1], 10);
+}
+
+TEST(ExecutorTest, PartitionWriteSplitsByHash) {
+  OperatorSpec write;
+  write.op = "partition_write";
+  write.partition_keys = {"key"};
+  write.partition_count = 4;
+  CostAccumulator cost;
+  auto out = ExecuteFragment(PipelineWith({write}), SalesChunk(), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  int64_t total = 0;
+  for (const auto& output : *out) total += output.chunk.rows();
+  EXPECT_EQ(total, 6);
+  // Same key always lands in the same partition.
+  for (const auto& output : *out) {
+    const auto& keys = output.chunk.column(0).ints();
+    for (int64_t k : keys) {
+      for (const auto& other : *out) {
+        if (&other == &output) continue;
+        for (int64_t ok : other.chunk.column(0).ints()) {
+          EXPECT_NE(k, ok);
+        }
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, PartitionWriteSyntheticEvenSplit) {
+  OperatorSpec write;
+  write.op = "partition_write";
+  write.partition_keys = {"key"};
+  write.partition_count = 3;
+  CostAccumulator cost;
+  Chunk synthetic = Chunk::Synthetic(SalesChunk().schema(), 100);
+  auto out = ExecuteFragment(PipelineWith({write}), std::move(synthetic), {},
+                             &cost);
+  ASSERT_TRUE(out.ok());
+  int64_t total = 0;
+  for (const auto& output : *out) {
+    EXPECT_NEAR(output.chunk.rows(), 33, 1);
+    total += output.chunk.rows();
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ExecutorTest, SessionizeCountsWindowViews) {
+  Schema schema({{"wcs_click_date", DataType::kDate},
+                 {"wcs_user_sk", DataType::kInt64},
+                 {"wcs_item_sk", DataType::kInt64},
+                 {"wcs_sales_sk", DataType::kInt64},
+                 {"i_category_id", DataType::kInt64}});
+  Chunk chunk = Chunk::Empty(schema);
+  // User 1: views item 5 on days 1 and 3 (category 1), views item 9 on day 4
+  // (category 2), purchases item 7 (category 1) on day 8.
+  // User 2: view on day 1, purchase 20 days later (outside window).
+  struct Row {
+    int64_t d, u, i, s, c;
+  };
+  const Row rows[] = {
+      {1, 1, 5, 0, 1}, {3, 1, 5, 0, 1}, {4, 1, 9, 0, 2}, {8, 1, 7, 99, 1},
+      {1, 2, 5, 0, 1}, {21, 2, 7, 77, 1},
+  };
+  for (const auto& r : rows) {
+    chunk.column(0).AppendInt(r.d);
+    chunk.column(1).AppendInt(r.u);
+    chunk.column(2).AppendInt(r.i);
+    chunk.column(3).AppendInt(r.s);
+    chunk.column(4).AppendInt(r.c);
+  }
+  OperatorSpec udf;
+  udf.op = "bb_sessionize";
+  udf.session_window_days = 10;
+  udf.target_category = 1;
+  CostAccumulator cost;
+  auto out = ExecuteFragment(PipelineWith({udf}), std::move(chunk), {}, &cost);
+  ASSERT_TRUE(out.ok());
+  // Both day-1 and day-3 views of item 5 are in user 1's window; the
+  // category-2 view and user 2's stale view are not.
+  EXPECT_EQ((*out)[0].chunk.rows(), 2);
+  EXPECT_EQ((*out)[0].chunk.column(0).ints(),
+            (std::vector<int64_t>{5, 5}));
+}
+
+TEST(ExecutorTest, UnknownOperatorRejected) {
+  OperatorSpec bogus;
+  bogus.op = "nonsense";
+  CostAccumulator cost;
+  EXPECT_FALSE(
+      ExecuteFragment(PipelineWith({bogus}), SalesChunk(), {}, &cost).ok());
+}
+
+TEST(ExecutorTest, CostScalesWithVcpus) {
+  CostAccumulator cost;
+  cost.AddNs(4000.0);
+  EXPECT_EQ(cost.Duration(1), 4);
+  EXPECT_EQ(cost.Duration(4), 1);
+}
+
+TEST(ExecutorTest, SyntheticAndRealSchemasAgree) {
+  // Property: the synthetic path must produce the same output schema as the
+  // real path for the same pipeline.
+  OperatorSpec project;
+  project.op = "project";
+  project.projections.emplace_back("region", Col("region"));
+  project.projections.emplace_back("x", Arith("+", Col("amount"), Num(1)));
+  OperatorSpec agg;
+  agg.op = "hash_agg";
+  agg.group_by = {"region"};
+  agg.aggregates.push_back({"sum", Col("x"), "sx"});
+  agg.groups_hint = 3;
+  PipelineSpec pipeline = PipelineWith({project, agg});
+  CostAccumulator c1, c2;
+  auto real = ExecuteFragment(pipeline, SalesChunk(), {}, &c1);
+  auto synthetic = ExecuteFragment(
+      pipeline, Chunk::Synthetic(SalesChunk().schema(), 6), {}, &c2);
+  ASSERT_TRUE(real.ok());
+  ASSERT_TRUE(synthetic.ok());
+  EXPECT_TRUE((*real)[0].chunk.schema() == (*synthetic)[0].chunk.schema());
+  // Identical row counts charge identical CPU cost.
+  EXPECT_DOUBLE_EQ(c1.ns(), c2.ns());
+}
+
+}  // namespace
+}  // namespace skyrise::engine

@@ -1,0 +1,143 @@
+#include "engine/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace skyrise::engine {
+namespace {
+
+data::Chunk TestChunk() {
+  using data::DataType;
+  data::Schema schema({{"a", DataType::kInt64},
+                       {"b", DataType::kDouble},
+                       {"s", DataType::kString},
+                       {"d", DataType::kDate}});
+  data::Chunk chunk = data::Chunk::Empty(schema);
+  // Rows: (1, 0.5, "x", 10), (2, 1.5, "y", 20), (3, 2.5, "x", 30).
+  for (int i = 0; i < 3; ++i) {
+    chunk.column(0).AppendInt(i + 1);
+    chunk.column(1).AppendDouble(0.5 + i);
+    chunk.column(2).AppendString(i == 1 ? "y" : "x");
+    chunk.column(3).AppendInt((i + 1) * 10);
+  }
+  return chunk;
+}
+
+TEST(ExpressionTest, NumericComparison) {
+  auto chunk = TestChunk();
+  auto sel = EvalPredicate(*Cmp(">", Col("a"), Num(1)), chunk);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{1, 2}));
+  sel = EvalPredicate(*Cmp("==", Col("a"), Num(2)), chunk);
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{1}));
+  sel = EvalPredicate(*Cmp("<=", Col("b"), Num(1.5)), chunk);
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(ExpressionTest, ColumnColumnComparison) {
+  auto chunk = TestChunk();
+  // a < b: 1<0.5 F, 2<1.5 F, 3<2.5 F.
+  auto sel = EvalPredicate(*Cmp("<", Col("a"), Col("b")), chunk);
+  EXPECT_TRUE(sel->empty());
+  sel = EvalPredicate(*Cmp(">", Col("a"), Col("b")), chunk);
+  EXPECT_EQ(sel->size(), 3u);
+}
+
+TEST(ExpressionTest, StringEquality) {
+  auto chunk = TestChunk();
+  auto sel = EvalPredicate(*Cmp("==", Col("s"), Str("x")), chunk);
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{0, 2}));
+  sel = EvalPredicate(*Cmp("!=", Col("s"), Str("x")), chunk);
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{1}));
+}
+
+TEST(ExpressionTest, InList) {
+  auto chunk = TestChunk();
+  auto sel = EvalPredicate(*InList(Col("s"), {"y", "z"}), chunk);
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{1}));
+}
+
+TEST(ExpressionTest, BetweenAndBoolOps) {
+  auto chunk = TestChunk();
+  auto sel = EvalPredicate(*Between(Col("d"), Num(15), Num(30)), chunk);
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{1, 2}));
+  sel = EvalPredicate(
+      *And(Cmp(">", Col("a"), Num(1)), Cmp("==", Col("s"), Str("x"))), chunk);
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{2}));
+  sel = EvalPredicate(
+      *Or(Cmp("==", Col("a"), Num(1)), Cmp("==", Col("a"), Num(3))), chunk);
+  EXPECT_EQ(*sel, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(ExpressionTest, NumericEvaluation) {
+  auto chunk = TestChunk();
+  auto vals = EvalNumeric(*Arith("*", Col("a"), Col("b")), chunk);
+  ASSERT_TRUE(vals.ok());
+  EXPECT_DOUBLE_EQ((*vals)[0], 0.5);
+  EXPECT_DOUBLE_EQ((*vals)[1], 3.0);
+  EXPECT_DOUBLE_EQ((*vals)[2], 7.5);
+  vals = EvalNumeric(*Arith("/", Col("b"), Col("a")), chunk);
+  EXPECT_DOUBLE_EQ((*vals)[1], 0.75);
+  vals = EvalNumeric(*Arith("-", Num(1), Col("b")), chunk);
+  EXPECT_DOUBLE_EQ((*vals)[0], 0.5);
+}
+
+TEST(ExpressionTest, IndicatorConvertsBoolean) {
+  auto chunk = TestChunk();
+  auto vals = EvalNumeric(*Indicator(Cmp(">", Col("a"), Num(1))), chunk);
+  ASSERT_TRUE(vals.ok());
+  EXPECT_EQ(*vals, (std::vector<double>{0, 1, 1}));
+}
+
+TEST(ExpressionTest, MissingColumnFails) {
+  auto chunk = TestChunk();
+  EXPECT_FALSE(EvalPredicate(*Cmp(">", Col("nope"), Num(1)), chunk).ok());
+  EXPECT_FALSE(EvalNumeric(*Col("nope"), chunk).ok());
+  // String column is not numeric.
+  EXPECT_FALSE(EvalNumeric(*Col("s"), chunk).ok());
+}
+
+TEST(ExpressionTest, JsonRoundTrip) {
+  ExprPtr expr = And(
+      And(Cmp(">=", Col("l_shipdate"), Num(731)),
+          Between(Col("l_discount"), Num(0.05), Num(0.07))),
+      Or(InList(Col("l_shipmode"), {"MAIL", "SHIP"}),
+         Cmp("==", Col("flag"), Str("R"))));
+  auto parsed = Expr::FromJson(expr->ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->ToJson().Dump(), expr->ToJson().Dump());
+}
+
+TEST(ExpressionTest, CollectColumnsDeduplicates) {
+  ExprPtr expr = And(Cmp(">", Col("a"), Num(1)),
+                     Cmp("<", Col("a"), Col("b")));
+  std::vector<std::string> cols;
+  CollectColumns(*expr, &cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ExpressionTest, RangeMayMatchPrunes) {
+  // Row group with l_shipdate in [100, 200].
+  auto range = [](const std::string& column, double* min, double* max) {
+    if (column != "l_shipdate") return false;
+    *min = 100;
+    *max = 200;
+    return true;
+  };
+  EXPECT_TRUE(RangeMayMatch(*Cmp(">=", Col("l_shipdate"), Num(150)), range));
+  EXPECT_FALSE(RangeMayMatch(*Cmp(">=", Col("l_shipdate"), Num(250)), range));
+  EXPECT_FALSE(RangeMayMatch(*Cmp("<", Col("l_shipdate"), Num(100)), range));
+  EXPECT_TRUE(RangeMayMatch(*Between(Col("l_shipdate"), Num(190), Num(300)),
+                            range));
+  EXPECT_FALSE(RangeMayMatch(*Between(Col("l_shipdate"), Num(201), Num(300)),
+                             range));
+  // AND of a pruning and a non-pruning predicate.
+  EXPECT_FALSE(RangeMayMatch(
+      *And(Cmp(">", Col("l_shipdate"), Num(250)),
+           Cmp("<", Col("other"), Num(1))),
+      range));
+  // Unknown columns conservatively match.
+  EXPECT_TRUE(RangeMayMatch(*Cmp(">", Col("other"), Num(1e12)), range));
+}
+
+}  // namespace
+}  // namespace skyrise::engine

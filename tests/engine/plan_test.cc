@@ -1,0 +1,72 @@
+#include "engine/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/queries.h"
+
+namespace skyrise::engine {
+namespace {
+
+TEST(PlanTest, AllSuitePlansRoundTripThroughJson) {
+  for (const auto& plan : BuildQuerySuite()) {
+    const std::string text = plan.ToJson().Dump();
+    auto parsed_json = Json::Parse(text);
+    ASSERT_TRUE(parsed_json.ok()) << plan.query_name;
+    auto parsed = QueryPlan::FromJson(*parsed_json);
+    ASSERT_TRUE(parsed.ok()) << plan.query_name;
+    EXPECT_EQ(parsed->query_name, plan.query_name);
+    EXPECT_EQ(parsed->pipelines.size(), plan.pipelines.size());
+    EXPECT_EQ(parsed->ToJson().Dump(), text) << plan.query_name;
+  }
+}
+
+TEST(PlanTest, SuiteShapes) {
+  auto q6 = BuildTpchQ6();
+  EXPECT_EQ(q6.pipelines.size(), 2u);  // Scan+partial, final.
+  auto q1 = BuildTpchQ1();
+  EXPECT_EQ(q1.pipelines.size(), 2u);
+  auto q12 = BuildTpchQ12();
+  EXPECT_EQ(q12.pipelines.size(), 4u);  // Two scans, join, final.
+  auto bb = BuildTpcxBbQ3();
+  EXPECT_EQ(bb.pipelines.size(), 3u);  // Map, sessionize, reduce.
+}
+
+TEST(PlanTest, Q12JoinIsCoPartitioned) {
+  QuerySuiteOptions options;
+  options.join_partitions = 16;
+  auto q12 = BuildTpchQ12(options);
+  int lineitem_parts = 0, orders_parts = 0;
+  for (const auto& pipeline : q12.pipelines) {
+    for (const auto& op : pipeline.ops) {
+      if (op.op != "partition_write") continue;
+      if (pipeline.id == 1) lineitem_parts = op.partition_count;
+      if (pipeline.id == 2) orders_parts = op.partition_count;
+    }
+  }
+  EXPECT_EQ(lineitem_parts, 16);
+  EXPECT_EQ(orders_parts, 16);
+}
+
+TEST(PlanTest, FindPipeline) {
+  auto q12 = BuildTpchQ12();
+  EXPECT_NE(q12.FindPipeline(3), nullptr);
+  EXPECT_EQ(q12.FindPipeline(3)->id, 3);
+  EXPECT_EQ(q12.FindPipeline(99), nullptr);
+}
+
+TEST(PlanTest, ShuffleAndResultKeys) {
+  EXPECT_EQ(ShuffleKey("q6", 1, 2, 3), "shuffle/q6/p1/f00002/part-00003.cof");
+  EXPECT_EQ(ResultKey("q6"), "results/q6/final.cof");
+}
+
+TEST(PlanTest, PushdownSelectivityPreserved) {
+  auto q6 = BuildTpchQ6();
+  const auto& input = q6.pipelines[0].inputs[0];
+  EXPECT_NE(input.pushdown, nullptr);
+  EXPECT_NEAR(input.pushdown_selectivity, 0.125, 1e-9);
+  auto round = QueryPlan::FromJson(q6.ToJson()).ValueOrDie();
+  EXPECT_NEAR(round.pipelines[0].inputs[0].pushdown_selectivity, 0.125, 1e-9);
+}
+
+}  // namespace
+}  // namespace skyrise::engine

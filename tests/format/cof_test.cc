@@ -1,0 +1,265 @@
+#include "format/cof.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "format/encoding.h"
+
+namespace skyrise::format {
+namespace {
+
+using data::Chunk;
+using data::Column;
+using data::DataType;
+using data::Schema;
+
+Chunk SampleChunk(int64_t rows, int64_t offset = 0) {
+  Schema schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"flag", DataType::kString},
+                 {"day", DataType::kDate}});
+  Chunk chunk = Chunk::Empty(schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    chunk.column(0).AppendInt(offset + i);
+    chunk.column(1).AppendDouble(0.5 * static_cast<double>(i));
+    chunk.column(2).AppendString(i % 3 == 0 ? "R" : (i % 3 == 1 ? "A" : "N"));
+    chunk.column(3).AppendInt(100 + i / 10);
+  }
+  return chunk;
+}
+
+// --- Encoding primitives. ---
+
+TEST(EncodingTest, VarintRoundTrip) {
+  std::string buffer;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1ULL << 32, ~0ULL};
+  for (uint64_t v : values) PutVarint(&buffer, v);
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    auto got = GetVarint(buffer, &pos);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(EncodingTest, VarintTruncated) {
+  std::string buffer;
+  PutVarint(&buffer, 1ULL << 40);
+  buffer.resize(buffer.size() - 1);
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint(buffer, &pos).ok());
+}
+
+TEST(EncodingTest, ZigzagRoundTrip) {
+  const int64_t values[] = {0, 1, -1, 12345, -987654321,
+                            std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min()};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+}
+
+TEST(EncodingTest, ColumnRoundTripAllTypes) {
+  Chunk chunk = SampleChunk(1000);
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    std::string encoded;
+    EncodeColumn(chunk.column(c), &encoded);
+    auto decoded =
+        DecodeColumn(encoded, chunk.column(c).type(), chunk.rows());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    switch (chunk.column(c).type()) {
+      case DataType::kDouble:
+        EXPECT_EQ(decoded->doubles(), chunk.column(c).doubles());
+        break;
+      case DataType::kString:
+        EXPECT_EQ(decoded->strings(), chunk.column(c).strings());
+        break;
+      default:
+        EXPECT_EQ(decoded->ints(), chunk.column(c).ints());
+    }
+  }
+}
+
+TEST(EncodingTest, LowCardinalityStringsUseDictionary) {
+  Column flags(DataType::kString);
+  for (int i = 0; i < 10000; ++i) flags.AppendString(i % 2 ? "AIR" : "SHIP");
+  std::string encoded;
+  EXPECT_EQ(EncodeColumn(flags, &encoded), ColumnEncoding::kStringDict);
+  // 1 byte per value plus a small dictionary.
+  EXPECT_LT(encoded.size(), 10100u);
+  auto decoded = DecodeColumn(encoded, DataType::kString, 10000);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->strings()[0], "SHIP");
+  EXPECT_EQ(decoded->strings()[1], "AIR");
+}
+
+TEST(EncodingTest, HighCardinalityStringsUsePlain) {
+  Column names(DataType::kString);
+  for (int i = 0; i < 1000; ++i) names.AppendString("v" + std::to_string(i));
+  std::string encoded;
+  EXPECT_EQ(EncodeColumn(names, &encoded), ColumnEncoding::kStringPlain);
+  auto decoded = DecodeColumn(encoded, DataType::kString, 1000);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->strings()[999], "v999");
+}
+
+TEST(EncodingTest, TypeMismatchRejected) {
+  Column ints(DataType::kInt64);
+  ints.AppendInt(5);
+  std::string encoded;
+  EncodeColumn(ints, &encoded);
+  EXPECT_FALSE(DecodeColumn(encoded, DataType::kDouble, 1).ok());
+  EXPECT_FALSE(DecodeColumn("", DataType::kInt64, 1).ok());
+}
+
+// --- COF files. ---
+
+TEST(CofTest, WriteParseRoundTrip) {
+  Chunk chunk = SampleChunk(5000);
+  const std::string file = WriteCofFile(chunk.schema(), {chunk}, 1000);
+  auto meta = ParseFooter(file, 0, static_cast<int64_t>(file.size()));
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta->row_groups.size(), 5u);
+  EXPECT_EQ(meta->TotalRows(), 5000);
+  EXPECT_TRUE(meta->schema == chunk.schema());
+  EXPECT_FALSE(meta->synthetic);
+
+  // Decode one row group fully.
+  std::vector<std::string> projection{"id", "price", "flag", "day"};
+  std::vector<std::string> column_bytes;
+  for (const auto& cm : meta->row_groups[2].columns) {
+    column_bytes.push_back(file.substr(static_cast<size_t>(cm.offset),
+                                       static_cast<size_t>(cm.size)));
+  }
+  auto decoded = DecodeRowGroup(*meta, 2, projection, column_bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->rows(), 1000);
+  EXPECT_EQ(decoded->column(0).ints()[0], 2000);  // First id of group 2.
+}
+
+TEST(CofTest, FooterOnlyTailParse) {
+  Chunk chunk = SampleChunk(100);
+  const std::string file = WriteCofFile(chunk.schema(), {chunk});
+  // Fetch only the trailing kFooterFetchSize bytes, like the reader does.
+  const int64_t fetch =
+      std::min<int64_t>(static_cast<int64_t>(file.size()), kFooterFetchSize);
+  const std::string tail = file.substr(file.size() - static_cast<size_t>(fetch));
+  auto meta = ParseFooter(tail, static_cast<int64_t>(file.size()) - fetch,
+                          static_cast<int64_t>(file.size()));
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->TotalRows(), 100);
+}
+
+TEST(CofTest, MinMaxStatisticsPerRowGroup) {
+  Chunk chunk = SampleChunk(2000);
+  const std::string file = WriteCofFile(chunk.schema(), {chunk}, 500);
+  auto meta = ParseFooter(file, 0, static_cast<int64_t>(file.size()));
+  ASSERT_TRUE(meta.ok());
+  // id column: group 1 covers [500, 999].
+  const auto& cm = meta->row_groups[1].columns[0];
+  ASSERT_TRUE(cm.min.has_value());
+  EXPECT_DOUBLE_EQ(*cm.min, 500);
+  EXPECT_DOUBLE_EQ(*cm.max, 999);
+  // String columns have no numeric stats.
+  EXPECT_FALSE(meta->row_groups[1].columns[2].min.has_value());
+}
+
+TEST(CofTest, ProjectionDecodesSubset) {
+  Chunk chunk = SampleChunk(100);
+  const std::string file = WriteCofFile(chunk.schema(), {chunk});
+  auto meta = ParseFooter(file, 0, static_cast<int64_t>(file.size()));
+  ASSERT_TRUE(meta.ok());
+  std::vector<std::string> projection{"price", "id"};  // Reordered subset.
+  std::vector<std::string> column_bytes;
+  for (const auto& name : projection) {
+    const int idx = meta->schema.FieldIndex(name);
+    const auto& cm = meta->row_groups[0].columns[static_cast<size_t>(idx)];
+    column_bytes.push_back(file.substr(static_cast<size_t>(cm.offset),
+                                       static_cast<size_t>(cm.size)));
+  }
+  auto decoded = DecodeRowGroup(*meta, 0, projection, column_bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->schema().field(0).name, "price");
+  EXPECT_EQ(decoded->schema().field(1).name, "id");
+  EXPECT_EQ(decoded->column(1).ints()[7], 7);
+}
+
+TEST(CofTest, CorruptFilesRejected) {
+  EXPECT_FALSE(ParseFooter("short", 0, 5).ok());
+  Chunk chunk = SampleChunk(10);
+  std::string file = WriteCofFile(chunk.schema(), {chunk});
+  std::string bad_magic = file;
+  bad_magic.back() = 'X';
+  EXPECT_FALSE(
+      ParseFooter(bad_magic, 0, static_cast<int64_t>(bad_magic.size())).ok());
+  // Wrong tail offset.
+  EXPECT_FALSE(
+      ParseFooter(file, 10, static_cast<int64_t>(file.size())).ok());
+}
+
+TEST(CofTest, EmptyFileHasSchemaNoGroups) {
+  Schema schema({{"x", DataType::kInt64}});
+  const std::string file = WriteCofFile(schema, {Chunk::Empty(schema)});
+  auto meta = ParseFooter(file, 0, static_cast<int64_t>(file.size()));
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->TotalRows(), 0);
+  EXPECT_TRUE(meta->row_groups.empty());
+  EXPECT_TRUE(meta->schema == schema);
+}
+
+TEST(CofTest, SyntheticMetaGeometry) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  FileMeta meta = BuildSyntheticFileMeta(
+      schema, 1000000, 64 * kMiB, 100000,
+      {{"a", 0, 700}});
+  EXPECT_TRUE(meta.synthetic);
+  EXPECT_EQ(meta.row_groups.size(), 10u);
+  EXPECT_EQ(meta.TotalRows(), 1000000);
+  EXPECT_NEAR(static_cast<double>(meta.data_size), 64.0 * kMiB,
+              0.01 * kMiB);
+  // Column "a" ranges are clustered across groups.
+  EXPECT_DOUBLE_EQ(*meta.row_groups[0].columns[0].min, 0);
+  EXPECT_DOUBLE_EQ(*meta.row_groups[0].columns[0].max, 70);
+  EXPECT_DOUBLE_EQ(*meta.row_groups[9].columns[0].max, 700);
+  // Column "b" has no stats.
+  EXPECT_FALSE(meta.row_groups[0].columns[1].min.has_value());
+}
+
+TEST(CofTest, SyntheticDecodeYieldsSyntheticChunks) {
+  Schema schema({{"a", DataType::kInt64}});
+  FileMeta meta = BuildSyntheticFileMeta(schema, 1000, 10000, 400, {});
+  auto chunk = DecodeRowGroup(meta, 0, {"a"}, {""});
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_TRUE(chunk->is_synthetic());
+  EXPECT_EQ(chunk->rows(), 400);
+}
+
+TEST(CofTest, FileMetaJsonRoundTrip) {
+  Chunk chunk = SampleChunk(300);
+  const std::string file = WriteCofFile(chunk.schema(), {chunk}, 100);
+  auto meta = ParseFooter(file, 0, static_cast<int64_t>(file.size()));
+  ASSERT_TRUE(meta.ok());
+  auto round = FileMeta::FromJson(meta->ToJson());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->TotalRows(), 300);
+  EXPECT_EQ(round->row_groups.size(), meta->row_groups.size());
+  EXPECT_EQ(round->row_groups[1].columns[0].offset,
+            meta->row_groups[1].columns[0].offset);
+}
+
+TEST(CofTest, CatalogLookup) {
+  SyntheticFileCatalog catalog;
+  Schema schema({{"x", DataType::kInt64}});
+  catalog.Register("tables/t/part-0.cof",
+                   BuildSyntheticFileMeta(schema, 10, 100, 10, {}));
+  EXPECT_TRUE(catalog.Contains("tables/t/part-0.cof"));
+  EXPECT_TRUE(catalog.Find("tables/t/part-0.cof").ok());
+  EXPECT_TRUE(catalog.Find("missing").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace skyrise::format

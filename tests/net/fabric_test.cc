@@ -1,0 +1,169 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "net/instance_specs.h"
+
+namespace skyrise::net {
+namespace {
+
+Fabric::TransferSpec MakeSpec(Nic* src, Nic* dst, int flows, int64_t total,
+                              VpcId vpc) {
+  Fabric::TransferSpec spec;
+  spec.src = src;
+  spec.dst = dst;
+  spec.flows = flows;
+  spec.total_bytes = total;
+  spec.vpc = vpc;
+  return spec;
+}
+
+TEST(FabricTest, SingleTransferLimitedByFlowCap) {
+  Fabric fabric;
+  UnlimitedNic a(100e9), b(100e9);
+  auto id = fabric.StartTransfer(MakeSpec(&a, &b, 1, -1, kNoVpc));
+  fabric.Step(0, Seconds(1));
+  // One flow capped at 5 Gbps = 625 MB/s.
+  EXPECT_NEAR(fabric.LastWindowBytes(id), 625e6, 1);
+}
+
+TEST(FabricTest, MultipleFlowsScaleCap) {
+  Fabric fabric;
+  UnlimitedNic a(100e9), b(100e9);
+  auto id = fabric.StartTransfer(MakeSpec(&a, &b, 4, -1, kNoVpc));
+  fabric.Step(0, Seconds(1));
+  EXPECT_NEAR(fabric.LastWindowBytes(id), 4 * 625e6, 1);
+}
+
+TEST(FabricTest, NicBottleneckSharedFairly) {
+  Fabric fabric;
+  UnlimitedNic server(1000.0);  // 1000 B/s egress.
+  UnlimitedNic c1(1e12), c2(1e12), c3(1e12);
+  auto t1 = fabric.StartTransfer(MakeSpec(&server, &c1, 1, -1, kNoVpc));
+  auto t2 = fabric.StartTransfer(MakeSpec(&server, &c2, 1, -1, kNoVpc));
+  auto t3 = fabric.StartTransfer(MakeSpec(&server, &c3, 1, -1, kNoVpc));
+  fabric.Step(0, Seconds(1));
+  EXPECT_NEAR(fabric.LastWindowBytes(t1), 1000.0 / 3, 1e-3);
+  EXPECT_NEAR(fabric.LastWindowBytes(t2), 1000.0 / 3, 1e-3);
+  EXPECT_NEAR(fabric.LastWindowBytes(t3), 1000.0 / 3, 1e-3);
+}
+
+TEST(FabricTest, MaxMinRedistributesUnusedShare) {
+  Fabric fabric;
+  Fabric::Options opt;
+  opt.per_flow_cap_bytes_per_sec = 100.0;  // Tiny flow cap for t1.
+  Fabric small_cap(opt);
+  UnlimitedNic server(1000.0);
+  UnlimitedNic c1(1e12), c2(1e12);
+  // t1: one flow -> capped at 100. t2: 9 flows -> can take the rest.
+  auto t1 = small_cap.StartTransfer(MakeSpec(&server, &c1, 1, -1, kNoVpc));
+  auto t2 = small_cap.StartTransfer(MakeSpec(&server, &c2, 9, -1, kNoVpc));
+  small_cap.Step(0, Seconds(1));
+  EXPECT_NEAR(small_cap.LastWindowBytes(t1), 100.0, 1e-3);
+  EXPECT_NEAR(small_cap.LastWindowBytes(t2), 900.0, 1e-3);
+}
+
+TEST(FabricTest, VpcAggregateCapBinds) {
+  Fabric fabric;
+  const VpcId vpc = fabric.AddVpc(1000.0);
+  UnlimitedNic s1(1e12), s2(1e12), c1(1e12), c2(1e12);
+  auto t1 = fabric.StartTransfer(MakeSpec(&s1, &c1, 8, -1, vpc));
+  auto t2 = fabric.StartTransfer(MakeSpec(&s2, &c2, 8, -1, vpc));
+  fabric.Step(0, Seconds(1));
+  EXPECT_NEAR(fabric.LastWindowBytes(t1) + fabric.LastWindowBytes(t2), 1000.0,
+              1e-3);
+}
+
+TEST(FabricTest, TransfersOutsideVpcUnconstrained) {
+  Fabric fabric;
+  fabric.AddVpc(1000.0);
+  UnlimitedNic s(1e12), c(1e12);
+  auto t = fabric.StartTransfer(MakeSpec(&s, &c, 8, -1, kNoVpc));
+  fabric.Step(0, Seconds(1));
+  EXPECT_NEAR(fabric.LastWindowBytes(t), 8 * 625e6, 1);
+}
+
+TEST(FabricTest, BoundedTransferCompletesWithCallback) {
+  Fabric fabric;
+  UnlimitedNic a(1e12), b(1e12);
+  bool done = false;
+  Fabric::TransferSpec spec;
+  spec.src = &a;
+  spec.dst = &b;
+  spec.flows = 1;
+  spec.total_bytes = 1000;
+  spec.on_complete = [&](TransferId) { done = true; };
+  auto id = fabric.StartTransfer(spec);
+  fabric.Step(0, Seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(fabric.IsActive(id));
+}
+
+TEST(FabricTest, BoundedTransferNeverOvershoots) {
+  Fabric fabric;
+  UnlimitedNic a(1e12), b(1e12);
+  Fabric::TransferSpec spec;
+  spec.src = &a;
+  spec.dst = &b;
+  spec.total_bytes = 1000;
+  auto id = fabric.StartTransfer(spec);
+  fabric.Step(0, Millis(1));
+  EXPECT_LE(fabric.LastWindowBytes(id), 1000.0);
+  EXPECT_FALSE(fabric.IsActive(id));  // 625e3 B/ms >> 1000 B.
+}
+
+TEST(FabricTest, StopTransferRemovesIt) {
+  Fabric fabric;
+  UnlimitedNic a(1e12), b(1e12);
+  auto id = fabric.StartTransfer(MakeSpec(&a, &b, 1, -1, kNoVpc));
+  fabric.StopTransfer(id);
+  EXPECT_FALSE(fabric.IsActive(id));
+  fabric.Step(0, Seconds(1));
+  EXPECT_DOUBLE_EQ(fabric.last_window_total(), 0);
+}
+
+TEST(FabricTest, LambdaClientDrainsThenBaseline) {
+  Fabric fabric;
+  LambdaNic fn;
+  UnlimitedNic server(100e9);
+  auto id = fabric.StartTransfer(MakeSpec(&server, &fn, 4, -1, kNoVpc));
+  // Run one second in 20 ms windows.
+  double total_first_second = 0;
+  for (int i = 0; i < 50; ++i) {
+    fabric.Step(Millis(20) * i, Millis(20));
+    total_first_second += fabric.LastWindowBytes(id);
+  }
+  // Burst of ~300 MiB plus some baseline chunks.
+  EXPECT_GT(total_first_second, 300.0 * kMiB);
+  EXPECT_LT(total_first_second, 400.0 * kMiB);
+  // Second second: pure baseline ~75 MiB.
+  double total_second = 0;
+  for (int i = 50; i < 100; ++i) {
+    fabric.Step(Millis(20) * i, Millis(20));
+    total_second += fabric.LastWindowBytes(id);
+  }
+  EXPECT_NEAR(total_second, 75.0 * kMiB, 8.0 * kMiB);
+}
+
+TEST(FabricTest, JitterVariesRatesDeterministically) {
+  Fabric::Options opt;
+  opt.jitter_sigma = 0.2;
+  opt.seed = 7;
+  Fabric f1(opt), f2(opt);
+  UnlimitedNic a(1e12), b(1e12);
+  auto i1 = f1.StartTransfer(MakeSpec(&a, &b, 1, -1, kNoVpc));
+  auto i2 = f2.StartTransfer(MakeSpec(&a, &b, 1, -1, kNoVpc));
+  std::vector<double> w1, w2;
+  for (int i = 0; i < 20; ++i) {
+    f1.Step(Millis(20) * i, Millis(20));
+    f2.Step(Millis(20) * i, Millis(20));
+    w1.push_back(f1.LastWindowBytes(i1));
+    w2.push_back(f2.LastWindowBytes(i2));
+  }
+  EXPECT_EQ(w1, w2);  // Same seed -> identical trace.
+  // Jitter produces distinct window values.
+  EXPECT_NE(w1[0], w1[1]);
+}
+
+}  // namespace
+}  // namespace skyrise::net

@@ -1,0 +1,157 @@
+#include "net/iperf.h"
+
+#include <gtest/gtest.h>
+
+#include "net/instance_specs.h"
+
+namespace skyrise::net {
+namespace {
+
+IperfConfig ShortConfig() {
+  IperfConfig cfg;
+  cfg.duration = Seconds(2);
+  cfg.flows = 4;
+  return cfg;
+}
+
+TEST(IperfTest, SampleCountMatchesDuration) {
+  Fabric fabric;
+  LambdaNic client;
+  UnlimitedNic server(100e9);
+  auto result = RunIperf(&fabric, &client, &server, ShortConfig());
+  EXPECT_EQ(result.samples.size(), 100u);  // 2 s / 20 ms.
+  EXPECT_EQ(result.duration, Seconds(2));
+}
+
+TEST(IperfTest, LambdaBurstAtExpectedRate) {
+  Fabric fabric;
+  LambdaNic client;
+  UnlimitedNic server(100e9);
+  auto result = RunIperf(&fabric, &client, &server, ShortConfig());
+  EXPECT_NEAR(result.BurstThroughput(), 1.2, 0.05);  // GiB/s inbound.
+}
+
+TEST(IperfTest, LambdaBaselineAfterDrain) {
+  Fabric fabric;
+  LambdaNic client;
+  UnlimitedNic server(100e9);
+  IperfConfig cfg = ShortConfig();
+  cfg.duration = Seconds(4);
+  auto result = RunIperf(&fabric, &client, &server, cfg);
+  // Trailing quarter is pure baseline: 75 MiB/s = 0.0732 GiB/s.
+  EXPECT_NEAR(result.BaselineThroughput(), 75.0 / 1024, 0.01);
+}
+
+TEST(IperfTest, EstimatedBucketNearBudget) {
+  Fabric fabric;
+  LambdaNic client;
+  UnlimitedNic server(100e9);
+  IperfConfig cfg = ShortConfig();
+  cfg.duration = Seconds(4);
+  auto result = RunIperf(&fabric, &client, &server, cfg);
+  EXPECT_NEAR(result.EstimatedBucketBytes(), 300.0 * kMiB, 30.0 * kMiB);
+}
+
+TEST(IperfTest, PauseRefillsRechargeableBucket) {
+  // The Fig. 5 experiment: 5 s run with a 3 s silent break; the second burst
+  // moves roughly half the bytes of the first.
+  Fabric fabric;
+  LambdaNic client;
+  UnlimitedNic server(100e9);
+  IperfConfig cfg;
+  cfg.duration = Seconds(8);
+  cfg.pause_at = Seconds(2);
+  cfg.pause_duration = Seconds(3);
+  auto result = RunIperf(&fabric, &client, &server, cfg);
+
+  // Burst windows run at 1.2 GiB/s; baseline chunks appear as ~0.37 GiB/s
+  // spikes (7.5 MiB drained within one 20 ms window). Threshold between.
+  double burst1 = 0, burst2 = 0;
+  for (const auto& s : result.samples) {
+    if (s.gib_per_sec < 0.5) continue;
+    if (s.time < Seconds(2)) {
+      burst1 += s.bytes;
+    } else if (s.time >= Seconds(5)) {
+      burst2 += s.bytes;
+    }
+  }
+  EXPECT_NEAR(burst1, 300.0 * kMiB, 35.0 * kMiB);
+  EXPECT_NEAR(burst2, 150.0 * kMiB, 35.0 * kMiB);
+}
+
+TEST(IperfTest, OutboundReducedVsInbound) {
+  Fabric f1, f2;
+  LambdaNic c1, c2;
+  UnlimitedNic server(100e9);
+  IperfConfig in_cfg = ShortConfig();
+  IperfConfig out_cfg = ShortConfig();
+  out_cfg.direction = Direction::kOut;
+  auto in_result = RunIperf(&f1, &c1, &server, in_cfg);
+  auto out_result = RunIperf(&f2, &c2, &server, out_cfg);
+  EXPECT_LT(out_result.BurstThroughput(), in_result.BurstThroughput());
+}
+
+TEST(IperfTest, Ec2LargerBucketBurstsLonger) {
+  Fabric f1, f2;
+  Ec2Nic small(MakeEc2NicOptions("c6g.medium").ValueOrDie());
+  Ec2Nic big(MakeEc2NicOptions("c6g.xlarge").ValueOrDie());
+  UnlimitedNic server(100e9);
+  IperfConfig cfg;
+  // Long enough for the xlarge bucket (360 GiB at ~1 GiB/s net drain) to
+  // empty so the baseline tail is observable.
+  cfg.duration = Minutes(12);
+  cfg.sample_interval = Millis(200);
+  auto r_small = RunIperf(&f1, &small, &server, cfg);
+  auto r_big = RunIperf(&f2, &big, &server, cfg);
+  EXPECT_GT(r_big.EstimatedBucketBytes(), r_small.EstimatedBucketBytes());
+}
+
+TEST(IperfTest, ConcurrentClientsAggregate) {
+  Fabric fabric;
+  std::vector<std::unique_ptr<LambdaNic>> clients;
+  std::vector<Nic*> client_ptrs;
+  std::vector<std::unique_ptr<UnlimitedNic>> servers;
+  std::vector<Nic*> server_ptrs;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<LambdaNic>());
+    client_ptrs.push_back(clients.back().get());
+    servers.push_back(std::make_unique<UnlimitedNic>(100e9));
+    server_ptrs.push_back(servers.back().get());
+  }
+  IperfConfig cfg = ShortConfig();
+  auto result = RunIperfConcurrent(&fabric, client_ptrs, server_ptrs, cfg);
+  ASSERT_EQ(result.per_client.size(), 8u);
+  // Aggregate burst is ~8x the single-function burst.
+  double agg_peak = 0;
+  for (const auto& s : result.aggregate) {
+    agg_peak = std::max(agg_peak, s.gib_per_sec);
+  }
+  EXPECT_NEAR(agg_peak, 8 * 1.2, 0.5);
+}
+
+TEST(IperfTest, VpcCapLimitsAggregate) {
+  Fabric fabric;
+  const VpcId vpc = fabric.AddVpc(2.0 * kGiB);  // 2 GiB/s aggregate.
+  std::vector<std::unique_ptr<LambdaNic>> clients;
+  std::vector<Nic*> client_ptrs;
+  std::vector<std::unique_ptr<UnlimitedNic>> servers;
+  std::vector<Nic*> server_ptrs;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<LambdaNic>());
+    client_ptrs.push_back(clients.back().get());
+    servers.push_back(std::make_unique<UnlimitedNic>(100e9));
+    server_ptrs.push_back(servers.back().get());
+  }
+  IperfConfig cfg = ShortConfig();
+  cfg.vpc = vpc;
+  auto result = RunIperfConcurrent(&fabric, client_ptrs, server_ptrs, cfg);
+  double agg_peak = 0;
+  for (const auto& s : result.aggregate) {
+    agg_peak = std::max(agg_peak, s.gib_per_sec);
+  }
+  EXPECT_LE(agg_peak, 2.05);
+  EXPECT_GT(agg_peak, 1.9);
+}
+
+}  // namespace
+}  // namespace skyrise::net

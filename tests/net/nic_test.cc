@@ -1,0 +1,139 @@
+#include "net/nic.h"
+
+#include <gtest/gtest.h>
+
+#include "net/instance_specs.h"
+
+namespace skyrise::net {
+namespace {
+
+TEST(LambdaNicTest, InitialBurstBudgetIs300MiB) {
+  LambdaNic nic;
+  const auto& in = nic.budget(Direction::kIn);
+  EXPECT_DOUBLE_EQ(in.one_off_remaining() + in.bucket_remaining(),
+                   300.0 * kMiB);
+}
+
+TEST(LambdaNicTest, BurstRateIs1Point2GiBInbound) {
+  LambdaNic nic;
+  // 100 ms window -> 0.12 GiB allowed at burst.
+  const double allowed = nic.AllowedBytes(Direction::kIn, 0, Millis(100));
+  EXPECT_DOUBLE_EQ(allowed, 0.12 * kGiB);
+}
+
+TEST(LambdaNicTest, OutboundSlowerThanInbound) {
+  LambdaNic nic;
+  EXPECT_LT(nic.AllowedBytes(Direction::kOut, 0, Millis(100)),
+            nic.AllowedBytes(Direction::kIn, 0, Millis(100)));
+}
+
+TEST(LambdaNicTest, DirectionsIndependent) {
+  LambdaNic nic;
+  // Drain inbound completely; outbound must be unaffected (the paper
+  // concludes the buckets are maintained independently).
+  nic.Consume(Direction::kIn, 400.0 * kMiB, 0, Millis(100));
+  EXPECT_FALSE(nic.budget(Direction::kIn).InBurst());
+  EXPECT_TRUE(nic.budget(Direction::kOut).InBurst());
+}
+
+TEST(LambdaNicTest, BaselineIs75MiBPerSecond) {
+  LambdaNic nic;
+  nic.Consume(Direction::kIn, 310.0 * kMiB, 0, Millis(100));
+  // Sum allowances over one second of 100 ms windows, consuming each.
+  double total = 0;
+  for (int i = 1; i <= 10; ++i) {
+    const SimTime t = Millis(100) * i;
+    const double a = nic.AllowedBytes(Direction::kIn, t, Millis(100));
+    nic.Consume(Direction::kIn, a, t, Millis(100));
+    total += a;
+  }
+  EXPECT_NEAR(total, 75.0 * kMiB, 1.0);
+}
+
+TEST(Ec2NicTest, BaselineSustainedAfterBucketDrained) {
+  Ec2Nic::Options o;
+  o.burst_rate = 1000;
+  o.baseline_rate = 100;
+  o.bucket_bytes = 500;
+  Ec2Nic nic(o);
+  // First second: bucket (500) + refill (100) capped by burst rate (1000).
+  const double first = nic.AllowedBytes(Direction::kIn, 0, Seconds(1));
+  EXPECT_DOUBLE_EQ(first, 600);
+  nic.Consume(Direction::kIn, first, 0, Seconds(1));
+  // Thereafter only the baseline refill.
+  const double second = nic.AllowedBytes(Direction::kIn, Seconds(1), Seconds(1));
+  EXPECT_DOUBLE_EQ(second, 100);
+}
+
+TEST(Ec2NicTest, NoBucketMeansFlatRate) {
+  Ec2Nic::Options o;
+  o.burst_rate = 1000;
+  o.baseline_rate = 1000;
+  o.bucket_bytes = 0;
+  Ec2Nic nic(o);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(
+        nic.AllowedBytes(Direction::kIn, Seconds(i), Seconds(1)), 1000);
+    nic.Consume(Direction::kIn, 1000, Seconds(i), Seconds(1));
+  }
+}
+
+TEST(Ec2NicTest, BucketRefillsWhileIdle) {
+  Ec2Nic::Options o;
+  o.burst_rate = 1000;
+  o.baseline_rate = 100;
+  o.bucket_bytes = 500;
+  Ec2Nic nic(o);
+  nic.Consume(Direction::kIn, 600, 0, Seconds(1));
+  EXPECT_NEAR(nic.BucketRemaining(Direction::kIn, Seconds(1)), 0, 1e-9);
+  EXPECT_NEAR(nic.BucketRemaining(Direction::kIn, Seconds(3)), 200, 1e-9);
+  EXPECT_NEAR(nic.BucketRemaining(Direction::kIn, Seconds(60)), 500, 1e-9);
+}
+
+TEST(UnlimitedNicTest, FixedLineRate) {
+  UnlimitedNic nic(1e9);
+  EXPECT_DOUBLE_EQ(nic.AllowedBytes(Direction::kIn, 0, Millis(500)), 5e8);
+  nic.Consume(Direction::kIn, 5e8, 0, Millis(500));
+  EXPECT_DOUBLE_EQ(nic.AllowedBytes(Direction::kIn, Millis(500), Millis(500)),
+                   5e8);
+}
+
+TEST(InstanceSpecsTest, C6gFamilyComplete) {
+  const auto& specs = C6gNetworkSpecs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs.front().instance_type, "c6g.medium");
+  EXPECT_EQ(specs.back().instance_type, "c6g.16xlarge");
+  // Baseline grows monotonically with size.
+  for (size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GE(specs[i].baseline_gbps, specs[i - 1].baseline_gbps);
+  }
+}
+
+TEST(InstanceSpecsTest, LargeSizesHaveNoBurstBucket) {
+  auto spec = FindInstanceSpec("c6g.16xlarge");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec->bucket_gib, 0);
+  EXPECT_DOUBLE_EQ(spec->burst_gbps, spec->baseline_gbps);
+}
+
+TEST(InstanceSpecsTest, UnknownInstanceRejected) {
+  EXPECT_TRUE(FindInstanceSpec("m5.24xlarge").status().IsNotFound());
+  EXPECT_FALSE(MakeEc2NicOptions("nope.large").ok());
+}
+
+TEST(InstanceSpecsTest, NicOptionsConvertUnits) {
+  auto o = MakeEc2NicOptions("c6g.xlarge");
+  ASSERT_TRUE(o.ok());
+  EXPECT_DOUBLE_EQ(o->burst_rate, GbpsToBytesPerSecond(10));
+  EXPECT_DOUBLE_EQ(o->baseline_rate, GbpsToBytesPerSecond(1.25));
+  EXPECT_GT(o->bucket_bytes, 0);
+}
+
+TEST(InstanceSpecsTest, C6gnIsNetworkOptimized) {
+  auto c6g = FindInstanceSpec("c6g.xlarge").ValueOrDie();
+  auto c6gn = FindInstanceSpec("c6gn.xlarge").ValueOrDie();
+  EXPECT_DOUBLE_EQ(c6gn.baseline_gbps, 4.0 * c6g.baseline_gbps);
+}
+
+}  // namespace
+}  // namespace skyrise::net

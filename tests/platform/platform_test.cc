@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "datagen/dataset.h"
+#include "datagen/tpch.h"
+#include "engine/queries.h"
+
+#include "platform/report.h"
+#include "platform/storage_io.h"
+#include "platform/testbed.h"
+
+namespace skyrise::platform {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "long header"});
+  table.AddRow({"xxxxxxxx", "1"});
+  table.AddRow({"y"});  // Short rows are padded.
+  const std::string out = table.Render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // All lines equally wide.
+  const size_t first_nl = out.find('\n');
+  for (size_t pos = 0; pos < out.size();) {
+    const size_t nl = out.find('\n', pos);
+    EXPECT_EQ(nl - pos, first_nl);
+    pos = nl + 1;
+  }
+}
+
+TEST(AsciiSeriesTest, RendersPeaksAndHandlesEdgeCases) {
+  const std::string chart = RenderAsciiSeries({0, 1, 2, 4, 2, 1, 0}, 4, 20);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_EQ(RenderAsciiSeries({}, 4, 10), "(empty series)\n");
+  // Constant series renders without dividing by zero.
+  EXPECT_NE(RenderAsciiSeries({5, 5, 5}, 3, 10).find('#'),
+            std::string::npos);
+}
+
+TEST(ReportTest, WritesResultFile) {
+  Json result = Json::Object();
+  result["experiment"] = "fig05";
+  result["value"] = 1.2;
+  const std::string path = "/tmp/skyrise_result_test.json";
+  ASSERT_TRUE(WriteResultFile(path, result).ok());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("experiment"), "fig05");
+}
+
+TEST(StorageIoTest, ClosedLoopReadsReportThroughputAndLatency) {
+  Testbed bed(21);
+  storage::ObjectStore s3(&bed.env, storage::ObjectStore::StandardOptions());
+  StorageIoConfig config;
+  config.clients = 2;
+  config.threads_per_client = 4;
+  config.request_bytes = kKiB;
+  config.duration = Seconds(10);
+  config.object_count = 64;
+  config.use_fabric = false;
+  auto result = RunStorageIo(&bed.env, &bed.fabric_driver, &s3, config);
+  EXPECT_GT(result.requests, 100);
+  EXPECT_EQ(result.failures, 0);  // Offered load far below capacity.
+  // Closed loop of 8 slots at ~30 ms median: ~250 IOPS.
+  EXPECT_NEAR(result.SuccessIops(), 8 / 0.0315, 80);
+  EXPECT_NEAR(result.latency_ms.Percentile(50), 27, 5);
+  EXPECT_FALSE(result.success_iops_series.empty());
+}
+
+TEST(StorageIoTest, WritesCreateObjects) {
+  Testbed bed(22);
+  storage::ObjectStore s3(&bed.env, storage::ObjectStore::StandardOptions());
+  StorageIoConfig config;
+  config.clients = 1;
+  config.threads_per_client = 2;
+  config.write = true;
+  config.request_bytes = kKiB;
+  config.duration = Seconds(5);
+  config.use_fabric = false;
+  auto result = RunStorageIo(&bed.env, &bed.fabric_driver, &s3, config);
+  EXPECT_GT(result.successes, 10);
+  EXPECT_FALSE(s3.List("bench/w-").empty());
+}
+
+TEST(StorageIoTest, ThrottlingShowsUpAsFailures) {
+  Testbed bed(23);
+  auto options = storage::ObjectStore::StandardOptions();
+  options.read_burst_tokens = 100;
+  options.partition_read_iops = 100;
+  storage::ObjectStore s3(&bed.env, options);
+  StorageIoConfig config;
+  config.clients = 8;
+  config.threads_per_client = 32;  // Far above the 100 IOPS capacity.
+  config.request_bytes = kKiB;
+  config.duration = Seconds(5);
+  config.use_fabric = false;
+  auto result = RunStorageIo(&bed.env, &bed.fabric_driver, &s3, config);
+  EXPECT_GT(result.ErrorRate(), 0.5);
+}
+
+TEST(StorageIoTest, RetryClientMasksThrottles) {
+  Testbed bed(24);
+  auto options = storage::ObjectStore::StandardOptions();
+  options.read_burst_tokens = 50;
+  options.partition_read_iops = 500;
+  storage::ObjectStore s3(&bed.env, options);
+  StorageIoConfig config;
+  config.clients = 2;
+  config.threads_per_client = 16;
+  config.request_bytes = kKiB;
+  config.duration = Seconds(5);
+  config.use_fabric = false;
+  config.use_retry_client = true;
+  config.retry.max_attempts = 10;
+  auto result = RunStorageIo(&bed.env, &bed.fabric_driver, &s3, config);
+  // With retries, completed operations succeed even under throttling.
+  EXPECT_LT(result.ErrorRate(), 0.05);
+  EXPECT_GT(result.successes, 1000);
+}
+
+TEST(StorageIoTest, PacedLoadRespectsRateCap) {
+  Testbed bed(25);
+  storage::ObjectStore s3(&bed.env, storage::ObjectStore::StandardOptions());
+  StorageIoConfig config;
+  config.clients = 4;
+  config.threads_per_client = 32;
+  config.request_bytes = kKiB;
+  config.duration = Seconds(20);
+  config.use_fabric = false;
+  config.max_rps_per_client = 100;  // 400 rps total despite 128 slots.
+  auto result = RunStorageIo(&bed.env, &bed.fabric_driver, &s3, config);
+  EXPECT_NEAR(result.SuccessIops(), 400, 80);
+}
+
+TEST(TestbedTest, EngineTestbedRunsAQuery) {
+  EngineTestbed bed(26);
+  datagen::TpchConfig tpch;
+  tpch.scale_factor = 0.001;
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &bed.base.s3, "lineitem", datagen::LineitemSchema(), 2,
+                       [&](int p) {
+                         return datagen::GenerateLineitemPartition(tpch, p, 2);
+                       })
+                       .status());
+  auto response = bed.RunOnLambda(engine::BuildTpchQ6(), "tb-q6", 1);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_GT(response->runtime_ms, 0);
+  // Warm state survives: a second run reuses sandboxes (no new coldstarts
+  // beyond the first run's).
+  const int64_t colds = bed.lambda->stats().cold_starts;
+  auto second = bed.RunOnLambda(engine::BuildTpchQ6(), "tb-q6-2", 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(bed.lambda->stats().cold_starts, colds);
+}
+
+}  // namespace
+}  // namespace skyrise::platform

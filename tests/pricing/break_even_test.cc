@@ -1,0 +1,168 @@
+#include "pricing/break_even.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace skyrise::pricing {
+namespace {
+
+// The paper's Table 7 access sizes.
+const std::vector<int64_t> kAccessSizes = {4 * kKiB, 16 * kKiB, 4 * kMiB,
+                                           16 * kMiB};
+
+std::vector<BeiRow> Table7() {
+  return ComputeStorageHierarchyTable(PriceList::Default(), kAccessSizes);
+}
+
+const BeiRow& FindRow(const std::vector<BeiRow>& rows,
+                      const std::string& name) {
+  for (const auto& row : rows) {
+    if (row.combination == name) return row;
+  }
+  ADD_FAILURE() << "missing row " << name;
+  static BeiRow empty;
+  return empty;
+}
+
+// Paper-reported Table 7 values in seconds.
+constexpr double kMin = 60, kHour = 3600, kDayS = 86400;
+
+TEST(BreakEvenTest, Table7RamSsdRow) {
+  auto row = FindRow(Table7(), "RAM/SSD");
+  ASSERT_EQ(row.interval_seconds.size(), 4u);
+  EXPECT_NEAR(row.interval_seconds[0], 38, 6);   // 38s.
+  EXPECT_NEAR(row.interval_seconds[1], 31, 5);   // 31s.
+  EXPECT_NEAR(row.interval_seconds[2], 31, 5);
+  EXPECT_NEAR(row.interval_seconds[3], 31, 5);
+}
+
+TEST(BreakEvenTest, Table7RamEbsRow) {
+  auto row = FindRow(Table7(), "RAM/EBS");
+  EXPECT_NEAR(row.interval_seconds[0], 27 * kMin, 5 * kMin);
+  EXPECT_NEAR(row.interval_seconds[1], 7 * kMin, 2 * kMin);
+  EXPECT_NEAR(row.interval_seconds[2], 3 * kMin, 1 * kMin);
+  EXPECT_NEAR(row.interval_seconds[3], 3 * kMin, 1 * kMin);
+}
+
+TEST(BreakEvenTest, Table7RamS3StandardRow) {
+  auto row = FindRow(Table7(), "RAM/S3 Standard");
+  EXPECT_NEAR(row.interval_seconds[0], 2 * kDayS, 0.3 * kDayS);
+  EXPECT_NEAR(row.interval_seconds[1], 12 * kHour, 2 * kHour);
+  EXPECT_NEAR(row.interval_seconds[2], 3 * kMin, 1 * kMin);
+  EXPECT_NEAR(row.interval_seconds[3], 41, 10);
+}
+
+TEST(BreakEvenTest, Table7RamS3ExpressRow) {
+  auto row = FindRow(Table7(), "RAM/S3 Express");
+  EXPECT_NEAR(row.interval_seconds[0], 23 * kHour, 3 * kHour);
+  EXPECT_NEAR(row.interval_seconds[1], 6 * kHour, 1 * kHour);
+  EXPECT_NEAR(row.interval_seconds[2], 36 * kMin, 6 * kMin);
+  EXPECT_NEAR(row.interval_seconds[3], 39 * kMin, 6 * kMin);
+}
+
+TEST(BreakEvenTest, Table7SsdS3StandardRow) {
+  auto row = FindRow(Table7(), "SSD/S3 Standard");
+  EXPECT_NEAR(row.interval_seconds[0], 59 * kDayS, 10 * kDayS);
+  EXPECT_NEAR(row.interval_seconds[1], 15 * kDayS, 3 * kDayS);
+  EXPECT_NEAR(row.interval_seconds[2], 1 * kHour, 0.5 * kHour);
+  EXPECT_NEAR(row.interval_seconds[3], 21 * kMin, 6 * kMin);
+}
+
+TEST(BreakEvenTest, Table7SsdS3ExpressRow) {
+  auto row = FindRow(Table7(), "SSD/S3 Express");
+  EXPECT_NEAR(row.interval_seconds[0], 29 * kDayS, 5 * kDayS);
+  EXPECT_NEAR(row.interval_seconds[1], 7 * kDayS, 1.5 * kDayS);
+  EXPECT_NEAR(row.interval_seconds[2], 18 * kHour, 3 * kHour);
+  EXPECT_NEAR(row.interval_seconds[3], 20 * kHour, 3 * kHour);
+}
+
+TEST(BreakEvenTest, Table7SsdS3CrossRegionRow) {
+  auto row = FindRow(Table7(), "SSD/S3 X-Region");
+  EXPECT_NEAR(row.interval_seconds[0], 70 * kDayS, 12 * kDayS);
+  EXPECT_NEAR(row.interval_seconds[1], 26 * kDayS, 5 * kDayS);
+  EXPECT_NEAR(row.interval_seconds[2], 11 * kDayS, 2.5 * kDayS);
+  EXPECT_NEAR(row.interval_seconds[3], 11 * kDayS, 2.5 * kDayS);
+}
+
+TEST(BreakEvenTest, CapacityPricedFormula) {
+  // Hand-computed: 250 pages/MB at 1000 APS, disk $1/h, RAM $0.001/MB-h.
+  EXPECT_DOUBLE_EQ(
+      BreakEvenIntervalCapacityPriced(4000, 1000, 1.0, 0.001),
+      250.0 / 1000 * (1.0 / 0.001));
+}
+
+TEST(BreakEvenTest, RequestPricedFormula) {
+  // 1 page/MB, $1e-6/access, RAM $0.0036/MB-h => $1e-6/MB-s => BEI 1 s.
+  EXPECT_DOUBLE_EQ(BreakEvenIntervalRequestPriced(1000000, 1e-6, 0.0036),
+                   1.0);
+}
+
+TEST(BreakEvenTest, BandwidthBoundSizesShareInterval) {
+  // With the device bandwidth binding, BEI is constant across access sizes:
+  // the "Pricing Model" observation in Section 5.3.1.
+  auto row = FindRow(Table7(), "RAM/SSD");
+  EXPECT_NEAR(row.interval_seconds[1], row.interval_seconds[2], 0.5);
+  EXPECT_NEAR(row.interval_seconds[2], row.interval_seconds[3], 0.5);
+}
+
+TEST(BreakEvenTest, TransferFeesInvalidateInverseProportionality) {
+  // S3 Express: 16 MiB interval is *longer* than 4 MiB (fee-dominated),
+  // violating the classic inverse proportionality.
+  auto row = FindRow(Table7(), "RAM/S3 Express");
+  EXPECT_GT(row.interval_seconds[3], row.interval_seconds[2]);
+}
+
+TEST(BreakEvenTest, Table8ShapeMatchesPaper) {
+  auto cells = ComputeShuffleBeasTable(PriceList::Default());
+  ASSERT_EQ(cells.size(), 8u);
+  for (const auto& cell : cells) {
+    if (cell.storage_class == "s3express") {
+      // S3 Express never breaks even with VM clusters.
+      EXPECT_TRUE(std::isinf(cell.access_size_mb)) << cell.instance_type;
+    } else {
+      // S3 Standard: 2-16 MiB depending on instance and pricing model.
+      EXPECT_GT(cell.access_size_mb, 1.0) << cell.instance_type;
+      EXPECT_LT(cell.access_size_mb, 18.0) << cell.instance_type;
+    }
+  }
+}
+
+TEST(BreakEvenTest, Table8ConstantWithinFamily) {
+  auto cells = ComputeShuffleBeasTable(PriceList::Default());
+  double xlarge = 0, xlarge8 = 0;
+  for (const auto& cell : cells) {
+    if (cell.storage_class != "s3") continue;
+    if (cell.instance_type == "c6g.xlarge" && !cell.reserved) {
+      xlarge = cell.access_size_mb;
+    }
+    if (cell.instance_type == "c6g.8xlarge" && !cell.reserved) {
+      xlarge8 = cell.access_size_mb;
+    }
+  }
+  // Network grows proportionally with size and price within C6g: the paper's
+  // ~2 MiB for both on-demand columns.
+  EXPECT_NEAR(xlarge, 2.0, 0.7);
+  EXPECT_NEAR(xlarge8, 2.0, 0.7);
+}
+
+TEST(BreakEvenTest, Table8ReservedPricingRaisesBreakEven) {
+  auto cells = ComputeShuffleBeasTable(PriceList::Default());
+  double od = 0, rsv = 0;
+  for (const auto& cell : cells) {
+    if (cell.instance_type == "c6gn.xlarge" && cell.storage_class == "s3") {
+      (cell.reserved ? rsv : od) = cell.access_size_mb;
+    }
+  }
+  EXPECT_GT(od, 0);
+  EXPECT_GT(rsv, od);  // Cheaper VMs push the break-even size up: 7 -> 16 MiB.
+  EXPECT_NEAR(od, 7.0, 2.5);
+  EXPECT_NEAR(rsv, 16.0, 6.0);
+}
+
+TEST(BreakEvenTest, BeasNeverWithHighFee) {
+  EXPECT_TRUE(std::isinf(BreakEvenAccessSizeMb(1e-7, 100.0, 1e6, 0.1)));
+}
+
+}  // namespace
+}  // namespace skyrise::pricing

@@ -1,0 +1,90 @@
+#include "pricing/cost_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace skyrise::pricing {
+namespace {
+
+TEST(CostMeterTest, StartsEmpty) {
+  CostMeter meter;
+  EXPECT_DOUBLE_EQ(meter.TotalUsd(), 0);
+  EXPECT_EQ(meter.TotalRequests(), 0);
+  EXPECT_EQ(meter.FailedRequests(), 0);
+}
+
+TEST(CostMeterTest, CountsRequestsIncludingFailures) {
+  CostMeter meter;
+  meter.RecordStorageRequest("s3", false, kKiB, true);
+  meter.RecordStorageRequest("s3", false, kKiB, false);  // Throttled.
+  EXPECT_EQ(meter.TotalRequests(), 2);
+  EXPECT_EQ(meter.RequestCount("s3"), 2);
+  EXPECT_EQ(meter.FailedRequests(), 1);
+  // Both requests billed: "including failures and retries".
+  EXPECT_NEAR(meter.StorageUsd(), 2 * 4e-7, 1e-12);
+}
+
+TEST(CostMeterTest, TracksBytesPerService) {
+  CostMeter meter;
+  meter.RecordStorageRequest("s3", false, 64 * kMiB, true);
+  meter.RecordStorageRequest("efs", true, 4 * kMiB, true);
+  EXPECT_EQ(meter.BytesMoved("s3"), 64 * kMiB);
+  EXPECT_EQ(meter.BytesMoved("efs"), 4 * kMiB);
+  EXPECT_EQ(meter.BytesMoved("dynamodb"), 0);
+}
+
+TEST(CostMeterTest, LambdaInvocationsAccumulate) {
+  CostMeter meter;
+  meter.RecordLambdaInvocation(6.91, Seconds(2.5));
+  meter.RecordLambdaInvocation(6.91, Seconds(3.2));
+  EXPECT_EQ(meter.lambda_invocations(), 2);
+  EXPECT_EQ(meter.lambda_lifetime(), Seconds(5.7));
+  EXPECT_GT(meter.ComputeUsd(), 0);
+}
+
+TEST(CostMeterTest, FaasQueryCostMatchesPaperScale) {
+  // Table 6: Q6 cumulated time 515.9 s across 4-vCPU workers (7076 MiB)
+  // costs ~4.87 cents.
+  CostMeter meter;
+  meter.RecordLambdaInvocation(7076.0 / 1024, Seconds(515.9));
+  EXPECT_NEAR(meter.ComputeUsd() * 100, 4.87, 0.4);
+}
+
+TEST(CostMeterTest, Ec2UsageBilled) {
+  CostMeter meter;
+  meter.RecordEc2Usage("c6g.xlarge", Hours(1));
+  EXPECT_NEAR(meter.ComputeUsd(), 0.136, 1e-9);
+}
+
+TEST(CostMeterTest, MergeCombines) {
+  CostMeter a, b;
+  a.RecordStorageRequest("s3", false, kKiB, true);
+  b.RecordStorageRequest("s3", true, kKiB, false);
+  b.RecordLambdaInvocation(1.0, Seconds(1));
+  a.Merge(b);
+  EXPECT_EQ(a.TotalRequests(), 2);
+  EXPECT_EQ(a.FailedRequests(), 1);
+  EXPECT_EQ(a.lambda_invocations(), 1);
+  EXPECT_GT(a.TotalUsd(), 0);
+}
+
+TEST(CostMeterTest, ResetClears) {
+  CostMeter meter;
+  meter.RecordStorageRequest("s3", false, kKiB, true);
+  meter.Reset();
+  EXPECT_DOUBLE_EQ(meter.TotalUsd(), 0);
+  EXPECT_EQ(meter.TotalRequests(), 0);
+}
+
+TEST(CostMeterTest, S3Warm100kIopsCostsAbout144PerHour) {
+  // Section 2.2: "Keeping S3 warm for 100K IOPS costs $144 per hour"
+  // (100K GET/s * 3600 s * $0.4/M = $144).
+  CostMeter meter;
+  for (int i = 0; i < 100000; ++i) {
+    meter.RecordStorageRequest("s3", false, kKiB, true);
+  }
+  const double per_hour = meter.StorageUsd() * 3600;
+  EXPECT_NEAR(per_hour, 144.0, 1.0);
+}
+
+}  // namespace
+}  // namespace skyrise::pricing

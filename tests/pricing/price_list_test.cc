@@ -1,0 +1,154 @@
+#include "pricing/price_list.h"
+
+#include <gtest/gtest.h>
+
+namespace skyrise::pricing {
+namespace {
+
+TEST(PriceListTest, LambdaPerGiBHourInTable1Range) {
+  const auto& lambda = PriceList::Default().lambda();
+  // Table 1: 3.84 - 4.80 cents per GiB-hour.
+  EXPECT_NEAR(lambda.gib_second_first_tier * 3600 * 100, 4.80, 0.01);
+  EXPECT_NEAR(lambda.gib_second_last_tier * 3600 * 100, 3.84, 0.01);
+}
+
+TEST(PriceListTest, C6gXlargeMatchesPaper) {
+  // Section 5.2: "A C6g.xlarge instance costs 0.136 $/h".
+  auto p = PriceList::Default().Ec2("c6g.xlarge");
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->on_demand_hourly, 0.136, 1e-9);
+  EXPECT_EQ(p->vcpus, 4);
+  EXPECT_DOUBLE_EQ(p->memory_gib, 8);
+}
+
+TEST(PriceListTest, Ec2PerGiBHourInTable1Range) {
+  // Table 1: EC2 memory pricing 0.65 - 1.70 cents/GiB-h.
+  const auto& list = PriceList::Default();
+  auto od = list.Ec2("c6g.xlarge").ValueOrDie();
+  const double od_cents = od.on_demand_hourly / od.memory_gib * 100;
+  const double rsv_cents = od.reserved_hourly / od.memory_gib * 100;
+  EXPECT_NEAR(od_cents, 1.70, 0.01);
+  EXPECT_NEAR(rsv_cents, 0.816, 0.01);
+  EXPECT_GT(rsv_cents, 0.65 - 0.2);
+}
+
+TEST(PriceListTest, LambdaVsEc2PremiumFactor) {
+  // The paper: Lambda has 2.5-5.9x higher unit prices than EC2.
+  const auto& list = PriceList::Default();
+  const double lambda_gib_h = list.lambda().gib_second_first_tier * 3600;
+  auto ec2 = list.Ec2("c6g.xlarge").ValueOrDie();
+  const double ec2_gib_h = ec2.on_demand_hourly / ec2.memory_gib;
+  const double factor = lambda_gib_h / ec2_gib_h;
+  EXPECT_GT(factor, 2.5);
+  EXPECT_LT(factor, 5.9);
+}
+
+TEST(PriceListTest, StorageTable2Prices) {
+  const auto& list = PriceList::Default();
+  auto s3 = list.Storage("s3").ValueOrDie();
+  EXPECT_DOUBLE_EQ(s3.read_request * 1e6 * 100, 40);    // 40 c/M.
+  EXPECT_DOUBLE_EQ(s3.write_request * 1e6 * 100, 500);  // 500 c/M.
+  EXPECT_DOUBLE_EQ(s3.read_transfer_gib, 0);
+
+  auto s3x = list.Storage("s3express").ValueOrDie();
+  EXPECT_DOUBLE_EQ(s3x.read_request * 1e6 * 100, 20);
+  EXPECT_DOUBLE_EQ(s3x.write_request * 1e6 * 100, 250);
+  EXPECT_DOUBLE_EQ(s3x.read_transfer_gib * 100, 0.15);
+  EXPECT_DOUBLE_EQ(s3x.write_transfer_gib * 100, 0.8);
+  EXPECT_EQ(s3x.transfer_free_bytes_per_request, 512 * kKiB);
+
+  auto ddb = list.Storage("dynamodb").ValueOrDie();
+  EXPECT_DOUBLE_EQ(ddb.read_request * 1e6 * 100, 25);
+  EXPECT_DOUBLE_EQ(ddb.write_request * 1e6 * 100, 125);
+
+  auto efs = list.Storage("efs").ValueOrDie();
+  EXPECT_DOUBLE_EQ(efs.read_request, 0);
+  EXPECT_DOUBLE_EQ(efs.read_transfer_gib * 100, 3);
+  EXPECT_DOUBLE_EQ(efs.write_transfer_gib * 100, 6);
+}
+
+TEST(PriceListTest, S3StorageCheapestByOrderOfMagnitude) {
+  const auto& list = PriceList::Default();
+  const double s3 = list.Storage("s3").ValueOrDie().storage_gib_month;
+  for (const char* other : {"s3express", "dynamodb", "efs"}) {
+    EXPECT_GE(list.Storage(other).ValueOrDie().storage_gib_month, 5 * s3);
+  }
+}
+
+TEST(PriceListTest, LambdaInvocationCostExample) {
+  const auto& list = PriceList::Default();
+  // 1 GiB function running 1 s: 1.33334e-5 + 2e-7 request fee.
+  EXPECT_NEAR(list.LambdaInvocationCost(1.0, Seconds(1)), 1.35334e-5, 1e-10);
+  // Sub-millisecond runs bill at least 1 ms.
+  EXPECT_NEAR(list.LambdaInvocationCost(1.0, Micros(10)),
+              1.33334e-8 + 2e-7, 1e-12);
+}
+
+TEST(PriceListTest, Ec2CostMinimumBilling) {
+  const auto& list = PriceList::Default();
+  // 10 s run bills 60 s minimum.
+  auto short_run = list.Ec2Cost("c6g.xlarge", Seconds(10));
+  ASSERT_TRUE(short_run.ok());
+  EXPECT_NEAR(*short_run, 0.136 / 60, 1e-9);
+  auto hour = list.Ec2Cost("c6g.xlarge", Hours(1));
+  EXPECT_NEAR(*hour, 0.136, 1e-9);
+  auto reserved = list.Ec2Cost("c6g.xlarge", Hours(1), /*reserved=*/true);
+  EXPECT_LT(*reserved, *hour);
+}
+
+TEST(PriceListTest, StorageRequestCostFlatForS3) {
+  const auto& list = PriceList::Default();
+  // S3 requests cost the same from 1 B to 5 TiB.
+  auto small = list.StorageRequestCost("s3", false, 1).ValueOrDie();
+  auto large = list.StorageRequestCost("s3", false, 64 * kMiB).ValueOrDie();
+  EXPECT_DOUBLE_EQ(small, large);
+}
+
+TEST(PriceListTest, StorageRequestCostExpressChargesTransfer) {
+  const auto& list = PriceList::Default();
+  auto under = list.StorageRequestCost("s3express", false, 256 * kKiB)
+                   .ValueOrDie();
+  EXPECT_DOUBLE_EQ(under, 2.0e-7);  // Below the free 512 KiB.
+  auto over =
+      list.StorageRequestCost("s3express", false, 16 * kMiB).ValueOrDie();
+  EXPECT_GT(over, 10 * under);  // 24-115x more expensive at 8-16 MiB.
+  EXPECT_LT(over, 150 * under);
+}
+
+TEST(PriceListTest, DynamoDbRequestUnits) {
+  const auto& list = PriceList::Default();
+  // Reads are billed per 4 KiB unit.
+  auto one_unit = list.StorageRequestCost("dynamodb", false, kKiB).ValueOrDie();
+  EXPECT_DOUBLE_EQ(one_unit, 2.5e-7);
+  auto hundred_kib =
+      list.StorageRequestCost("dynamodb", false, 100 * kKiB).ValueOrDie();
+  EXPECT_DOUBLE_EQ(hundred_kib, 25 * 2.5e-7);
+  // Writes are billed per 1 KiB unit.
+  auto write_4k =
+      list.StorageRequestCost("dynamodb", true, 4 * kKiB).ValueOrDie();
+  EXPECT_DOUBLE_EQ(write_4k, 4 * 1.25e-6);
+}
+
+TEST(PriceListTest, EfsChargesTransferOnly) {
+  const auto& list = PriceList::Default();
+  auto c = list.StorageRequestCost("efs", false, kGiB).ValueOrDie();
+  EXPECT_NEAR(c, 0.03, 1e-9);
+  auto w = list.StorageRequestCost("efs", true, kGiB).ValueOrDie();
+  EXPECT_NEAR(w, 0.06, 1e-9);
+}
+
+TEST(PriceListTest, UnknownLookupsFail) {
+  const auto& list = PriceList::Default();
+  EXPECT_FALSE(list.Ec2("x1e.32xlarge").ok());
+  EXPECT_FALSE(list.Storage("glacier").ok());
+  EXPECT_FALSE(list.StorageRequestCost("glacier", false, 1).ok());
+}
+
+TEST(PriceListTest, LambdaVcpuScaling) {
+  const auto& lambda = PriceList::Default().lambda();
+  // 4 vCPUs require 4 * 1769 MiB = 7076 MiB, the paper's worker size.
+  EXPECT_DOUBLE_EQ(lambda.mib_per_vcpu * 4, 7076);
+}
+
+}  // namespace
+}  // namespace skyrise::pricing

@@ -1,0 +1,138 @@
+#include "sim/environment.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace skyrise::sim {
+namespace {
+
+TEST(SimEnvironmentTest, StartsAtZero) {
+  SimEnvironment env;
+  EXPECT_EQ(env.now(), 0);
+  EXPECT_TRUE(env.empty());
+}
+
+TEST(SimEnvironmentTest, EventsFireInTimeOrder) {
+  SimEnvironment env;
+  std::vector<int> order;
+  env.Schedule(Seconds(3), [&] { order.push_back(3); });
+  env.Schedule(Seconds(1), [&] { order.push_back(1); });
+  env.Schedule(Seconds(2), [&] { order.push_back(2); });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.now(), Seconds(3));
+}
+
+TEST(SimEnvironmentTest, TiesFireInInsertionOrder) {
+  SimEnvironment env;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    env.Schedule(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  env.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimEnvironmentTest, CallbackMaySchedule) {
+  SimEnvironment env;
+  int fired = 0;
+  env.Schedule(Seconds(1), [&] {
+    ++fired;
+    env.Schedule(Seconds(1), [&] { ++fired; });
+  });
+  env.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(env.now(), Seconds(2));
+}
+
+TEST(SimEnvironmentTest, CancelPreventsExecution) {
+  SimEnvironment env;
+  bool fired = false;
+  const EventId id = env.Schedule(Seconds(1), [&] { fired = true; });
+  env.Cancel(id);
+  env.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEnvironmentTest, CancelAfterFireIsNoop) {
+  SimEnvironment env;
+  bool fired = false;
+  const EventId id = env.Schedule(Seconds(1), [&] { fired = true; });
+  env.Run();
+  env.Cancel(id);  // Must not blow up or affect later events.
+  bool second = false;
+  env.Schedule(Seconds(1), [&] { second = true; });
+  env.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(second);
+}
+
+TEST(SimEnvironmentTest, RunUntilAdvancesClockWithoutEvents) {
+  SimEnvironment env;
+  env.RunUntil(Minutes(5));
+  EXPECT_EQ(env.now(), Minutes(5));
+}
+
+TEST(SimEnvironmentTest, RunUntilStopsAtBoundary) {
+  SimEnvironment env;
+  std::vector<int> fired;
+  env.Schedule(Seconds(1), [&] { fired.push_back(1); });
+  env.Schedule(Seconds(5), [&] { fired.push_back(5); });
+  env.RunUntil(Seconds(2));
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_EQ(env.now(), Seconds(2));
+  env.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 5}));
+}
+
+TEST(SimEnvironmentTest, RunUntilIncludesBoundaryEvents) {
+  SimEnvironment env;
+  bool fired = false;
+  env.Schedule(Seconds(2), [&] { fired = true; });
+  env.RunUntil(Seconds(2));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEnvironmentTest, StepReturnsFalseWhenEmpty) {
+  SimEnvironment env;
+  EXPECT_FALSE(env.Step());
+  env.Schedule(0, [] {});
+  EXPECT_TRUE(env.Step());
+  EXPECT_FALSE(env.Step());
+}
+
+TEST(SimEnvironmentTest, ScheduleAtAbsoluteTime) {
+  SimEnvironment env;
+  SimTime observed = -1;
+  env.ScheduleAt(Seconds(7), [&] { observed = env.now(); });
+  env.Run();
+  EXPECT_EQ(observed, Seconds(7));
+}
+
+TEST(SimEnvironmentTest, EventsProcessedCounter) {
+  SimEnvironment env;
+  for (int i = 0; i < 5; ++i) env.Schedule(i, [] {});
+  env.Run();
+  EXPECT_EQ(env.events_processed(), 5);
+}
+
+TEST(SimEnvironmentTest, ForkRngDeterministic) {
+  SimEnvironment a(99), b(99);
+  Rng ra = a.ForkRng(1);
+  Rng rb = b.ForkRng(1);
+  EXPECT_EQ(ra.NextUint64(), rb.NextUint64());
+}
+
+TEST(SimEnvironmentTest, CancelledEventSkippedInRunUntil) {
+  SimEnvironment env;
+  bool fired = false;
+  const EventId id = env.Schedule(Seconds(1), [&] { fired = true; });
+  env.Cancel(id);
+  env.RunUntil(Seconds(5));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(env.now(), Seconds(5));
+}
+
+}  // namespace
+}  // namespace skyrise::sim

@@ -1,0 +1,161 @@
+#include "sim/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace skyrise::sim {
+namespace {
+
+TEST(TokenBucketTest, InitialTokensAvailable) {
+  TokenBucket b(100, 10, 100);
+  EXPECT_DOUBLE_EQ(b.Available(0), 100);
+}
+
+TEST(TokenBucketTest, ConsumeReducesTokens) {
+  TokenBucket b(100, 0, 100);
+  EXPECT_DOUBLE_EQ(b.Consume(30, 0), 30);
+  EXPECT_DOUBLE_EQ(b.Available(0), 70);
+}
+
+TEST(TokenBucketTest, ConsumeClampsToAvailable) {
+  TokenBucket b(100, 0, 50);
+  EXPECT_DOUBLE_EQ(b.Consume(80, 0), 50);
+  EXPECT_DOUBLE_EQ(b.Available(0), 0);
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket b(100, 10, 0);
+  EXPECT_DOUBLE_EQ(b.Available(Seconds(5)), 50);
+  EXPECT_DOUBLE_EQ(b.Available(Seconds(20)), 100);  // Capped at capacity.
+}
+
+TEST(TokenBucketTest, TryConsumeAtomicity) {
+  TokenBucket b(100, 0, 40);
+  EXPECT_FALSE(b.TryConsume(41, 0));
+  EXPECT_DOUBLE_EQ(b.Available(0), 40);  // Nothing consumed on failure.
+  EXPECT_TRUE(b.TryConsume(40, 0));
+  EXPECT_DOUBLE_EQ(b.Available(0), 0);
+}
+
+TEST(TokenBucketTest, TimeUntilAvailable) {
+  TokenBucket b(100, 10, 0);
+  EXPECT_EQ(b.TimeUntilAvailable(50, 0), Seconds(5));
+  EXPECT_EQ(b.TimeUntilAvailable(0, 0), 0);
+  // Requests beyond capacity wait for capacity only.
+  EXPECT_EQ(b.TimeUntilAvailable(500, 0), Seconds(10));
+}
+
+TEST(TokenBucketTest, ZeroFillRateNeverRefills) {
+  TokenBucket b(100, 0, 10);
+  b.Consume(10, 0);
+  EXPECT_GT(b.TimeUntilAvailable(1, 0), 300 * kDay);
+}
+
+TEST(TokenBucketTest, SetTokensClamps) {
+  TokenBucket b(100, 10, 0);
+  b.SetTokens(1000, 0);
+  EXPECT_DOUBLE_EQ(b.Available(0), 100);
+  b.SetTokens(-5, 0);
+  EXPECT_DOUBLE_EQ(b.Available(0), 0);
+}
+
+// --- BurstBudget: the Section 4.2 Lambda NIC mechanism. ---
+
+BurstBudget::Options SmallOptions() {
+  BurstBudget::Options o;
+  o.one_off_bytes = 100;
+  o.bucket_bytes = 100;
+  o.burst_rate = 1000;  // Bytes/s.
+  o.baseline_chunk_bytes = 10;
+  o.baseline_interval = Millis(100);
+  o.idle_refill_after = Millis(500);
+  return o;
+}
+
+TEST(BurstBudgetTest, BurstAllowsFullRateUntilDrained) {
+  BurstBudget b(SmallOptions());
+  // 100ms window at 1000 B/s -> 100 bytes allowed, budget 200.
+  EXPECT_DOUBLE_EQ(b.AllowedBytes(0, Millis(100)), 100);
+  b.Consume(100, 0);
+  EXPECT_DOUBLE_EQ(b.one_off_remaining(), 0);
+  EXPECT_DOUBLE_EQ(b.bucket_remaining(), 100);
+  b.Consume(100, Millis(100));
+  EXPECT_FALSE(b.InBurst());
+}
+
+TEST(BurstBudgetTest, OneOffConsumedBeforeBucket) {
+  BurstBudget b(SmallOptions());
+  b.Consume(50, 0);
+  EXPECT_DOUBLE_EQ(b.one_off_remaining(), 50);
+  EXPECT_DOUBLE_EQ(b.bucket_remaining(), 100);
+}
+
+TEST(BurstBudgetTest, BaselineChunksAfterDrain) {
+  BurstBudget b(SmallOptions());
+  b.Consume(200, 0);  // Drain the whole burst budget.
+  EXPECT_FALSE(b.InBurst());
+  // Within one 100 ms interval only the 10-byte chunk is available.
+  const double allowed = b.AllowedBytes(Millis(10), Millis(20));
+  EXPECT_DOUBLE_EQ(allowed, 10);
+  b.Consume(10, Millis(10));
+  EXPECT_DOUBLE_EQ(b.AllowedBytes(Millis(30), Millis(20)), 0);
+  // Next interval provides a fresh chunk -> the Fig. 5 "regular spikes".
+  EXPECT_DOUBLE_EQ(b.AllowedBytes(Millis(110), Millis(20)), 10);
+}
+
+TEST(BurstBudgetTest, IdleRefillRestoresBucketNotOneOff) {
+  BurstBudget b(SmallOptions());
+  b.Consume(200, 0);  // Drain everything.
+  EXPECT_FALSE(b.InBurst());
+  // After the idle gap, only the rechargeable half returns.
+  const double allowed = b.AllowedBytes(Seconds(2), Millis(100));
+  EXPECT_DOUBLE_EQ(allowed, 100);  // Bucket restored, min(rate*dt, 100).
+  EXPECT_DOUBLE_EQ(b.one_off_remaining(), 0);
+  EXPECT_DOUBLE_EQ(b.bucket_remaining(), 100);
+}
+
+TEST(BurstBudgetTest, SecondBurstIsShorter) {
+  // Reproduces the Fig. 5 observation: after a 3 s pause the burst re-occurs
+  // but with half the original capacity.
+  BurstBudget b(SmallOptions());
+  double first_burst = 0;
+  SimTime t = 0;
+  while (b.InBurst()) {
+    const double a = b.AllowedBytes(t, Millis(10));
+    b.Consume(a, t);
+    first_burst += a;
+    t += Millis(10);
+  }
+  EXPECT_DOUBLE_EQ(first_burst, 200);
+  t += Seconds(3);  // Pause: idle refill triggers lazily on next use.
+  double second_burst = 0;
+  while (true) {
+    const double a = b.AllowedBytes(t, Millis(10));  // Detects the idle gap.
+    if (!b.InBurst()) break;
+    b.Consume(a, t);
+    second_burst += a;
+    t += Millis(10);
+  }
+  EXPECT_DOUBLE_EQ(second_burst, 100);  // Only the rechargeable half.
+}
+
+TEST(BurstBudgetTest, NotifyIdleImmediateRefill) {
+  BurstBudget b(SmallOptions());
+  b.Consume(200, 0);
+  b.NotifyIdle();
+  EXPECT_DOUBLE_EQ(b.bucket_remaining(), 100);
+  EXPECT_DOUBLE_EQ(b.one_off_remaining(), 0);
+}
+
+TEST(BurstBudgetTest, DefaultsMatchPaperConstants) {
+  BurstBudget::Options o;
+  EXPECT_DOUBLE_EQ(o.one_off_bytes, 150.0 * kMiB);
+  EXPECT_DOUBLE_EQ(o.bucket_bytes, 150.0 * kMiB);
+  EXPECT_DOUBLE_EQ(o.baseline_chunk_bytes, 7.5 * kMiB);
+  EXPECT_EQ(o.baseline_interval, Millis(100));
+  // Baseline bandwidth: 7.5 MiB / 100 ms = 75 MiB/s.
+  EXPECT_DOUBLE_EQ(o.baseline_chunk_bytes / ToSeconds(o.baseline_interval),
+                   75.0 * kMiB);
+}
+
+}  // namespace
+}  // namespace skyrise::sim

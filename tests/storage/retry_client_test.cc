@@ -1,0 +1,170 @@
+#include "storage/retry_client.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/object_store.h"
+
+namespace skyrise::storage {
+namespace {
+
+class RetryClientTest : public ::testing::Test {
+ protected:
+  sim::SimEnvironment env_{7};
+};
+
+RetryClient::Options FastOptions() {
+  RetryClient::Options o;
+  o.request_timeout = Millis(200);
+  o.max_attempts = 8;
+  return o;
+}
+
+TEST_F(RetryClientTest, SuccessPassesThrough) {
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  s3.Insert("k", Blob::FromString("v"));
+  RetryClient client(&env_, &s3, FastOptions());
+  std::string got;
+  client.Get("k", {}, [&](Result<Blob> r) {
+    ASSERT_TRUE(r.ok());
+    got = r->data();
+  });
+  env_.Run();
+  EXPECT_EQ(got, "v");
+  EXPECT_EQ(client.stats().successes, 1);
+  EXPECT_EQ(client.stats().attempts, 1);
+}
+
+TEST_F(RetryClientTest, RetriesThrottlesUntilSuccess) {
+  auto opt = ObjectStore::StandardOptions();
+  opt.read_burst_tokens = 1;        // Tiny burst: first volley throttles.
+  opt.partition_read_iops = 1000;   // Refills during backoff.
+  ObjectStore s3(&env_, opt);
+  s3.Insert("k", Blob::Synthetic(kKiB));
+  RetryClient client(&env_, &s3, FastOptions());
+  int ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    client.Get("k", {}, [&](Result<Blob> r) { ok += r.ok() ? 1 : 0; });
+  }
+  env_.Run();
+  EXPECT_EQ(ok, 20);  // All eventually succeed via retries.
+  EXPECT_GT(client.stats().throttles, 0);
+  EXPECT_GT(client.stats().attempts, 20);
+}
+
+TEST_F(RetryClientTest, NotFoundIsNotRetried) {
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  RetryClient client(&env_, &s3, FastOptions());
+  Status status;
+  client.Get("missing", {}, [&](Result<Blob> r) { status = r.status(); });
+  env_.Run();
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(client.stats().attempts, 1);
+  EXPECT_EQ(client.stats().permanent_failures, 1);
+}
+
+TEST_F(RetryClientTest, TimeoutTriggersRetry) {
+  auto opt = ObjectStore::StandardOptions();
+  // Pathological tail: every request draws a ~1 s latency, above the 200 ms
+  // timeout, so the client times out through all attempts.
+  opt.read_latency = LatencyProfile::FromMedianP95(1000, 1100);
+  opt.read_latency.tail_probability = 0;
+  ObjectStore s3(&env_, opt);
+  s3.Insert("k", Blob::Synthetic(kKiB));
+  RetryClient::Options ropt = FastOptions();
+  ropt.max_attempts = 3;
+  RetryClient client(&env_, &s3, ropt);
+  Status status;
+  client.Get("k", {}, [&](Result<Blob> r) { status = r.status(); });
+  env_.Run();
+  EXPECT_TRUE(status.IsDeadlineExceeded());
+  EXPECT_EQ(client.stats().attempts, 3);
+  EXPECT_EQ(client.stats().timeouts, 3);
+  EXPECT_EQ(client.stats().permanent_failures, 1);
+}
+
+TEST_F(RetryClientTest, BackoffDelaysGrowExponentially) {
+  // A client whose requests always throttle: completion time reflects the
+  // cumulative exponential backoff.
+  auto opt = ObjectStore::StandardOptions();
+  opt.read_burst_tokens = 0;
+  opt.partition_read_iops = 0;  // Never admits.
+  ObjectStore s3(&env_, opt);
+  s3.Insert("k", Blob::Synthetic(kKiB));
+  RetryClient::Options ropt = FastOptions();
+  ropt.full_jitter = false;  // Deterministic delays for the assertion.
+  ropt.max_attempts = 6;
+  ropt.backoff_base = Millis(25);
+  RetryClient client(&env_, &s3, ropt);
+  SimTime done_at = 0;
+  client.Get("k", {}, [&](Result<Blob>) { done_at = env_.now(); });
+  env_.Run();
+  // Backoffs: 25+50+100+200+400 = 775 ms plus reject latencies.
+  EXPECT_GT(done_at, Millis(775));
+  EXPECT_LT(done_at, Millis(775) + Seconds(1));
+  EXPECT_EQ(client.stats().attempts, 6);
+}
+
+TEST_F(RetryClientTest, StragglersEmergeUnderSustainedRejection) {
+  // Section 4.4.1: clients whose requests are repeatedly rejected wait
+  // exponentially longer and become stragglers.
+  auto opt = ObjectStore::StandardOptions();
+  opt.read_burst_tokens = 50;
+  opt.partition_read_iops = 300;
+  ObjectStore s3(&env_, opt);
+  for (int i = 0; i < 64; ++i) {
+    s3.Insert("o" + std::to_string(i), Blob::Synthetic(kKiB));
+  }
+  RetryClient client(&env_, &s3, FastOptions());
+  std::vector<double> completion_ms;
+  // 2K requests against ~300 IOPS: heavy overload.
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime issue = env_.now();
+    client.Get("o" + std::to_string(i % 64), {},
+               [&, issue](Result<Blob>) {
+                 completion_ms.push_back(ToMillis(env_.now() - issue));
+               });
+  }
+  env_.Run();
+  ASSERT_EQ(completion_ms.size(), 2000u);
+  std::sort(completion_ms.begin(), completion_ms.end());
+  // The slowest clients waited exponentially longer than the fast ones.
+  EXPECT_GT(completion_ms.back(), 5 * completion_ms[200]);
+  EXPECT_GT(completion_ms.back(), 1000);  // Multi-second stragglers.
+}
+
+TEST_F(RetryClientTest, PutRetriesThrottles) {
+  auto opt = ObjectStore::StandardOptions();
+  opt.write_burst_tokens = 1;
+  opt.partition_write_iops = 500;
+  ObjectStore s3(&env_, opt);
+  RetryClient client(&env_, &s3, FastOptions());
+  int ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.Put("w" + std::to_string(i), Blob::Synthetic(kKiB), {},
+               [&](Status s) { ok += s.ok() ? 1 : 0; });
+  }
+  env_.Run();
+  EXPECT_EQ(ok, 10);
+  EXPECT_GT(client.stats().attempts, 10);
+}
+
+TEST_F(RetryClientTest, SizeBasedTimeoutExtendsAllowance) {
+  RetryClient::Options o = FastOptions();
+  o.timeout_per_mib = Millis(100);
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  s3.Insert("big", Blob::Synthetic(8 * kMiB));
+  RetryClient client(&env_, &s3, o);
+  // 8 MiB at ~62 MiB/s takes ~130 ms transfer + latency; the base 200 ms
+  // timeout alone could flake, the size-based allowance (1 s total for the
+  // ranged read) must not.
+  bool ok = false;
+  client.GetRange("big", 0, 8 * kMiB, {}, [&](Result<Blob> r) {
+    ok = r.ok();
+  });
+  env_.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(client.stats().timeouts, 0);
+}
+
+}  // namespace
+}  // namespace skyrise::storage
