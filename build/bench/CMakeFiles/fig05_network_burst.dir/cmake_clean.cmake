@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_network_burst.dir/fig05_network_burst.cc.o"
+  "CMakeFiles/fig05_network_burst.dir/fig05_network_burst.cc.o.d"
+  "fig05_network_burst"
+  "fig05_network_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_network_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

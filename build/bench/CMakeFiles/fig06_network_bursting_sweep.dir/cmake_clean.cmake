@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_network_bursting_sweep.dir/fig06_network_bursting_sweep.cc.o"
+  "CMakeFiles/fig06_network_bursting_sweep.dir/fig06_network_bursting_sweep.cc.o.d"
+  "fig06_network_bursting_sweep"
+  "fig06_network_bursting_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_network_bursting_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

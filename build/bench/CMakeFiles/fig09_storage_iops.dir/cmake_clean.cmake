@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_storage_iops.dir/fig09_storage_iops.cc.o"
+  "CMakeFiles/fig09_storage_iops.dir/fig09_storage_iops.cc.o.d"
+  "fig09_storage_iops"
+  "fig09_storage_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_storage_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

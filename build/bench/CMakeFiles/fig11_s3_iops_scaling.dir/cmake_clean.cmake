@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_s3_iops_scaling.dir/fig11_s3_iops_scaling.cc.o"
+  "CMakeFiles/fig11_s3_iops_scaling.dir/fig11_s3_iops_scaling.cc.o.d"
+  "fig11_s3_iops_scaling"
+  "fig11_s3_iops_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_s3_iops_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_s3_scaling_cost.dir/fig12_s3_scaling_cost.cc.o"
+  "CMakeFiles/fig12_s3_scaling_cost.dir/fig12_s3_scaling_cost.cc.o.d"
+  "fig12_s3_scaling_cost"
+  "fig12_s3_scaling_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_s3_scaling_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

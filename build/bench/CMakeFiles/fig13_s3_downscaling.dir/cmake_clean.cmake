@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_s3_downscaling.dir/fig13_s3_downscaling.cc.o"
+  "CMakeFiles/fig13_s3_downscaling.dir/fig13_s3_downscaling.cc.o.d"
+  "fig13_s3_downscaling"
+  "fig13_s3_downscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_s3_downscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_s3_downscaling.
+# This may be replaced when dependencies are built.

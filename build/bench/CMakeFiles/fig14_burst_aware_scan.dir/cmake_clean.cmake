@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_burst_aware_scan.dir/fig14_burst_aware_scan.cc.o"
+  "CMakeFiles/fig14_burst_aware_scan.dir/fig14_burst_aware_scan.cc.o.d"
+  "fig14_burst_aware_scan"
+  "fig14_burst_aware_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_burst_aware_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

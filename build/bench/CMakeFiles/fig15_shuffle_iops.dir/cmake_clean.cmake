@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_shuffle_iops.dir/fig15_shuffle_iops.cc.o"
+  "CMakeFiles/fig15_shuffle_iops.dir/fig15_shuffle_iops.cc.o.d"
+  "fig15_shuffle_iops"
+  "fig15_shuffle_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_shuffle_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

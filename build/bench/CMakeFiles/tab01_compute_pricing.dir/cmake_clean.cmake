@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_compute_pricing.dir/tab01_compute_pricing.cc.o"
+  "CMakeFiles/tab01_compute_pricing.dir/tab01_compute_pricing.cc.o.d"
+  "tab01_compute_pricing"
+  "tab01_compute_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_compute_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

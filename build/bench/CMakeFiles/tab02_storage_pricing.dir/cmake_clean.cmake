@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_storage_pricing.dir/tab02_storage_pricing.cc.o"
+  "CMakeFiles/tab02_storage_pricing.dir/tab02_storage_pricing.cc.o.d"
+  "tab02_storage_pricing"
+  "tab02_storage_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_storage_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

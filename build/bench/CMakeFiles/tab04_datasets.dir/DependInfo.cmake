@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab04_datasets.cc" "bench/CMakeFiles/tab04_datasets.dir/tab04_datasets.cc.o" "gcc" "bench/CMakeFiles/tab04_datasets.dir/tab04_datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/skyrise_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/skyrise_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/skyrise_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/skyrise_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/skyrise_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/skyrise_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skyrise_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/skyrise_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyrise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyrise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

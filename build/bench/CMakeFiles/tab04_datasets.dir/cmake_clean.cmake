@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_datasets.dir/tab04_datasets.cc.o"
+  "CMakeFiles/tab04_datasets.dir/tab04_datasets.cc.o.d"
+  "tab04_datasets"
+  "tab04_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

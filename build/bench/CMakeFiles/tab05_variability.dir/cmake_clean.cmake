@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_variability.dir/tab05_variability.cc.o"
+  "CMakeFiles/tab05_variability.dir/tab05_variability.cc.o.d"
+  "tab05_variability"
+  "tab05_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_compute_breakeven.dir/tab06_compute_breakeven.cc.o"
+  "CMakeFiles/tab06_compute_breakeven.dir/tab06_compute_breakeven.cc.o.d"
+  "tab06_compute_breakeven"
+  "tab06_compute_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_compute_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_storage_bei.dir/tab07_storage_bei.cc.o"
+  "CMakeFiles/tab07_storage_bei.dir/tab07_storage_bei.cc.o.d"
+  "tab07_storage_bei"
+  "tab07_storage_bei.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_storage_bei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

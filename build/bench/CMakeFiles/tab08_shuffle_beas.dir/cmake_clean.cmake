@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab08_shuffle_beas.dir/tab08_shuffle_beas.cc.o"
+  "CMakeFiles/tab08_shuffle_beas.dir/tab08_shuffle_beas.cc.o.d"
+  "tab08_shuffle_beas"
+  "tab08_shuffle_beas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab08_shuffle_beas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_advisor.dir/cost_advisor.cpp.o"
+  "CMakeFiles/cost_advisor.dir/cost_advisor.cpp.o.d"
+  "cost_advisor"
+  "cost_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

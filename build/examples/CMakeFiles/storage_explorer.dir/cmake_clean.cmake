@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_explorer.dir/storage_explorer.cpp.o"
+  "CMakeFiles/storage_explorer.dir/storage_explorer.cpp.o.d"
+  "storage_explorer"
+  "storage_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_common.dir/histogram.cc.o"
+  "CMakeFiles/skyrise_common.dir/histogram.cc.o.d"
+  "CMakeFiles/skyrise_common.dir/json.cc.o"
+  "CMakeFiles/skyrise_common.dir/json.cc.o.d"
+  "CMakeFiles/skyrise_common.dir/logging.cc.o"
+  "CMakeFiles/skyrise_common.dir/logging.cc.o.d"
+  "CMakeFiles/skyrise_common.dir/random.cc.o"
+  "CMakeFiles/skyrise_common.dir/random.cc.o.d"
+  "CMakeFiles/skyrise_common.dir/stats.cc.o"
+  "CMakeFiles/skyrise_common.dir/stats.cc.o.d"
+  "CMakeFiles/skyrise_common.dir/status.cc.o"
+  "CMakeFiles/skyrise_common.dir/status.cc.o.d"
+  "CMakeFiles/skyrise_common.dir/string_util.cc.o"
+  "CMakeFiles/skyrise_common.dir/string_util.cc.o.d"
+  "libskyrise_common.a"
+  "libskyrise_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_data.dir/chunk.cc.o"
+  "CMakeFiles/skyrise_data.dir/chunk.cc.o.d"
+  "CMakeFiles/skyrise_data.dir/types.cc.o"
+  "CMakeFiles/skyrise_data.dir/types.cc.o.d"
+  "libskyrise_data.a"
+  "libskyrise_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

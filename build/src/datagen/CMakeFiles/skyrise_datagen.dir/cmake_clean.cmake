@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_datagen.dir/dataset.cc.o"
+  "CMakeFiles/skyrise_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/skyrise_datagen.dir/tpch.cc.o"
+  "CMakeFiles/skyrise_datagen.dir/tpch.cc.o.d"
+  "CMakeFiles/skyrise_datagen.dir/tpcxbb.cc.o"
+  "CMakeFiles/skyrise_datagen.dir/tpcxbb.cc.o.d"
+  "libskyrise_datagen.a"
+  "libskyrise_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

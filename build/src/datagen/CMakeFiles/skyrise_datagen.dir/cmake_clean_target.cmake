@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyrise_datagen.a"
+)

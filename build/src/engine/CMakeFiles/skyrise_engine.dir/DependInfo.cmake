@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/coordinator.cc" "src/engine/CMakeFiles/skyrise_engine.dir/coordinator.cc.o" "gcc" "src/engine/CMakeFiles/skyrise_engine.dir/coordinator.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/skyrise_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/skyrise_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/skyrise_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/skyrise_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/expression.cc" "src/engine/CMakeFiles/skyrise_engine.dir/expression.cc.o" "gcc" "src/engine/CMakeFiles/skyrise_engine.dir/expression.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/skyrise_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/skyrise_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/queries.cc" "src/engine/CMakeFiles/skyrise_engine.dir/queries.cc.o" "gcc" "src/engine/CMakeFiles/skyrise_engine.dir/queries.cc.o.d"
+  "/root/repo/src/engine/reference.cc" "src/engine/CMakeFiles/skyrise_engine.dir/reference.cc.o" "gcc" "src/engine/CMakeFiles/skyrise_engine.dir/reference.cc.o.d"
+  "/root/repo/src/engine/worker.cc" "src/engine/CMakeFiles/skyrise_engine.dir/worker.cc.o" "gcc" "src/engine/CMakeFiles/skyrise_engine.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faas/CMakeFiles/skyrise_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skyrise_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/skyrise_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/skyrise_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/skyrise_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyrise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyrise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/skyrise_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_engine.dir/coordinator.cc.o"
+  "CMakeFiles/skyrise_engine.dir/coordinator.cc.o.d"
+  "CMakeFiles/skyrise_engine.dir/engine.cc.o"
+  "CMakeFiles/skyrise_engine.dir/engine.cc.o.d"
+  "CMakeFiles/skyrise_engine.dir/executor.cc.o"
+  "CMakeFiles/skyrise_engine.dir/executor.cc.o.d"
+  "CMakeFiles/skyrise_engine.dir/expression.cc.o"
+  "CMakeFiles/skyrise_engine.dir/expression.cc.o.d"
+  "CMakeFiles/skyrise_engine.dir/plan.cc.o"
+  "CMakeFiles/skyrise_engine.dir/plan.cc.o.d"
+  "CMakeFiles/skyrise_engine.dir/queries.cc.o"
+  "CMakeFiles/skyrise_engine.dir/queries.cc.o.d"
+  "CMakeFiles/skyrise_engine.dir/reference.cc.o"
+  "CMakeFiles/skyrise_engine.dir/reference.cc.o.d"
+  "CMakeFiles/skyrise_engine.dir/worker.cc.o"
+  "CMakeFiles/skyrise_engine.dir/worker.cc.o.d"
+  "libskyrise_engine.a"
+  "libskyrise_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_faas.dir/ec2_fleet.cc.o"
+  "CMakeFiles/skyrise_faas.dir/ec2_fleet.cc.o.d"
+  "CMakeFiles/skyrise_faas.dir/lambda_platform.cc.o"
+  "CMakeFiles/skyrise_faas.dir/lambda_platform.cc.o.d"
+  "libskyrise_faas.a"
+  "libskyrise_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

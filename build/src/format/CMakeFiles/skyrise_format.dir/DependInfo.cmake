@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/cof.cc" "src/format/CMakeFiles/skyrise_format.dir/cof.cc.o" "gcc" "src/format/CMakeFiles/skyrise_format.dir/cof.cc.o.d"
+  "/root/repo/src/format/encoding.cc" "src/format/CMakeFiles/skyrise_format.dir/encoding.cc.o" "gcc" "src/format/CMakeFiles/skyrise_format.dir/encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/skyrise_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

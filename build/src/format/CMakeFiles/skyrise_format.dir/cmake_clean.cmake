@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_format.dir/cof.cc.o"
+  "CMakeFiles/skyrise_format.dir/cof.cc.o.d"
+  "CMakeFiles/skyrise_format.dir/encoding.cc.o"
+  "CMakeFiles/skyrise_format.dir/encoding.cc.o.d"
+  "libskyrise_format.a"
+  "libskyrise_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

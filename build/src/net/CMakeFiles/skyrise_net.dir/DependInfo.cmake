@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cc" "src/net/CMakeFiles/skyrise_net.dir/fabric.cc.o" "gcc" "src/net/CMakeFiles/skyrise_net.dir/fabric.cc.o.d"
+  "/root/repo/src/net/fabric_driver.cc" "src/net/CMakeFiles/skyrise_net.dir/fabric_driver.cc.o" "gcc" "src/net/CMakeFiles/skyrise_net.dir/fabric_driver.cc.o.d"
+  "/root/repo/src/net/instance_specs.cc" "src/net/CMakeFiles/skyrise_net.dir/instance_specs.cc.o" "gcc" "src/net/CMakeFiles/skyrise_net.dir/instance_specs.cc.o.d"
+  "/root/repo/src/net/iperf.cc" "src/net/CMakeFiles/skyrise_net.dir/iperf.cc.o" "gcc" "src/net/CMakeFiles/skyrise_net.dir/iperf.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/net/CMakeFiles/skyrise_net.dir/nic.cc.o" "gcc" "src/net/CMakeFiles/skyrise_net.dir/nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/skyrise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

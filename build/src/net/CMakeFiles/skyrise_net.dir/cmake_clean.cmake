@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_net.dir/fabric.cc.o"
+  "CMakeFiles/skyrise_net.dir/fabric.cc.o.d"
+  "CMakeFiles/skyrise_net.dir/fabric_driver.cc.o"
+  "CMakeFiles/skyrise_net.dir/fabric_driver.cc.o.d"
+  "CMakeFiles/skyrise_net.dir/instance_specs.cc.o"
+  "CMakeFiles/skyrise_net.dir/instance_specs.cc.o.d"
+  "CMakeFiles/skyrise_net.dir/iperf.cc.o"
+  "CMakeFiles/skyrise_net.dir/iperf.cc.o.d"
+  "CMakeFiles/skyrise_net.dir/nic.cc.o"
+  "CMakeFiles/skyrise_net.dir/nic.cc.o.d"
+  "libskyrise_net.a"
+  "libskyrise_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

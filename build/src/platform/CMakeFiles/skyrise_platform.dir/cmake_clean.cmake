@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_platform.dir/report.cc.o"
+  "CMakeFiles/skyrise_platform.dir/report.cc.o.d"
+  "CMakeFiles/skyrise_platform.dir/storage_io.cc.o"
+  "CMakeFiles/skyrise_platform.dir/storage_io.cc.o.d"
+  "libskyrise_platform.a"
+  "libskyrise_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

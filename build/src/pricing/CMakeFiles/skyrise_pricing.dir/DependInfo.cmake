@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pricing/break_even.cc" "src/pricing/CMakeFiles/skyrise_pricing.dir/break_even.cc.o" "gcc" "src/pricing/CMakeFiles/skyrise_pricing.dir/break_even.cc.o.d"
+  "/root/repo/src/pricing/cost_meter.cc" "src/pricing/CMakeFiles/skyrise_pricing.dir/cost_meter.cc.o" "gcc" "src/pricing/CMakeFiles/skyrise_pricing.dir/cost_meter.cc.o.d"
+  "/root/repo/src/pricing/price_list.cc" "src/pricing/CMakeFiles/skyrise_pricing.dir/price_list.cc.o" "gcc" "src/pricing/CMakeFiles/skyrise_pricing.dir/price_list.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyrise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyrise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

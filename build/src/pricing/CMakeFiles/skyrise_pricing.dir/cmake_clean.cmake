@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_pricing.dir/break_even.cc.o"
+  "CMakeFiles/skyrise_pricing.dir/break_even.cc.o.d"
+  "CMakeFiles/skyrise_pricing.dir/cost_meter.cc.o"
+  "CMakeFiles/skyrise_pricing.dir/cost_meter.cc.o.d"
+  "CMakeFiles/skyrise_pricing.dir/price_list.cc.o"
+  "CMakeFiles/skyrise_pricing.dir/price_list.cc.o.d"
+  "libskyrise_pricing.a"
+  "libskyrise_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

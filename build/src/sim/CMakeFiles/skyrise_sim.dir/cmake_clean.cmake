@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_sim.dir/environment.cc.o"
+  "CMakeFiles/skyrise_sim.dir/environment.cc.o.d"
+  "CMakeFiles/skyrise_sim.dir/token_bucket.cc.o"
+  "CMakeFiles/skyrise_sim.dir/token_bucket.cc.o.d"
+  "libskyrise_sim.a"
+  "libskyrise_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

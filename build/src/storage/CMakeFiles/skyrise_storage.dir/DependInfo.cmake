@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/latency_model.cc" "src/storage/CMakeFiles/skyrise_storage.dir/latency_model.cc.o" "gcc" "src/storage/CMakeFiles/skyrise_storage.dir/latency_model.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/storage/CMakeFiles/skyrise_storage.dir/object_store.cc.o" "gcc" "src/storage/CMakeFiles/skyrise_storage.dir/object_store.cc.o.d"
+  "/root/repo/src/storage/queue_service.cc" "src/storage/CMakeFiles/skyrise_storage.dir/queue_service.cc.o" "gcc" "src/storage/CMakeFiles/skyrise_storage.dir/queue_service.cc.o.d"
+  "/root/repo/src/storage/retry_client.cc" "src/storage/CMakeFiles/skyrise_storage.dir/retry_client.cc.o" "gcc" "src/storage/CMakeFiles/skyrise_storage.dir/retry_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/skyrise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyrise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/skyrise_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyrise_storage.dir/latency_model.cc.o"
+  "CMakeFiles/skyrise_storage.dir/latency_model.cc.o.d"
+  "CMakeFiles/skyrise_storage.dir/object_store.cc.o"
+  "CMakeFiles/skyrise_storage.dir/object_store.cc.o.d"
+  "CMakeFiles/skyrise_storage.dir/queue_service.cc.o"
+  "CMakeFiles/skyrise_storage.dir/queue_service.cc.o.d"
+  "CMakeFiles/skyrise_storage.dir/retry_client.cc.o"
+  "CMakeFiles/skyrise_storage.dir/retry_client.cc.o.d"
+  "libskyrise_storage.a"
+  "libskyrise_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyrise_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faas/ec2_fleet_test.cc" "tests/CMakeFiles/faas_test.dir/faas/ec2_fleet_test.cc.o" "gcc" "tests/CMakeFiles/faas_test.dir/faas/ec2_fleet_test.cc.o.d"
+  "/root/repo/tests/faas/lambda_platform_test.cc" "tests/CMakeFiles/faas_test.dir/faas/lambda_platform_test.cc.o" "gcc" "tests/CMakeFiles/faas_test.dir/faas/lambda_platform_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/skyrise_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skyrise_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/skyrise_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyrise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyrise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

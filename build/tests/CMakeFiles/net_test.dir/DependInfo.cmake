@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/fabric_test.cc" "tests/CMakeFiles/net_test.dir/net/fabric_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/fabric_test.cc.o.d"
+  "/root/repo/tests/net/iperf_test.cc" "tests/CMakeFiles/net_test.dir/net/iperf_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/iperf_test.cc.o.d"
+  "/root/repo/tests/net/nic_test.cc" "tests/CMakeFiles/net_test.dir/net/nic_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/nic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyrise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyrise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pricing/break_even_test.cc" "tests/CMakeFiles/pricing_test.dir/pricing/break_even_test.cc.o" "gcc" "tests/CMakeFiles/pricing_test.dir/pricing/break_even_test.cc.o.d"
+  "/root/repo/tests/pricing/cost_meter_test.cc" "tests/CMakeFiles/pricing_test.dir/pricing/cost_meter_test.cc.o" "gcc" "tests/CMakeFiles/pricing_test.dir/pricing/cost_meter_test.cc.o.d"
+  "/root/repo/tests/pricing/price_list_test.cc" "tests/CMakeFiles/pricing_test.dir/pricing/price_list_test.cc.o" "gcc" "tests/CMakeFiles/pricing_test.dir/pricing/price_list_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skyrise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/skyrise_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyrise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyrise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

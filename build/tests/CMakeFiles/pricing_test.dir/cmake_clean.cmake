@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricing_test.dir/pricing/break_even_test.cc.o"
+  "CMakeFiles/pricing_test.dir/pricing/break_even_test.cc.o.d"
+  "CMakeFiles/pricing_test.dir/pricing/cost_meter_test.cc.o"
+  "CMakeFiles/pricing_test.dir/pricing/cost_meter_test.cc.o.d"
+  "CMakeFiles/pricing_test.dir/pricing/price_list_test.cc.o"
+  "CMakeFiles/pricing_test.dir/pricing/price_list_test.cc.o.d"
+  "pricing_test"
+  "pricing_test.pdb"
+  "pricing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
