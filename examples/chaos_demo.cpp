@@ -1,0 +1,121 @@
+/// Chaos demo: the same TPC-H Q12 on two identically-seeded testbeds — one
+/// fault-free, one under an aggressive fault profile (worker crashes, sandbox
+/// kills, transient storage 500/503 storms, invoke delays, network blips).
+/// Fault-tolerant execution (per-fragment retry, speculation, idempotent
+/// shuffle writes) masks all of it: the result bytes are identical, and the
+/// per-stage fault summary shows the repair work that made that happen.
+
+#include <cstdio>
+
+#include "datagen/dataset.h"
+#include "datagen/tpch.h"
+#include "engine/queries.h"
+#include "platform/report.h"
+#include "platform/testbed.h"
+#include "sim/fault_injector.h"
+
+using namespace skyrise;
+
+namespace {
+
+void UploadTables(platform::EngineTestbed* bed) {
+  datagen::TpchConfig tpch;
+  tpch.scale_factor = 0.005;
+  const int partitions = 6;
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &bed->base.s3, "lineitem", datagen::LineitemSchema(),
+                       partitions,
+                       [&](int p) {
+                         return datagen::GenerateLineitemPartition(
+                             tpch, p, partitions);
+                       })
+                       .status());
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &bed->base.s3, "orders", datagen::OrdersSchema(),
+                       partitions,
+                       [&](int p) {
+                         return datagen::GenerateOrdersPartition(tpch, p,
+                                                                 partitions);
+                       })
+                       .status());
+}
+
+std::string ResultBytes(platform::EngineTestbed* bed,
+                        const std::string& query_id) {
+  auto blob = bed->base.s3.Peek(engine::ResultKey(query_id));
+  SKYRISE_CHECK_OK(blob.status());
+  return blob->data();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Skyrise chaos demo: TPC-H Q12 under injected faults\n\n");
+
+  constexpr uint64_t kSeed = 2024;
+  platform::EngineTestbed calm(kSeed);
+  platform::EngineTestbed chaos(kSeed);
+
+  // An aggressive profile: nearly half of worker executions crash (some of
+  // those take their sandbox with them), 3% of storage requests fail with
+  // retriable 500/503s plus periodic SlowDown storms, and the invoke path
+  // sees delay spikes and network blips. The coordinator is exempt — it is
+  // the deliberate single point of failure.
+  sim::FaultInjector::Profile profile;
+  profile.storage_read_error_probability = 0.03;
+  profile.storage_write_error_probability = 0.03;
+  profile.storage_burst_error_probability = 0.4;
+  profile.storage_burst_duration = Seconds(1);
+  profile.storage_burst_interval = Seconds(15);
+  profile.network_blip_probability = 0.05;
+  profile.network_blip_max = Millis(100);
+  profile.function_crash_probability = 0.45;
+  profile.sandbox_kill_probability = 0.05;
+  profile.crash_delay_max = Millis(150);
+  profile.crash_exempt_functions = {engine::kCoordinatorFunction};
+  profile.invoke_delay_probability = 0.1;
+  profile.invoke_delay_max = Millis(300);
+
+  sim::FaultInjector injector(&chaos.base.env, profile);
+  chaos.base.s3.set_fault_injector(&injector);
+  chaos.lambda->set_fault_injector(&injector);
+  chaos.engine->context()->worker_max_attempts = 8;
+
+  UploadTables(&calm);
+  UploadTables(&chaos);
+
+  engine::QuerySuiteOptions options;
+  options.join_partitions = 4;
+  const engine::QueryPlan q12 = engine::BuildTpchQ12(options);
+
+  auto calm_response = calm.RunOn(calm.lambda.get(), q12, "q12", 2);
+  SKYRISE_CHECK_OK(calm_response.status());
+  auto chaos_response = chaos.RunOn(chaos.lambda.get(), q12, "q12", 2);
+  SKYRISE_CHECK_OK(chaos_response.status());
+
+  std::printf("fault-free run : %8.1f ms, %d retries, %d worker errors\n",
+              calm_response->runtime_ms, calm_response->worker_retries,
+              calm_response->worker_errors);
+  std::printf("chaos run      : %8.1f ms, %d retries, %d worker errors, "
+              "%d speculative\n\n",
+              chaos_response->runtime_ms, chaos_response->worker_retries,
+              chaos_response->worker_errors,
+              chaos_response->speculative_launches);
+
+  const auto& stats = injector.stats();
+  std::printf("injected: %lld storage errors, %lld function crashes "
+              "(%lld sandbox kills), %lld invoke delays, %lld network blips\n",
+              static_cast<long long>(stats.storage_errors),
+              static_cast<long long>(stats.function_crashes),
+              static_cast<long long>(stats.sandbox_kills),
+              static_cast<long long>(stats.invoke_delays),
+              static_cast<long long>(stats.network_blips));
+
+  std::printf("\nper-stage fault summary (chaos run):\n%s\n",
+              platform::RenderFaultSummary(chaos_response->raw).c_str());
+
+  const bool identical = ResultBytes(&calm, "q12") == ResultBytes(&chaos, "q12");
+  std::printf("result bytes identical to fault-free run: %s\n",
+              identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}

@@ -40,6 +40,24 @@ struct EngineContext {
   int two_level_threshold = 256;      ///< Fan out via invoker functions.
   int invoker_fanout = 32;
 
+  // Coordinator fault-tolerance policy. Worker outputs are deterministic
+  // functions of their payload and shuffle writes are full-object replaces
+  // under attempt-independent keys, so re-executed and speculative attempts
+  // are idempotent: the coordinator keeps the first completion per fragment
+  // and duplicates overwrite byte-identical objects.
+  /// Total invocation attempts per fragment (first + retries + speculative)
+  /// before the query fails.
+  int worker_max_attempts = 4;
+  /// Pause before re-invoking a failed fragment (scaled by attempt count).
+  SimDuration worker_retry_backoff = Millis(100);
+  /// Straggler speculation: a duplicate of a still-running fragment is
+  /// launched once it has been in flight this long (builds on the size-based
+  /// straggler timeouts the storage retry policy below applies per request).
+  /// <= 0 disables speculation.
+  SimDuration speculation_after = Seconds(10);
+  /// Cadence of the coordinator's per-stage straggler sweep.
+  SimDuration speculation_interval = Seconds(2);
+
   EngineContext() {
     // Straggler re-triggering: generous size-based allowance so congested
     // (post-burst) scans do not spuriously time out, while first-byte

@@ -177,6 +177,42 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     return payload;
   }
 
+  // Per-fragment attempt bookkeeping. A fragment may have several attempts
+  // in flight at once (retry racing a straggler, or a speculative copy);
+  // the first successful completion wins, later outcomes are ignored.
+  // Worker execution is deterministic and shuffle writes replace whole
+  // objects under attempt-independent keys, so duplicates are idempotent.
+  struct FragmentState {
+    Json payload;
+    int attempts = 0;     ///< Invocations launched (first + retry + spec).
+    int outstanding = 0;  ///< Invocations currently in flight.
+    bool completed = false;
+    SimTime last_dispatch = 0;
+    std::string last_error;
+  };
+
+  struct StageState {
+    size_t index = 0;
+    const PipelineSpec* pipeline = nullptr;
+    int fragments = 0;
+    SimTime start = 0;
+    std::vector<FragmentState> frags;
+    std::deque<int> pending;  ///< Fragment indices awaiting first dispatch.
+    int running = 0;          ///< In-flight invocations across fragments.
+    int completed = 0;        ///< Completed fragments.
+    int peak_running = 0;
+    bool failed = false;
+    double worker_ms = 0;
+    int64_t requests = 0;
+    int64_t bytes_read = 0;
+    int64_t bytes_written = 0;
+    int cold_starts = 0;
+    int retries = 0;        ///< Re-invocations after a failed attempt.
+    int speculative = 0;    ///< Straggler duplicates launched.
+    int worker_errors = 0;  ///< Failed attempts observed (all causes).
+    sim::EventId spec_timer = sim::kInvalidEventId;
+  };
+
   void RunStage(size_t stage_index) {
     if (stage_index >= stages_.size()) {
       Finish();
@@ -190,9 +226,13 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     state->pipeline = &pipeline;
     state->fragments = fragments;
     state->start = Now();
+    state->frags.resize(static_cast<size_t>(fragments));
     for (int f = 0; f < fragments; ++f) {
-      state->pending.push_back(BuildWorkerPayload(pipeline, f, fragments));
+      state->frags[static_cast<size_t>(f)].payload =
+          BuildWorkerPayload(pipeline, f, fragments);
+      state->pending.push_back(f);
     }
+    ScheduleSpeculationSweep(state);
     if (fragments >= ec_->two_level_threshold) {
       DispatchTwoLevel(state);
     } else {
@@ -200,76 +240,92 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     }
   }
 
-  struct StageState {
-    size_t index = 0;
-    const PipelineSpec* pipeline = nullptr;
-    int fragments = 0;
-    SimTime start = 0;
-    std::deque<Json> pending;
-    int running = 0;
-    int completed = 0;
-    int peak_running = 0;
-    bool failed = false;
-    double worker_ms = 0;
-    int64_t requests = 0;
-    int64_t bytes_read = 0;
-    int64_t bytes_written = 0;
-    int cold_starts = 0;
-  };
+  /// Attempt-launch bookkeeping shared by direct, two-level, retry, and
+  /// speculative dispatch paths.
+  void NoteLaunch(const std::shared_ptr<StageState>& state, int f) {
+    FragmentState& frag = state->frags[static_cast<size_t>(f)];
+    ++frag.attempts;
+    ++frag.outstanding;
+    frag.last_dispatch = Now();
+    ++state->running;
+    state->peak_running = std::max(state->peak_running, state->running);
+  }
+
+  /// Launches one attempt of fragment `f` directly on the worker platform.
+  void InvokeFragment(std::shared_ptr<StageState> state, int f) {
+    NoteLaunch(state, f);
+    auto self = shared_from_this();
+    Json payload = state->frags[static_cast<size_t>(f)].payload;
+    ec_->worker_platform->Invoke(
+        kWorkerFunction, std::move(payload),
+        [self, state, f](Result<Json> r) {
+          self->OnWorkerOutcome(state, f, std::move(r));
+        });
+  }
 
   void DispatchDirect(std::shared_ptr<StageState> state) {
     auto self = shared_from_this();
     // Serialized dispatch: one Invoke API call per kInvokeDispatchLatency,
-    // capped by the scheduling wave width.
+    // capped by the scheduling wave width. Retries and speculative copies
+    // bypass the wave (they go out as soon as they are due).
     if (state->failed) return;
     if (state->pending.empty()) return;
     if (state->running >= ec_->max_parallelism) return;  // Wave is full.
-    Json payload = std::move(state->pending.front());
+    const int f = state->pending.front();
     state->pending.pop_front();
-    ++state->running;
-    state->peak_running = std::max(state->peak_running, state->running);
-    ec_->worker_platform->Invoke(
-        kWorkerFunction, std::move(payload), [self, state](Result<Json> r) {
-          self->OnWorkerDone(state, std::move(r), 1);
-        });
+    InvokeFragment(state, f);
     ec_->env->Schedule(kInvokeDispatchLatency,
                        [self, state] { self->DispatchDirect(state); });
   }
 
   void DispatchTwoLevel(std::shared_ptr<StageState> state) {
     // Group fragments into invoker batches and dispatch those serially; each
-    // invoker fans out its batch in parallel with the others.
+    // invoker fans out its batch in parallel with the others. Responses are
+    // routed back to fragments by the "fragment" field, so individual worker
+    // failures inside a batch retry per-fragment, not per-batch.
     auto self = shared_from_this();
     std::vector<Json> batches;
+    std::vector<std::vector<int>> batch_fragments;
     while (!state->pending.empty()) {
       Json batch = Json::Object();
       Json payloads = Json::Array();
+      std::vector<int> members;
       for (int i = 0; i < ec_->invoker_fanout && !state->pending.empty();
            ++i) {
-        payloads.Append(std::move(state->pending.front()));
+        const int f = state->pending.front();
         state->pending.pop_front();
+        payloads.Append(state->frags[static_cast<size_t>(f)].payload);
+        members.push_back(f);
       }
       batch["payloads"] = std::move(payloads);
       batches.push_back(std::move(batch));
+      batch_fragments.push_back(std::move(members));
     }
     auto batch_list = std::make_shared<std::vector<Json>>(std::move(batches));
+    auto member_list = std::make_shared<std::vector<std::vector<int>>>(
+        std::move(batch_fragments));
     auto issue = std::make_shared<std::function<void(size_t)>>();
-    *issue = [self, state, batch_list, issue](size_t i) {
+    *issue = [self, state, batch_list, member_list, issue](size_t i) {
       if (i >= batch_list->size() || state->failed) return;
-      const int count =
-          static_cast<int>((*batch_list)[i].Get("payloads").size());
-      state->running += count;
-      state->peak_running = std::max(state->peak_running, state->running);
+      const std::vector<int>& members = (*member_list)[i];
+      for (int f : members) self->NoteLaunch(state, f);
       self->ec_->worker_platform->Invoke(
           kInvokerFunction, std::move((*batch_list)[i]),
-          [self, state, count](Result<Json> r) {
+          [self, state, members](Result<Json> r) {
             if (!r.ok()) {
-              self->OnWorkerDone(state, r.status(), count);
+              // The invoker itself died (crash/timeout): every fragment of
+              // the batch failed; each retries independently.
+              for (int f : members) {
+                self->OnWorkerOutcome(state, f, r.status());
+              }
               return;
             }
-            // The invoker returns the collected worker responses.
+            // The invoker returns the collected worker responses (including
+            // per-fragment error entries), routed by fragment index.
             for (const auto& response : r->Get("responses").AsArray()) {
-              self->OnWorkerDone(state, Json(response), 1);
+              const int f = static_cast<int>(response.GetInt("fragment", -1));
+              if (f < 0 || f >= state->fragments) continue;
+              self->OnWorkerOutcome(state, f, Json(response));
             }
           });
       self->ec_->env->Schedule(kInvokeDispatchLatency,
@@ -278,36 +334,93 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     (*issue)(0);
   }
 
-  void OnWorkerDone(std::shared_ptr<StageState> state, Result<Json> result,
-                    int count) {
-    if (state->failed) return;
-    state->running -= count;
-    state->completed += count;
-    if (!result.ok()) {
-      state->failed = true;
-      Fail(result.status());
-      return;
-    }
-    const Json& response = *result;
-    if (response.Has("error")) {
-      state->failed = true;
-      Fail(Status::Internal(response.GetString("error")));
-      return;
-    }
-    state->worker_ms += response.GetDouble("duration_ms");
-    state->requests += response.GetInt("requests");
-    state->bytes_read += response.GetInt("bytes_read");
-    state->bytes_written += response.GetInt("bytes_written");
-    state->cold_starts += response.GetBool("cold_start") ? 1 : 0;
-    if (state->completed == state->fragments) {
-      FinishStage(state);
-      return;
+  void OnWorkerOutcome(std::shared_ptr<StageState> state, int f,
+                       Result<Json> result) {
+    FragmentState& frag = state->frags[static_cast<size_t>(f)];
+    --frag.outstanding;
+    --state->running;
+    if (state->failed || done_) return;
+    const bool ok = result.ok() && !result->Has("error");
+    if (ok) {
+      if (!frag.completed) {
+        frag.completed = true;
+        ++state->completed;
+        const Json& response = *result;
+        state->worker_ms += response.GetDouble("duration_ms");
+        state->requests += response.GetInt("requests");
+        state->bytes_read += response.GetInt("bytes_read");
+        state->bytes_written += response.GetInt("bytes_written");
+        state->cold_starts += response.GetBool("cold_start") ? 1 : 0;
+        if (state->completed == state->fragments) {
+          FinishStage(state);
+          return;
+        }
+      }
+      // else: duplicate completion of a retried/speculated fragment; the
+      // first attempt's stats already counted.
+    } else {
+      ++state->worker_errors;
+      frag.last_error = result.ok() ? result->GetString("error")
+                                    : result.status().ToString();
+      if (!frag.completed && frag.outstanding == 0) {
+        // No other attempt can still save this fragment: retry or give up.
+        if (frag.attempts >= ec_->worker_max_attempts) {
+          state->failed = true;
+          ec_->env->Cancel(state->spec_timer);
+          Fail(Status::Internal(
+              "pipeline " + std::to_string(state->pipeline->id) +
+              " fragment " + std::to_string(f) + " failed after " +
+              std::to_string(frag.attempts) +
+              " attempts: " + frag.last_error));
+          return;
+        }
+        ++state->retries;
+        auto self = shared_from_this();
+        const SimDuration backoff =
+            ec_->worker_retry_backoff * frag.attempts;
+        ec_->env->Schedule(backoff, [self, state, f] {
+          if (state->failed || self->done_) return;
+          if (state->frags[static_cast<size_t>(f)].completed) return;
+          self->InvokeFragment(state, f);
+        });
+      }
+      // else: a concurrent attempt (speculative copy or racing retry) is
+      // still in flight; its outcome decides what happens next.
     }
     // A slot freed up: continue dispatching the wave.
     if (state->fragments < ec_->two_level_threshold) DispatchDirect(state);
   }
 
+  // --- Straggler speculation. ---
+
+  void ScheduleSpeculationSweep(std::shared_ptr<StageState> state) {
+    if (ec_->speculation_after <= 0) return;
+    auto self = shared_from_this();
+    state->spec_timer = ec_->env->Schedule(
+        ec_->speculation_interval,
+        [self, state] { self->SpeculationSweep(state); });
+  }
+
+  void SpeculationSweep(std::shared_ptr<StageState> state) {
+    if (state->failed || done_ || state->completed == state->fragments) {
+      return;
+    }
+    for (int f = 0; f < state->fragments; ++f) {
+      FragmentState& frag = state->frags[static_cast<size_t>(f)];
+      // Duplicate a straggler only when exactly one attempt is in flight
+      // (never pile speculative copies on top of each other) and the
+      // attempt budget allows a wasted duplicate.
+      if (frag.completed || frag.outstanding != 1) continue;
+      if (frag.attempts >= ec_->worker_max_attempts) continue;
+      if (Now() - frag.last_dispatch < ec_->speculation_after) continue;
+      ++state->speculative;
+      InvokeFragment(state, f);
+    }
+    ScheduleSpeculationSweep(state);
+  }
+
   void FinishStage(const std::shared_ptr<StageState>& state) {
+    ec_->env->Cancel(state->spec_timer);
     Json summary = Json::Object();
     summary["pipeline"] = state->pipeline->id;
     summary["fragments"] = state->fragments;
@@ -318,11 +431,17 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     summary["bytes_read"] = state->bytes_read;
     summary["bytes_written"] = state->bytes_written;
     summary["cold_starts"] = state->cold_starts;
+    summary["retries"] = state->retries;
+    summary["speculative"] = state->speculative;
+    summary["worker_errors"] = state->worker_errors;
     stage_summaries_.push_back(std::move(summary));
     cumulated_worker_ms_ += state->worker_ms;
     total_requests_ += state->requests;
     total_workers_ += state->fragments;
     peak_workers_ = std::max(peak_workers_, state->peak_running);
+    worker_retries_ += state->retries;
+    speculative_launches_ += state->speculative;
+    worker_errors_ += state->worker_errors;
     RunStage(state->index + 1);
   }
 
@@ -338,6 +457,9 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     response["total_workers"] = total_workers_;
     response["peak_workers"] = peak_workers_;
     response["requests"] = total_requests_;
+    response["worker_retries"] = worker_retries_;
+    response["speculative_launches"] = speculative_launches_;
+    response["worker_errors"] = worker_errors_;
     Json stages = Json::Array();
     for (auto& s : stage_summaries_) stages.Append(std::move(s));
     response["stages"] = std::move(stages);
@@ -360,6 +482,9 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
   int64_t total_requests_ = 0;
   int total_workers_ = 0;
   int peak_workers_ = 0;
+  int worker_retries_ = 0;
+  int speculative_launches_ = 0;
+  int worker_errors_ = 0;
   SimTime start_ = 0;
   bool done_ = false;
 };
@@ -383,17 +508,22 @@ class InvokerTask : public std::enable_shared_from_this<InvokerTask> {
  private:
   void Issue(size_t i) {
     const auto& payloads = fctx_->payload().Get("payloads").AsArray();
-    if (i >= payloads.size() || failed_) return;
+    if (i >= payloads.size()) return;
     auto self = shared_from_this();
+    const int fragment =
+        static_cast<int>(payloads[i].GetInt("fragment", -1));
     ec_->worker_platform->Invoke(
-        kWorkerFunction, payloads[i], [self, i](Result<Json> r) {
-          if (self->failed_) return;
-          if (!r.ok()) {
-            self->failed_ = true;
-            self->fctx_->FinishError(r.status());
-            return;
+        kWorkerFunction, payloads[i], [self, i, fragment](Result<Json> r) {
+          if (r.ok()) {
+            self->responses_[i] = *r;
+          } else {
+            // A worker died under this invoker: report it per-fragment so
+            // the coordinator retries just that fragment, not the batch.
+            Json entry = Json::Object();
+            entry["fragment"] = fragment;
+            entry["error"] = r.status().ToString();
+            self->responses_[i] = std::move(entry);
           }
-          self->responses_[i] = *r;
           if (++self->completed_ == self->total_) self->Finish();
         });
     ec_->env->Schedule(kInvokeDispatchLatency,
@@ -413,7 +543,6 @@ class InvokerTask : public std::enable_shared_from_this<InvokerTask> {
   std::vector<Json> responses_;
   int total_ = 0;
   int completed_ = 0;
-  bool failed_ = false;
 };
 
 }  // namespace

@@ -12,6 +12,10 @@ QueryResponse QueryResponse::FromJson(const Json& json) {
   response.total_workers = static_cast<int>(json.GetInt("total_workers"));
   response.peak_workers = static_cast<int>(json.GetInt("peak_workers"));
   response.requests = json.GetInt("requests");
+  response.worker_retries = static_cast<int>(json.GetInt("worker_retries"));
+  response.speculative_launches =
+      static_cast<int>(json.GetInt("speculative_launches"));
+  response.worker_errors = static_cast<int>(json.GetInt("worker_errors"));
   response.raw = json;
   return response;
 }

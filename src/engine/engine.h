@@ -21,6 +21,10 @@ struct QueryResponse {
   int total_workers = 0;
   int peak_workers = 0;
   int64_t requests = 0;
+  // Fault-tolerance counters (zero on a fault-free run).
+  int worker_retries = 0;
+  int speculative_launches = 0;
+  int worker_errors = 0;
   Json raw;
 
   static QueryResponse FromJson(const Json& json);

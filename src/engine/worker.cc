@@ -369,9 +369,16 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     auto self = shared_from_this();
     auto outstanding = std::make_shared<int>(0);
     auto next = std::make_shared<int>(0);
+    // Reads complete in storage-latency order, which is not deterministic
+    // across fault/retry schedules. Decode into one slot per upstream
+    // fragment and accumulate in fragment order once all reads are in, so
+    // the input chunk order (and thus the query result bytes) is identical
+    // regardless of which attempts straggled or were retried.
+    auto slots = std::make_shared<std::vector<std::vector<Chunk>>>(
+        static_cast<size_t>(count));
     auto pump = std::make_shared<std::function<void()>>();
     *pump = [self, index, upstream, count, remaining, failed, outstanding,
-             next, pump] {
+             next, slots, pump] {
       while (*outstanding < self->ec_->max_concurrent_requests &&
              *next < count) {
         const int uf = (*next)++;
@@ -380,7 +387,7 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
             ShuffleKey(self->query_id_, upstream, uf, self->fragment_);
         self->shuffle_client_->Get(
             key, self->storage_ctx_,
-            [self, index, key, remaining, failed, outstanding,
+            [self, index, key, uf, remaining, failed, outstanding, slots,
              pump](Result<Blob> result) {
               --(*outstanding);
               if (*failed) return;
@@ -390,11 +397,17 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
                 return;
               }
               self->bytes_read_ += result->size();
-              if (!self->DecodeShuffleObject(index, key, *result)) {
+              if (!self->DecodeShuffleObject(
+                      key, *result, &(*slots)[static_cast<size_t>(uf)])) {
                 *failed = true;
                 return;
               }
               if (--(*remaining) == 0) {
+                for (auto& slot : *slots) {
+                  for (auto& chunk : slot) {
+                    self->AccumulateInput(index, std::move(chunk));
+                  }
+                }
                 self->LoadInput(index + 1);
                 return;
               }
@@ -405,8 +418,8 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     (*pump)();
   }
 
-  bool DecodeShuffleObject(size_t index, const std::string& key,
-                           const Blob& blob) {
+  bool DecodeShuffleObject(const std::string& key, const Blob& blob,
+                           std::vector<Chunk>* out) {
     format::FileMeta meta;
     if (blob.is_synthetic()) {
       auto found = ec_->catalog->Find(key);
@@ -444,10 +457,10 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
         Fail(decoded.status());
         return false;
       }
-      AccumulateInput(index, std::move(decoded).ValueUnsafe());
+      out->push_back(std::move(decoded).ValueUnsafe());
     }
     if (meta.row_groups.empty()) {
-      AccumulateInput(index, Chunk::Empty(meta.schema));
+      out->push_back(Chunk::Empty(meta.schema));
     }
     return true;
   }

@@ -69,21 +69,67 @@ void Ec2Fleet::Dispatch(Pending pending) {
   env_->Schedule(Micros(300), [this, entry = std::move(entry).ValueUnsafe(),
                                instance,
                                pending = std::move(pending)]() mutable {
+    ++stats_.invocations;
     auto ctx = std::make_shared<FunctionContext>(
         env_, nics_[static_cast<size_t>(instance)].get(), fabric_,
         std::move(pending.payload), /*cold_start=*/false, entry.config);
     auto callback =
         std::make_shared<ResponseCallback>(std::move(pending.callback));
-    ctx->set_on_finish([this, callback](Json response) {
+    // The handler, the enforced timeout, and an injected crash race to
+    // settle the slot; first one through the gate wins.
+    struct Gate {
+      bool settled = false;
+      sim::EventId timeout_event = sim::kInvalidEventId;
+      sim::EventId crash_event = sim::kInvalidEventId;
+    };
+    auto gate = std::make_shared<Gate>();
+    auto settle = [this, gate] {
+      env_->Cancel(gate->timeout_event);
+      env_->Cancel(gate->crash_event);
       ++free_slots_;
       MaybeDispatch();
+    };
+    ctx->set_on_finish([gate, settle, callback](Json response) {
+      if (gate->settled) return;
+      gate->settled = true;
+      settle();
       (*callback)(std::move(response));
     });
-    ctx->set_on_finish_error([this, callback](Status status) {
-      ++free_slots_;
-      MaybeDispatch();
+    ctx->set_on_finish_error([this, gate, settle, callback](Status status) {
+      if (gate->settled) return;
+      gate->settled = true;
+      ++stats_.errors;
+      settle();
       (*callback)(std::move(status));
     });
+    const std::string function = entry.config.name;
+    if (entry.config.timeout > 0) {
+      gate->timeout_event = env_->Schedule(
+          entry.config.timeout, [this, gate, settle, callback, function] {
+            if (gate->settled) return;
+            gate->settled = true;
+            ++stats_.timeouts;
+            ++stats_.errors;
+            settle();
+            (*callback)(
+                Status::DeadlineExceeded("Task timed out: " + function));
+          });
+    }
+    if (fault_injector_ != nullptr) {
+      const auto crash = fault_injector_->SampleCrash(function);
+      if (crash.crash) {
+        gate->crash_event = env_->Schedule(
+            crash.after, [this, gate, settle, callback, function] {
+              if (gate->settled) return;
+              gate->settled = true;
+              ++stats_.crashes;
+              ++stats_.errors;
+              settle();
+              (*callback)(Status::IoError("worker crashed (injected): " +
+                                          function));
+            });
+      }
+    }
     entry.handler(ctx);
   });
 }

@@ -7,6 +7,7 @@
 #include "faas/function.h"
 #include "net/instance_specs.h"
 #include "pricing/cost_meter.h"
+#include "sim/fault_injector.h"
 
 /// \file ec2_fleet.h
 /// IaaS deployment: a provisioned cluster of EC2 VMs running function
@@ -29,6 +30,13 @@ class Ec2Fleet : public ComputePlatform {
     bool pre_provisioned = true;
     bool reserved_pricing = false;
     uint64_t rng_stream = 3501;
+  };
+
+  struct Stats {
+    int64_t invocations = 0;
+    int64_t errors = 0;
+    int64_t timeouts = 0;  ///< Executions killed at FunctionConfig::timeout.
+    int64_t crashes = 0;   ///< Injected worker-process crashes.
   };
 
   Ec2Fleet(sim::SimEnvironment* env, net::FabricDriver* fabric,
@@ -55,6 +63,13 @@ class Ec2Fleet : public ComputePlatform {
   }
   pricing::CostMeter* meter() { return &meter_; }
   bool running() const { return running_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Installs a fault injector: worker processes may crash mid-execution
+  /// (the slot is reclaimed either way). Pass nullptr to disable.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
 
  private:
   struct Pending {
@@ -71,6 +86,8 @@ class Ec2Fleet : public ComputePlatform {
   FunctionRegistry* registry_;
   Options opt_;
   Rng rng_;
+  sim::FaultInjector* fault_injector_ = nullptr;
+  Stats stats_;
   std::string name_ = "ec2";
   std::vector<std::unique_ptr<net::Ec2Nic>> nics_;
   std::vector<int> slot_instance_;  ///< Round-robin slot -> instance NIC.

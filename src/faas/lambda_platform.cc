@@ -53,8 +53,11 @@ void LambdaPlatform::InvokeAsync(const std::string& function, Json payload,
 void LambdaPlatform::DoInvoke(const std::string& function, Json payload,
                               ResponseCallback callback,
                               SimDuration extra_latency) {
-  const SimDuration frontend =
+  SimDuration frontend =
       storage::SampleLatency(opt_.frontend_latency, &rng_) + extra_latency;
+  if (fault_injector_ != nullptr) {
+    frontend += fault_injector_->MaybeInvokeDelay();
+  }
   env_->Schedule(frontend, [this, function, payload = std::move(payload),
                             callback = std::move(callback)]() mutable {
     ++stats_.invocations;
@@ -141,26 +144,72 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
       entry.config);
   const SimTime exec_start = env_->now();
   const std::string function = entry.config.name;
-  // Shared cleanup used by both completion paths.
-  auto settle = [this, exec_start, function, sandbox,
-                 config = entry.config] {
+  // The handler, the enforced timeout, and an injected crash race to settle
+  // the execution; whichever claims the gate first wins, the others no-op.
+  struct Gate {
+    bool settled = false;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+    sim::EventId crash_event = sim::kInvalidEventId;
+  };
+  auto gate = std::make_shared<Gate>();
+  // Shared cleanup. Abnormal terminations (timeout, sandbox kill) tear the
+  // execution environment down instead of returning it to the warm pool.
+  auto settle = [this, gate, exec_start, function, sandbox,
+                 config = entry.config](bool keep_sandbox) {
+    env_->Cancel(gate->timeout_event);
+    env_->Cancel(gate->crash_event);
     const SimDuration duration = env_->now() - exec_start;
     meter_.RecordLambdaInvocation(config.memory_gib(),
                                   std::max<SimDuration>(duration, 1));
     --active_;
-    sandbox->nic->NotifyIdle();
-    ReleaseSandbox(function, sandbox);
+    if (keep_sandbox) {
+      sandbox->nic->NotifyIdle();
+      ReleaseSandbox(function, sandbox);
+    }
   };
-  ctx->set_on_finish(
-      [settle, callback](Json response) mutable {
-        settle();
-        callback(std::move(response));
-      });
-  ctx->set_on_finish_error([this, settle, callback](Status status) mutable {
-    ++stats_.errors;
-    settle();
-    callback(std::move(status));
+  ctx->set_on_finish([gate, settle, callback](Json response) mutable {
+    if (gate->settled) return;
+    gate->settled = true;
+    settle(/*keep_sandbox=*/true);
+    callback(std::move(response));
   });
+  ctx->set_on_finish_error(
+      [this, gate, settle, callback](Status status) mutable {
+        if (gate->settled) return;
+        gate->settled = true;
+        ++stats_.errors;
+        settle(/*keep_sandbox=*/true);
+        callback(std::move(status));
+      });
+  if (entry.config.timeout > 0) {
+    gate->timeout_event = env_->Schedule(
+        entry.config.timeout, [this, gate, settle, callback, function] {
+          if (gate->settled) return;
+          gate->settled = true;
+          ++stats_.timeouts;
+          ++stats_.errors;
+          settle(/*keep_sandbox=*/false);
+          callback(Status::DeadlineExceeded(
+              "Task timed out: " + function));
+        });
+  }
+  if (fault_injector_ != nullptr) {
+    const auto crash = fault_injector_->SampleCrash(function);
+    if (crash.crash) {
+      gate->crash_event = env_->Schedule(
+          crash.after,
+          [this, gate, settle, callback, function,
+           kill = crash.kill_sandbox] {
+            if (gate->settled) return;
+            gate->settled = true;
+            ++stats_.crashes;
+            ++stats_.errors;
+            settle(/*keep_sandbox=*/!kill);
+            callback(Status::IoError("function crashed (injected): " +
+                                     function));
+          });
+    }
+  }
   entry.handler(ctx);
 }
 

@@ -7,6 +7,7 @@
 
 #include "faas/function.h"
 #include "pricing/cost_meter.h"
+#include "sim/fault_injector.h"
 #include "storage/latency_model.h"
 
 /// \file lambda_platform.h
@@ -68,6 +69,8 @@ class LambdaPlatform : public ComputePlatform {
     int64_t throttles = 0;
     int64_t reaped_sandboxes = 0;
     int64_t errors = 0;
+    int64_t timeouts = 0;  ///< Executions killed at FunctionConfig::timeout.
+    int64_t crashes = 0;   ///< Injected function crashes / sandbox kills.
   };
 
   LambdaPlatform(sim::SimEnvironment* env, net::FabricDriver* fabric,
@@ -93,6 +96,12 @@ class LambdaPlatform : public ComputePlatform {
   /// Pre-warms `count` sandboxes (used by warm-start experiment setups).
   void Prewarm(const std::string& function, int count);
 
+  /// Installs a fault injector: executions may crash mid-flight (optionally
+  /// losing their sandbox) and invocations may pick up latency spikes.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
  private:
   struct Sandbox {
     std::unique_ptr<net::LambdaNic> nic;
@@ -115,6 +124,7 @@ class LambdaPlatform : public ComputePlatform {
   FunctionRegistry* registry_;
   Options opt_;
   Rng rng_;
+  sim::FaultInjector* fault_injector_ = nullptr;
   std::string name_ = "lambda";
   std::map<std::string, std::deque<std::shared_ptr<Sandbox>>> warm_pool_;
   int active_ = 0;

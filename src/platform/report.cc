@@ -89,4 +89,24 @@ void PrintComparison(const std::string& metric, const std::string& paper,
               paper.c_str(), measured.c_str());
 }
 
+std::string RenderFaultSummary(const Json& coordinator_response) {
+  const Json& stages = coordinator_response.Get("stages");
+  if (!stages.is_array() || stages.AsArray().empty()) return "";
+  TablePrinter table({"pipeline", "fragments", "retries", "speculative",
+                      "worker_errors"});
+  for (const auto& stage : stages.AsArray()) {
+    table.AddRow({std::to_string(stage.GetInt("pipeline")),
+                  std::to_string(stage.GetInt("fragments")),
+                  std::to_string(stage.GetInt("retries")),
+                  std::to_string(stage.GetInt("speculative")),
+                  std::to_string(stage.GetInt("worker_errors"))});
+  }
+  table.AddRow({"total", "",
+                std::to_string(coordinator_response.GetInt("worker_retries")),
+                std::to_string(
+                    coordinator_response.GetInt("speculative_launches")),
+                std::to_string(coordinator_response.GetInt("worker_errors"))});
+  return table.Render();
+}
+
 }  // namespace skyrise::platform

@@ -42,4 +42,9 @@ void PrintHeader(const std::string& experiment_id, const std::string& title);
 void PrintComparison(const std::string& metric, const std::string& paper,
                      const std::string& measured);
 
+/// Renders the per-stage fault-tolerance table from a coordinator response
+/// (retries, speculative launches, worker errors per pipeline, plus a total
+/// row). Returns an empty string when the response reports no stages.
+std::string RenderFaultSummary(const Json& coordinator_response);
+
 }  // namespace skyrise::platform

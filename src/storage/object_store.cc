@@ -266,7 +266,10 @@ void ObjectStore::FailAfterRejectLatency(const ClientContext& ctx,
 
 void ObjectStore::FinishGet(Blob payload, const ClientContext& ctx,
                             GetCallback callback) {
-  const SimDuration first_byte = SampleLatency(opt_.read_latency, &rng_);
+  SimDuration first_byte = SampleLatency(opt_.read_latency, &rng_);
+  if (fault_injector_ != nullptr) {
+    first_byte += fault_injector_->MaybeNetworkBlip();
+  }
   const double rate = opt_.read_stream_rate *
                       rng_.Lognormal(0.0, opt_.stream_jitter_sigma);
   if (ctx.fabric != nullptr && ctx.nic != nullptr &&
@@ -296,7 +299,10 @@ void ObjectStore::FinishGet(Blob payload, const ClientContext& ctx,
 
 void ObjectStore::FinishPut(int64_t bytes, const ClientContext& ctx,
                             PutCallback callback) {
-  const SimDuration first_byte = SampleLatency(opt_.write_latency, &rng_);
+  SimDuration first_byte = SampleLatency(opt_.write_latency, &rng_);
+  if (fault_injector_ != nullptr) {
+    first_byte += fault_injector_->MaybeNetworkBlip();
+  }
   const double rate = opt_.write_stream_rate *
                       rng_.Lognormal(0.0, opt_.stream_jitter_sigma);
   if (ctx.fabric != nullptr && ctx.nic != nullptr &&
@@ -331,6 +337,18 @@ void ObjectStore::GetRange(const std::string& key, int64_t offset,
                            int64_t length, const ClientContext& ctx,
                            GetCallback callback) {
   const SimTime now = env_->now();
+  if (fault_injector_ != nullptr) {
+    Status injected = fault_injector_->MaybeStorageError(/*is_write=*/false);
+    if (!injected.ok()) {
+      if (ctx.meter != nullptr) {
+        ctx.meter->RecordStorageRequest(opt_.service_name, /*is_write=*/false,
+                                        0, /*success=*/false);
+      }
+      FailAfterRejectLatency(ctx, std::move(injected), std::move(callback),
+                             nullptr);
+      return;
+    }
+  }
   bool admitted;
   if (opt_.partitioned) {
     ApplyCooling();
@@ -373,6 +391,18 @@ void ObjectStore::GetRange(const std::string& key, int64_t offset,
 void ObjectStore::Put(const std::string& key, Blob data,
                       const ClientContext& ctx, PutCallback callback) {
   const SimTime now = env_->now();
+  if (fault_injector_ != nullptr) {
+    Status injected = fault_injector_->MaybeStorageError(/*is_write=*/true);
+    if (!injected.ok()) {
+      if (ctx.meter != nullptr) {
+        ctx.meter->RecordStorageRequest(opt_.service_name, /*is_write=*/true,
+                                        data.size(), /*success=*/false);
+      }
+      FailAfterRejectLatency(ctx, std::move(injected), nullptr,
+                             std::move(callback));
+      return;
+    }
+  }
   if (opt_.max_object_bytes > 0 && data.size() > opt_.max_object_bytes) {
     // Size violations are rejected synchronously at request validation and
     // are not billed (the SDK refuses to send them).

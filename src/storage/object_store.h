@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/environment.h"
+#include "sim/fault_injector.h"
 #include "sim/token_bucket.h"
 #include "storage/latency_model.h"
 #include "storage/storage_service.h"
@@ -135,6 +136,13 @@ class ObjectStore : public StorageService {
   /// Forces the partition count (warm-bucket scenario setup).
   void SetPartitionCount(int count);
 
+  /// Installs a fault injector: requests may fail with injected transient
+  /// 500/503 errors before admission, and the data path may pick up
+  /// network-blip latency. Pass nullptr to disable.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
   const Options& options() const { return opt_; }
 
  private:
@@ -166,6 +174,7 @@ class ObjectStore : public StorageService {
   sim::SimEnvironment* env_;
   Options opt_;
   Rng rng_;
+  sim::FaultInjector* fault_injector_ = nullptr;
   std::map<std::string, Blob> objects_;
   std::vector<Partition> partitions_;
   sim::TokenBucket global_write_bucket_;  ///< Writes never scale (4.4.1).

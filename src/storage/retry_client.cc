@@ -102,8 +102,13 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
         Status st = result.status();
         if (st.IsResourceExhausted()) ++stats_.throttles;
         if (st.IsRetriable()) {
+          // Throttles (503 SlowDown), timeouts, and transient I/O errors
+          // (500 InternalError) are worth another attempt.
           retry_or_fail(std::move(st));
         } else {
+          // NotFound, InvalidArgument, etc. will not heal with time: fail
+          // fast instead of burning the retry budget.
+          ++stats_.fail_fasts;
           ++stats_.permanent_failures;
           (*shared_cb)(std::move(st));
         }
@@ -160,6 +165,7 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
                   if (status.IsRetriable()) {
                     retry_or_fail(std::move(status));
                   } else {
+                    ++stats_.fail_fasts;
                     ++stats_.permanent_failures;
                     (*shared_cb)(std::move(status));
                   }

@@ -35,6 +35,10 @@ class RetryClient {
     int64_t timeouts = 0;
     int64_t successes = 0;
     int64_t permanent_failures = 0;
+    /// Non-retriable errors (NotFound, InvalidArgument, Internal, ...)
+    /// surfaced immediately without consuming the retry budget. Also
+    /// counted in `permanent_failures`.
+    int64_t fail_fasts = 0;
   };
 
   RetryClient(sim::SimEnvironment* env, StorageService* service,

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datagen/dataset.h"
+#include "datagen/tpch.h"
+#include "engine/engine.h"
+#include "engine/queries.h"
+#include "sim/fault_injector.h"
+#include "storage/object_store.h"
+
+namespace skyrise::engine {
+namespace {
+
+/// Chaos end-to-end: the same TPC-H queries on two identically-seeded
+/// testbeds — one fault-free, one under an aggressive fault profile (worker
+/// crashes, sandbox kills, transient storage 500/503s with SlowDown storms,
+/// invoke-path delays, network blips, coldstart stragglers). Fault-tolerant
+/// execution (per-fragment retry, speculation, idempotent shuffle writes)
+/// must deliver the exact same result bytes, and a repeated chaos run must
+/// reproduce the exact same execution (fixed seed => fixed faults).
+class ChaosE2ETest : public ::testing::Test {
+ protected:
+  static constexpr int kPartitions = 6;
+  static constexpr uint64_t kSeed = 2024;
+
+  /// One full engine deployment. All stacks are seeded identically, so any
+  /// divergence between them comes from the injected faults alone.
+  struct Stack {
+    explicit Stack(const sim::FaultInjector::Profile& profile)
+        : env(kSeed),
+          fabric_driver(&env, &fabric),
+          store(&env, storage::ObjectStore::StandardOptions()),
+          queue(&env),
+          injector(&env, profile) {
+      datagen::TpchConfig tpch;
+      tpch.scale_factor = 0.002;
+      lineitem = *datagen::UploadDataset(
+          &store, "lineitem", datagen::LineitemSchema(), kPartitions,
+          [&](int p) {
+            return datagen::GenerateLineitemPartition(tpch, p, kPartitions);
+          });
+      orders = *datagen::UploadDataset(
+          &store, "orders", datagen::OrdersSchema(), kPartitions, [&](int p) {
+            return datagen::GenerateOrdersPartition(tpch, p, kPartitions);
+          });
+
+      EngineContext context;
+      context.env = &env;
+      context.table_store = &store;
+      context.shuffle_store = &store;
+      context.catalog = &catalog;
+      context.queue = &queue;
+      context.meter = &meter;
+      context.partitions_per_worker = 2;
+      // A generous attempt budget so even back-to-back crash draws on the
+      // same fragment cannot exhaust it (failure probability ~0.25^8).
+      context.worker_max_attempts = 8;
+      engine = std::make_unique<QueryEngine>(std::move(context));
+      SKYRISE_CHECK_OK(engine->Deploy(&registry));
+
+      faas::LambdaPlatform::Options lambda_options;
+      lambda_options.account_concurrency = 10000;
+      // Coldstart stragglers enabled (and exaggerated) per the chaos brief.
+      lambda_options.coldstart_straggler_probability = 0.05;
+      lambda = std::make_unique<faas::LambdaPlatform>(
+          &env, &fabric_driver, &registry, lambda_options);
+      store.set_fault_injector(&injector);
+      lambda->set_fault_injector(&injector);
+    }
+
+    QueryResponse Run(const QueryPlan& plan, const std::string& id) {
+      Result<QueryResponse> outcome = Status::Internal("did not complete");
+      engine->Run(lambda.get(), plan, id,
+                  [&](Result<QueryResponse> r) { outcome = std::move(r); });
+      env.RunUntil(env.now() + Minutes(60));
+      SKYRISE_CHECK_OK(outcome.status());
+      return std::move(outcome).ValueUnsafe();
+    }
+
+    /// Raw result object bytes (control-plane read, no fault injection).
+    std::string ResultBytes(const std::string& id) {
+      auto blob = store.Peek(ResultKey(id));
+      SKYRISE_CHECK_OK(blob.status());
+      SKYRISE_CHECK(!blob->is_synthetic());
+      return blob->data();
+    }
+
+    sim::SimEnvironment env;
+    net::Fabric fabric;
+    net::FabricDriver fabric_driver;
+    storage::ObjectStore store;
+    storage::QueueService queue;
+    format::SyntheticFileCatalog catalog;
+    pricing::CostMeter meter;
+    faas::FunctionRegistry registry;
+    sim::FaultInjector injector;
+    datagen::DatasetInfo lineitem, orders;
+    std::unique_ptr<QueryEngine> engine;
+    std::unique_ptr<faas::LambdaPlatform> lambda;
+  };
+
+  /// Worker-crash >= 5%, storage transient errors >= 2% (with SlowDown
+  /// storms), plus invoke delays and network blips. The coordinator is
+  /// exempt from crashes: it is the deliberate single point of failure.
+  static sim::FaultInjector::Profile AggressiveProfile() {
+    sim::FaultInjector::Profile p;
+    p.storage_read_error_probability = 0.03;
+    p.storage_write_error_probability = 0.03;
+    p.storage_burst_error_probability = 0.4;
+    p.storage_burst_duration = Seconds(1);
+    p.storage_burst_interval = Seconds(15);
+    p.network_blip_probability = 0.05;
+    p.network_blip_max = Millis(100);
+    p.function_crash_probability = 0.20;
+    p.sandbox_kill_probability = 0.05;
+    // Early crash points so crashes land before short executions finish.
+    p.crash_delay_max = Millis(400);
+    p.crash_exempt_functions = {kCoordinatorFunction};
+    p.invoke_delay_probability = 0.1;
+    p.invoke_delay_max = Millis(300);
+    return p;
+  }
+};
+
+TEST_F(ChaosE2ETest, ChaosRunProducesBitIdenticalResults) {
+  Stack calm(sim::FaultInjector::Disabled());
+  Stack chaos(AggressiveProfile());
+
+  // Q12: multi-stage with a partitioned shuffle join — exercises retries
+  // across shuffle writers and readers. Q6: scan-heavy single join-free
+  // aggregation.
+  QuerySuiteOptions options;
+  options.join_partitions = 4;
+  const QueryPlan q12 = BuildTpchQ12(options);
+  const QueryPlan q6 = BuildTpchQ6();
+
+  auto calm_q12 = calm.Run(q12, "q12");
+  auto chaos_q12 = chaos.Run(q12, "q12");
+  auto calm_q6 = calm.Run(q6, "q6");
+  auto chaos_q6 = chaos.Run(q6, "q6");
+
+  // The chaos run was actually chaotic...
+  EXPECT_GT(chaos.injector.stats().storage_errors, 0);
+  EXPECT_GT(chaos.injector.stats().function_crashes, 0);
+  EXPECT_GT(chaos_q12.worker_errors + chaos_q6.worker_errors, 0);
+  EXPECT_GT(chaos_q12.worker_retries + chaos_q6.worker_retries, 0);
+  // ...while the fault-free run saw none of it.
+  EXPECT_EQ(calm_q12.worker_retries, 0);
+  EXPECT_EQ(calm_q12.worker_errors, 0);
+  EXPECT_EQ(calm.injector.stats().storage_errors, 0);
+
+  // Despite crashes and transient errors, results are bit-identical.
+  EXPECT_EQ(calm.ResultBytes("q12"), chaos.ResultBytes("q12"));
+  EXPECT_EQ(calm.ResultBytes("q6"), chaos.ResultBytes("q6"));
+
+  // The per-stage summaries surface the fault counters.
+  int64_t stage_retries = 0;
+  for (const auto& stage : chaos_q12.raw.Get("stages").AsArray()) {
+    stage_retries += stage.GetInt("retries");
+  }
+  for (const auto& stage : chaos_q6.raw.Get("stages").AsArray()) {
+    stage_retries += stage.GetInt("retries");
+  }
+  EXPECT_EQ(stage_retries,
+            chaos_q12.worker_retries + chaos_q6.worker_retries);
+}
+
+TEST_F(ChaosE2ETest, ChaosRunIsDeterministicForFixedSeed) {
+  QuerySuiteOptions options;
+  options.join_partitions = 4;
+  const QueryPlan q12 = BuildTpchQ12(options);
+
+  Stack first(AggressiveProfile());
+  Stack second(AggressiveProfile());
+  auto r1 = first.Run(q12, "q12");
+  auto r2 = second.Run(q12, "q12");
+
+  // Same seed, same profile: the exact same faults fire at the exact same
+  // virtual times — runtime, retry counts, and result bytes all match.
+  EXPECT_EQ(r1.runtime_ms, r2.runtime_ms);
+  EXPECT_EQ(r1.worker_retries, r2.worker_retries);
+  EXPECT_EQ(r1.worker_errors, r2.worker_errors);
+  EXPECT_EQ(r1.speculative_launches, r2.speculative_launches);
+  EXPECT_EQ(first.ResultBytes("q12"), second.ResultBytes("q12"));
+  EXPECT_EQ(first.injector.stats().storage_errors,
+            second.injector.stats().storage_errors);
+  EXPECT_EQ(first.injector.stats().function_crashes,
+            second.injector.stats().function_crashes);
+}
+
+TEST_F(ChaosE2ETest, SpeculationDuplicatesStragglers) {
+  // A profile with no hard faults but heavy invoke-path delay cannot stall
+  // the query: tight speculation budgets launch duplicates instead. This
+  // exercises the speculative path deterministically (first-wins + the
+  // duplicate's idempotent writes).
+  sim::FaultInjector::Profile profile;
+  profile.invoke_delay_probability = 0.5;
+  profile.invoke_delay_max = Seconds(30);
+  Stack stack(profile);
+  stack.engine->context()->speculation_after = Seconds(5);
+  stack.engine->context()->speculation_interval = Seconds(1);
+
+  auto response = stack.Run(BuildTpchQ6(), "q6");
+  EXPECT_GT(response.speculative_launches, 0);
+  EXPECT_FALSE(stack.ResultBytes("q6").empty());
+}
+
+}  // namespace
+}  // namespace skyrise::engine

@@ -102,6 +102,58 @@ TEST_F(Ec2FleetTest, StopBillsFleetLifetime) {
   EXPECT_NEAR(fleet.meter()->ComputeUsd(), 4 * 0.136, 0.01);
 }
 
+TEST_F(Ec2FleetTest, TimeoutKillsLongTasksAndFreesTheSlot) {
+  FunctionConfig slow;
+  slow.name = "slowtask";
+  slow.timeout = Seconds(1);
+  SKYRISE_CHECK_OK(registry_.Register(slow, [](const auto& ctx) {
+    ctx->Compute(Seconds(60), [ctx] { ctx->Finish(Json::Object()); });
+  }));
+  Ec2Fleet::Options opt;
+  opt.instance_count = 1;
+  opt.slots_per_instance = 1;
+  Ec2Fleet fleet(&env_, &fabric_driver_, &registry_, opt);
+  fleet.Start(nullptr);
+  Status status;
+  SimTime timeout_at = 0;
+  fleet.Invoke("slowtask", Json::Object(), [&](Result<Json> r) {
+    status = r.status();
+    timeout_at = env_.now();
+  });
+  // The killed task's slot is reclaimed: a queued task runs right after.
+  bool ok = false;
+  fleet.Invoke("task", Json::Object(), [&](Result<Json> r) { ok = r.ok(); });
+  env_.Run();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_LT(timeout_at, Seconds(3));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(fleet.stats().timeouts, 1);
+  EXPECT_EQ(fleet.stats().errors, 1);
+  EXPECT_EQ(fleet.free_slots(), 1);
+}
+
+TEST_F(Ec2FleetTest, InjectedWorkerCrashFailsInvocation) {
+  sim::FaultInjector::Profile profile;
+  profile.function_crash_probability = 1.0;
+  profile.crash_delay_max = Millis(100);
+  sim::FaultInjector injector(&env_, profile);
+  Ec2Fleet::Options opt;
+  opt.instance_count = 1;
+  opt.slots_per_instance = 1;
+  Ec2Fleet fleet(&env_, &fabric_driver_, &registry_, opt);
+  fleet.set_fault_injector(&injector);
+  fleet.Start(nullptr);
+  Json payload = Json::Object();
+  payload["work_ms"] = 60000;
+  Status status;
+  fleet.Invoke("task", payload, [&](Result<Json> r) { status = r.status(); });
+  env_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+  EXPECT_EQ(fleet.stats().crashes, 1);
+  EXPECT_EQ(fleet.stats().errors, 1);
+  EXPECT_EQ(fleet.free_slots(), 1);  // Slot reclaimed after the crash.
+}
+
 TEST_F(Ec2FleetTest, UnknownFunctionReportsError) {
   Ec2Fleet fleet(&env_, &fabric_driver_, &registry_, Ec2Fleet::Options());
   fleet.Start(nullptr);

@@ -261,5 +261,100 @@ TEST_F(LambdaPlatformTest, RegionContentionSlowsColdstarts) {
   EXPECT_GT(stats::Median(eu_ms), 1.25 * stats::Median(us_ms));
 }
 
+TEST_F(LambdaPlatformTest, TimeoutKillsLongExecutions) {
+  FunctionConfig slow;
+  slow.name = "slowpoke";
+  slow.timeout = Seconds(1);
+  SKYRISE_CHECK_OK(registry_.Register(slow, [](const auto& ctx) {
+    ctx->Compute(Seconds(30), [ctx] { ctx->Finish(Json::Object()); });
+  }));
+  auto platform = MakePlatform();
+  Status status;
+  SimTime done_at = 0;
+  platform->Invoke("slowpoke", Json::Object(), [&](Result<Json> r) {
+    status = r.status();
+    done_at = env_.now();
+  });
+  env_.Run();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  // Killed at the configured timeout, not after the 30 s of work.
+  EXPECT_LT(done_at, Seconds(3));
+  EXPECT_EQ(platform->stats().timeouts, 1);
+  EXPECT_EQ(platform->stats().errors, 1);
+  // A timed-out execution environment is torn down, not reused.
+  EXPECT_EQ(platform->WarmSandboxCount("slowpoke"), 0);
+}
+
+TEST_F(LambdaPlatformTest, ExecutionsFinishingInTimeAreNotKilled) {
+  FunctionConfig quick;
+  quick.name = "quick";
+  quick.timeout = Seconds(10);
+  SKYRISE_CHECK_OK(registry_.Register(quick, [](const auto& ctx) {
+    ctx->Compute(Millis(50), [ctx] { ctx->Finish(Json::Object()); });
+  }));
+  auto platform = MakePlatform();
+  bool ok = false;
+  platform->Invoke("quick", Json::Object(),
+                   [&](Result<Json> r) { ok = r.ok(); });
+  RunFor(Seconds(30));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(platform->stats().timeouts, 0);
+  EXPECT_EQ(platform->WarmSandboxCount("quick"), 1);
+}
+
+TEST_F(LambdaPlatformTest, InjectedCrashFailsExecutionButKeepsSandbox) {
+  sim::FaultInjector::Profile profile;
+  profile.function_crash_probability = 1.0;
+  profile.crash_delay_max = Millis(200);
+  sim::FaultInjector injector(&env_, profile);
+  auto platform = MakePlatform();
+  platform->set_fault_injector(&injector);
+  Json payload = Json::Object();
+  payload["work_ms"] = 60000;
+  Status status;
+  platform->Invoke("worker", payload,
+                   [&](Result<Json> r) { status = r.status(); });
+  RunFor(Minutes(2));
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+  EXPECT_EQ(platform->stats().crashes, 1);
+  EXPECT_EQ(platform->stats().errors, 1);
+  // A handler crash loses the execution, not the sandbox.
+  EXPECT_EQ(platform->WarmSandboxCount("worker"), 1);
+}
+
+TEST_F(LambdaPlatformTest, InjectedSandboxKillEmptiesWarmPool) {
+  sim::FaultInjector::Profile profile;
+  profile.sandbox_kill_probability = 1.0;
+  profile.crash_delay_max = Millis(200);
+  sim::FaultInjector injector(&env_, profile);
+  auto platform = MakePlatform();
+  platform->set_fault_injector(&injector);
+  Json payload = Json::Object();
+  payload["work_ms"] = 60000;
+  Status status;
+  platform->Invoke("worker", payload,
+                   [&](Result<Json> r) { status = r.status(); });
+  RunFor(Minutes(2));
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(platform->stats().crashes, 1);
+  EXPECT_EQ(platform->WarmSandboxCount("worker"), 0);
+}
+
+TEST_F(LambdaPlatformTest, CrashExemptFunctionRunsNormally) {
+  sim::FaultInjector::Profile profile;
+  profile.function_crash_probability = 1.0;
+  profile.crash_delay_max = Millis(10);
+  profile.crash_exempt_functions = {"echo"};
+  sim::FaultInjector injector(&env_, profile);
+  auto platform = MakePlatform();
+  platform->set_fault_injector(&injector);
+  bool ok = false;
+  platform->Invoke("echo", Json::Object(),
+                   [&](Result<Json> r) { ok = r.ok(); });
+  env_.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(platform->stats().crashes, 0);
+}
+
 }  // namespace
 }  // namespace skyrise::faas

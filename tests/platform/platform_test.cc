@@ -158,5 +158,38 @@ TEST(TestbedTest, EngineTestbedRunsAQuery) {
   EXPECT_EQ(bed.lambda->stats().cold_starts, colds);
 }
 
+TEST(ReportTest, RenderFaultSummaryTabulatesStagesAndTotals) {
+  Json response = Json::Object();
+  response["worker_retries"] = 3;
+  response["speculative_launches"] = 1;
+  response["worker_errors"] = 4;
+  Json stages = Json::Array();
+  Json s0 = Json::Object();
+  s0["pipeline"] = 0;
+  s0["fragments"] = 8;
+  s0["retries"] = 2;
+  s0["speculative"] = 1;
+  s0["worker_errors"] = 3;
+  stages.Append(std::move(s0));
+  Json s1 = Json::Object();
+  s1["pipeline"] = 1;
+  s1["fragments"] = 4;
+  s1["retries"] = 1;
+  s1["speculative"] = 0;
+  s1["worker_errors"] = 1;
+  stages.Append(std::move(s1));
+  response["stages"] = std::move(stages);
+
+  const std::string out = RenderFaultSummary(response);
+  EXPECT_NE(out.find("pipeline"), std::string::npos);
+  EXPECT_NE(out.find("retries"), std::string::npos);
+  EXPECT_NE(out.find("total"), std::string::npos);
+  // Header + rule + two stage rows + total row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+
+  // No stages => nothing to report.
+  EXPECT_EQ(RenderFaultSummary(Json::Object()), "");
+}
+
 }  // namespace
 }  // namespace skyrise::platform

@@ -1,0 +1,167 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace skyrise::sim {
+namespace {
+
+TEST(FaultInjectorTest, DisabledProfileInjectsNothing) {
+  SimEnvironment env(1);
+  FaultInjector injector(&env, FaultInjector::Disabled());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(injector.MaybeStorageError(i % 2 == 0).ok());
+    EXPECT_EQ(injector.MaybeNetworkBlip(), 0);
+    EXPECT_EQ(injector.MaybeInvokeDelay(), 0);
+    EXPECT_FALSE(injector.SampleCrash("worker").crash);
+  }
+  EXPECT_FALSE(injector.InStorageBurst());
+  EXPECT_EQ(injector.stats().storage_errors, 0);
+  EXPECT_EQ(injector.stats().function_crashes, 0);
+  EXPECT_EQ(injector.stats().invoke_delays, 0);
+  EXPECT_EQ(injector.stats().network_blips, 0);
+}
+
+TEST(FaultInjectorTest, DecisionsAreDeterministicForFixedSeed) {
+  // Two injectors on identically-seeded environments must make the exact
+  // same decision sequence — the property the chaos e2e test relies on.
+  auto record = [] {
+    SimEnvironment env(99);
+    FaultInjector injector(&env, FaultInjector::Chaos());
+    std::vector<int64_t> trace;
+    for (int i = 0; i < 500; ++i) {
+      trace.push_back(injector.MaybeStorageError(false).ok() ? -1 : 1);
+      trace.push_back(injector.MaybeNetworkBlip());
+      trace.push_back(injector.MaybeInvokeDelay());
+      const auto crash = injector.SampleCrash("worker");
+      trace.push_back(crash.crash ? crash.after : -1);
+      trace.push_back(crash.kill_sandbox ? 1 : 0);
+    }
+    return trace;
+  };
+  EXPECT_EQ(record(), record());
+}
+
+TEST(FaultInjectorTest, DifferentStreamsDiverge) {
+  SimEnvironment env(99);
+  FaultInjector a(&env, FaultInjector::Chaos(), 7001);
+  FaultInjector b(&env, FaultInjector::Chaos(), 7002);
+  int differences = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (a.MaybeStorageError(false).ok() != b.MaybeStorageError(false).ok()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjectorTest, StorageErrorRateTracksProfile) {
+  SimEnvironment env(7);
+  FaultInjector::Profile profile;
+  profile.storage_read_error_probability = 0.2;
+  profile.storage_write_error_probability = 0;
+  FaultInjector injector(&env, profile);
+  int read_errors = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!injector.MaybeStorageError(false).ok()) ++read_errors;
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(injector.MaybeStorageError(true).ok());
+  }
+  EXPECT_NEAR(read_errors, 2000, 200);
+  EXPECT_EQ(injector.stats().storage_errors, read_errors);
+  // Both flavors occur, in roughly the configured 50/50 split, and both are
+  // retriable for the storage client.
+  EXPECT_GT(injector.stats().slowdowns, read_errors / 4);
+  EXPECT_GT(injector.stats().internal_errors, read_errors / 4);
+  EXPECT_EQ(injector.stats().slowdowns + injector.stats().internal_errors,
+            read_errors);
+}
+
+TEST(FaultInjectorTest, InjectedErrorsAreRetriable) {
+  SimEnvironment env(7);
+  FaultInjector::Profile profile;
+  profile.storage_read_error_probability = 1.0;
+  FaultInjector injector(&env, profile);
+  for (int i = 0; i < 100; ++i) {
+    Status status = injector.MaybeStorageError(false);
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(status.IsRetriable()) << status.ToString();
+  }
+}
+
+TEST(FaultInjectorTest, BurstWindowsRaiseErrorRate) {
+  SimEnvironment env(7);
+  FaultInjector::Profile profile;
+  profile.storage_read_error_probability = 0;
+  profile.storage_burst_error_probability = 1.0;
+  profile.storage_burst_duration = Seconds(1);
+  profile.storage_burst_interval = Seconds(10);
+  FaultInjector injector(&env, profile);
+  // Interval start: inside the burst window, every request fails.
+  EXPECT_TRUE(injector.InStorageBurst());
+  EXPECT_FALSE(injector.MaybeStorageError(false).ok());
+  // Past the window: baseline probability (zero here) applies.
+  env.RunUntil(Seconds(5));
+  EXPECT_FALSE(injector.InStorageBurst());
+  EXPECT_TRUE(injector.MaybeStorageError(false).ok());
+  // The next interval opens a new window.
+  env.RunUntil(Seconds(10) + Millis(500));
+  EXPECT_TRUE(injector.InStorageBurst());
+  EXPECT_FALSE(injector.MaybeStorageError(false).ok());
+}
+
+TEST(FaultInjectorTest, CrashExemptFunctionsNeverCrash) {
+  SimEnvironment env(7);
+  FaultInjector::Profile profile;
+  profile.function_crash_probability = 1.0;
+  profile.crash_delay_max = Millis(800);
+  profile.crash_exempt_functions = {"coordinator"};
+  FaultInjector injector(&env, profile);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.SampleCrash("coordinator").crash);
+    const auto crash = injector.SampleCrash("worker");
+    EXPECT_TRUE(crash.crash);
+    EXPECT_FALSE(crash.kill_sandbox);
+    EXPECT_GE(crash.after, 0);
+    EXPECT_LT(crash.after, Millis(800));
+  }
+  EXPECT_EQ(injector.stats().function_crashes, 100);
+  EXPECT_EQ(injector.stats().sandbox_kills, 0);
+}
+
+TEST(FaultInjectorTest, SandboxKillsAreCrashesThatLoseTheSandbox) {
+  SimEnvironment env(7);
+  FaultInjector::Profile profile;
+  profile.sandbox_kill_probability = 1.0;
+  FaultInjector injector(&env, profile);
+  const auto crash = injector.SampleCrash("worker");
+  EXPECT_TRUE(crash.crash);
+  EXPECT_TRUE(crash.kill_sandbox);
+  EXPECT_EQ(injector.stats().function_crashes, 1);
+  EXPECT_EQ(injector.stats().sandbox_kills, 1);
+}
+
+TEST(FaultInjectorTest, DelaysBoundedByProfileMax) {
+  SimEnvironment env(7);
+  FaultInjector::Profile profile;
+  profile.invoke_delay_probability = 1.0;
+  profile.invoke_delay_max = Millis(100);
+  profile.network_blip_probability = 1.0;
+  profile.network_blip_max = Millis(50);
+  FaultInjector injector(&env, profile);
+  for (int i = 0; i < 200; ++i) {
+    const SimDuration invoke = injector.MaybeInvokeDelay();
+    EXPECT_GE(invoke, 0);
+    EXPECT_LT(invoke, Millis(100));
+    const SimDuration blip = injector.MaybeNetworkBlip();
+    EXPECT_GE(blip, 0);
+    EXPECT_LT(blip, Millis(50));
+  }
+  EXPECT_EQ(injector.stats().invoke_delays, 200);
+  EXPECT_EQ(injector.stats().network_blips, 200);
+}
+
+}  // namespace
+}  // namespace skyrise::sim

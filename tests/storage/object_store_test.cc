@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/histogram.h"
+#include "storage/retry_client.h"
 
 namespace skyrise::storage {
 namespace {
@@ -293,6 +294,65 @@ TEST_F(ObjectStoreTest, MeterRecordsAllRequests) {
   EXPECT_EQ(meter.RequestCount("s3"), 100);  // Throttled ones included.
   EXPECT_GT(meter.FailedRequests(), 0);
   EXPECT_NEAR(meter.StorageUsd(), 100 * 4e-7, 1e-12);
+}
+
+TEST_F(ObjectStoreTest, InjectedStorageErrorsFailRequests) {
+  sim::FaultInjector::Profile profile;
+  profile.storage_read_error_probability = 1.0;
+  profile.storage_write_error_probability = 1.0;
+  sim::FaultInjector injector(&env_, profile);
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  s3.set_fault_injector(&injector);
+  s3.Insert("k", Blob::FromString("v"));
+  Status get_status, put_status;
+  s3.Get("k", {}, [&](Result<Blob> r) { get_status = r.status(); });
+  s3.Put("w", Blob::Synthetic(kKiB), {},
+         [&](Status s) { put_status = std::move(s); });
+  env_.Run();
+  // Both fail with a retriable transient error, never with data corruption.
+  EXPECT_FALSE(get_status.ok());
+  EXPECT_TRUE(get_status.IsRetriable()) << get_status.ToString();
+  EXPECT_FALSE(put_status.ok());
+  EXPECT_TRUE(put_status.IsRetriable()) << put_status.ToString();
+  EXPECT_EQ(injector.stats().storage_errors, 2);
+  EXPECT_FALSE(s3.Contains("w"));  // The injected PUT never lands.
+}
+
+TEST_F(ObjectStoreTest, InjectedErrorsAreMeteredAsFailedRequests) {
+  sim::FaultInjector::Profile profile;
+  profile.storage_read_error_probability = 1.0;
+  sim::FaultInjector injector(&env_, profile);
+  pricing::CostMeter meter;
+  ClientContext ctx;
+  ctx.meter = &meter;
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  s3.set_fault_injector(&injector);
+  s3.Insert("k", Blob::FromString("v"));
+  s3.Get("k", ctx, [](Result<Blob>) {});
+  env_.Run();
+  // Failed requests still bill and count (S3 charges for 5xx responses).
+  EXPECT_EQ(meter.RequestCount("s3"), 1);
+  EXPECT_EQ(meter.FailedRequests(), 1);
+}
+
+TEST_F(ObjectStoreTest, RetryClientMasksInjectedTransientErrors) {
+  sim::FaultInjector::Profile profile;
+  profile.storage_read_error_probability = 0.3;
+  sim::FaultInjector injector(&env_, profile);
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  s3.set_fault_injector(&injector);
+  s3.Insert("k", Blob::Synthetic(kKiB));
+  RetryClient::Options ropt;
+  ropt.max_attempts = 10;
+  RetryClient client(&env_, &s3, ropt);
+  int ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    client.Get("k", {}, [&](Result<Blob> r) { ok += r.ok() ? 1 : 0; });
+  }
+  env_.Run();
+  EXPECT_EQ(ok, 50);  // Every read eventually succeeds through retries.
+  EXPECT_GT(injector.stats().storage_errors, 0);
+  EXPECT_GT(client.stats().attempts, 50);
 }
 
 }  // namespace

@@ -166,5 +166,127 @@ TEST_F(RetryClientTest, SizeBasedTimeoutExtendsAllowance) {
   EXPECT_EQ(client.stats().timeouts, 0);
 }
 
+TEST_F(RetryClientTest, BackoffCapClampsExponentialGrowth) {
+  // With a tight cap, many attempts complete quickly: uncapped exponential
+  // backoff over 10 attempts would wait 25*(2^9) ms = 12.8 s on the last
+  // delay alone; the 100 ms cap bounds every delay.
+  auto opt = ObjectStore::StandardOptions();
+  opt.read_burst_tokens = 0;
+  opt.partition_read_iops = 0;  // Never admits: all attempts throttle.
+  ObjectStore s3(&env_, opt);
+  s3.Insert("k", Blob::Synthetic(kKiB));
+  RetryClient::Options ropt = FastOptions();
+  ropt.full_jitter = false;
+  ropt.max_attempts = 10;
+  ropt.backoff_base = Millis(25);
+  ropt.backoff_cap = Millis(100);
+  RetryClient client(&env_, &s3, ropt);
+  SimTime done_at = 0;
+  client.Get("k", {}, [&](Result<Blob>) { done_at = env_.now(); });
+  env_.Run();
+  EXPECT_EQ(client.stats().attempts, 10);
+  // Delays: 25+50+100*7 = 775 ms plus reject latencies — far below the
+  // ~12.8 s an uncapped schedule would need.
+  EXPECT_GT(done_at, Millis(775));
+  EXPECT_LT(done_at, Seconds(3));
+}
+
+TEST_F(RetryClientTest, TimeoutGrowthLetsSlowTransfersSucceed) {
+  auto opt = ObjectStore::StandardOptions();
+  // Every request takes ~500 ms: above the initial 200 ms timeout, below
+  // the grown allowance of attempt 3 (200 * 1.5^2 = 450... attempt 4: 675).
+  opt.read_latency = LatencyProfile::FromMedianP95(500, 510);
+  opt.read_latency.tail_probability = 0;
+  ObjectStore s3(&env_, opt);
+  s3.Insert("k", Blob::Synthetic(kKiB));
+  RetryClient::Options ropt = FastOptions();
+  ropt.timeout_growth = 1.5;
+  RetryClient client(&env_, &s3, ropt);
+  bool ok = false;
+  client.Get("k", {}, [&](Result<Blob> r) { ok = r.ok(); });
+  env_.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_GT(client.stats().timeouts, 0);  // Early attempts timed out...
+  EXPECT_EQ(client.stats().successes, 1);  // ...a grown one succeeded.
+
+  // With timeout_growth = 1, the 200 ms budget never stretches and the
+  // request exhausts all attempts.
+  RetryClient::Options flat = FastOptions();
+  flat.timeout_growth = 1.0;
+  flat.max_attempts = 4;
+  RetryClient stubborn(&env_, &s3, flat);
+  Status status;
+  stubborn.Get("k", {}, [&](Result<Blob> r) { status = r.status(); });
+  env_.Run();
+  EXPECT_TRUE(status.IsDeadlineExceeded());
+  EXPECT_EQ(stubborn.stats().permanent_failures, 1);
+}
+
+TEST_F(RetryClientTest, FullJitterIsDeterministicForFixedStream) {
+  // Two identically-seeded environments with identically-streamed clients
+  // draw the same jittered backoff schedule: completion times match exactly.
+  auto run = [] {
+    sim::SimEnvironment env(123);
+    auto opt = ObjectStore::StandardOptions();
+    opt.read_burst_tokens = 0;
+    opt.partition_read_iops = 0;
+    ObjectStore s3(&env, opt);
+    s3.Insert("k", Blob::Synthetic(kKiB));
+    RetryClient::Options ropt;
+    ropt.full_jitter = true;
+    ropt.max_attempts = 8;
+    RetryClient client(&env, &s3, ropt, /*rng_stream=*/501);
+    SimTime done_at = 0;
+    client.Get("k", {}, [&](Result<Blob>) { done_at = env.now(); });
+    env.Run();
+    return done_at;
+  };
+  const SimTime first = run();
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(first, run());
+}
+
+TEST_F(RetryClientTest, FailFastStatsCountNonRetriableErrors) {
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  RetryClient client(&env_, &s3, FastOptions());
+  // NotFound fails fast on the first attempt.
+  Status get_status;
+  client.Get("missing", {}, [&](Result<Blob> r) { get_status = r.status(); });
+  env_.Run();
+  EXPECT_TRUE(get_status.IsNotFound());
+  EXPECT_EQ(client.stats().fail_fasts, 1);
+  EXPECT_EQ(client.stats().attempts, 1);
+
+  // An over-limit PUT (InvalidArgument) fails fast too.
+  auto opt = ObjectStore::StandardOptions();
+  opt.max_object_bytes = kKiB;
+  ObjectStore limited(&env_, opt);
+  RetryClient writer(&env_, &limited, FastOptions());
+  Status put_status;
+  writer.Put("big", Blob::Synthetic(kMiB), {},
+             [&](Status s) { put_status = std::move(s); });
+  env_.Run();
+  EXPECT_FALSE(put_status.ok());
+  EXPECT_FALSE(put_status.IsRetriable());
+  EXPECT_EQ(writer.stats().fail_fasts, 1);
+  EXPECT_EQ(writer.stats().attempts, 1);
+
+  // Retriable throttles do NOT count as fail-fasts.
+  auto throttling = ObjectStore::StandardOptions();
+  throttling.read_burst_tokens = 0;
+  throttling.partition_read_iops = 0;
+  ObjectStore busy(&env_, throttling);
+  busy.Insert("k", Blob::Synthetic(kKiB));
+  RetryClient::Options ropt = FastOptions();
+  ropt.max_attempts = 3;
+  RetryClient reader(&env_, &busy, ropt);
+  Status status;
+  reader.Get("k", {}, [&](Result<Blob> r) { status = r.status(); });
+  env_.Run();
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(reader.stats().fail_fasts, 0);
+  EXPECT_EQ(reader.stats().permanent_failures, 1);
+}
+
 }  // namespace
 }  // namespace skyrise::storage
