@@ -74,7 +74,7 @@ class Json {
   std::string Dump(int indent = -1) const;
 
   /// Parses a JSON document.
-  static Result<Json> Parse(const std::string& text);
+  [[nodiscard]] static Result<Json> Parse(const std::string& text);
 
   bool operator==(const Json& other) const;
 

@@ -27,43 +27,47 @@ enum class StatusCode : char {
 
 /// Returned by fallible operations. Cheap to pass around: the OK state is a
 /// null pointer, errors carry a heap-allocated code + message.
-class Status {
+///
+/// Marked [[nodiscard]] so dropping a fallible call's Status on the floor is a
+/// compile error under -Werror=unused-result (see tools/skyrise_check for the
+/// matching lint rule).
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message);
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
 

@@ -40,7 +40,7 @@ class Schema {
     return -1;
   }
 
-  Result<Schema> Select(const std::vector<std::string>& names) const {
+  [[nodiscard]] Result<Schema> Select(const std::vector<std::string>& names) const {
     std::vector<Field> out;
     for (const auto& name : names) {
       const int idx = FieldIndex(name);

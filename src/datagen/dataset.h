@@ -29,13 +29,13 @@ struct DatasetInfo {
   int64_t total_rows = 0;
 
   Json ToJson() const;
-  static Result<DatasetInfo> FromJson(const Json& json);
+  [[nodiscard]] static Result<DatasetInfo> FromJson(const Json& json);
 };
 
 /// Uploads a real dataset: `generator(partition)` produces each partition's
 /// rows, which are COF-encoded and stored. Returns the manifest (also stored
 /// as `tables/<name>/manifest.json`).
-Result<DatasetInfo> UploadDataset(
+[[nodiscard]] Result<DatasetInfo> UploadDataset(
     storage::StorageService* store, const std::string& name,
     const data::Schema& schema, int partition_count,
     const std::function<data::Chunk(int)>& generator,
@@ -44,7 +44,7 @@ Result<DatasetInfo> UploadDataset(
 /// Uploads a synthetic dataset: footers are registered in `catalog`, blobs
 /// are size-only. `rows_per_partition` and `bytes_per_partition` set the
 /// geometry; `stats` clusters per-column value ranges across row groups.
-Result<DatasetInfo> UploadSyntheticDataset(
+[[nodiscard]] Result<DatasetInfo> UploadSyntheticDataset(
     storage::StorageService* store, format::SyntheticFileCatalog* catalog,
     const std::string& name, const data::Schema& schema, int partition_count,
     int64_t rows_per_partition, int64_t bytes_per_partition,
@@ -53,7 +53,7 @@ Result<DatasetInfo> UploadSyntheticDataset(
 
 /// Reads a dataset manifest back from storage (instant control-plane read;
 /// the coordinator's timed metadata fetch goes through the data plane).
-Result<DatasetInfo> ReadManifest(const storage::StorageService& store,
+[[nodiscard]] Result<DatasetInfo> ReadManifest(const storage::StorageService& store,
                                  const std::string& name);
 
 /// Key helpers.

@@ -37,7 +37,7 @@ class QueryEngine {
 
   /// Registers the coordinator, worker, and invoker function binaries.
   /// Workers use the paper's 4-vCPU / 7,076 MiB configuration by default.
-  Status Deploy(faas::FunctionRegistry* registry,
+  [[nodiscard]] Status Deploy(faas::FunctionRegistry* registry,
                 double worker_memory_mib = 7076);
 
   /// Submits `plan` to the coordinator on `platform` (Lambda or EC2 fleet).
@@ -51,7 +51,7 @@ class QueryEngine {
 
   /// Decodes the final result object of a completed query into a chunk
   /// (control-plane read; for verification and result display).
-  Result<data::Chunk> FetchResult(const std::string& query_id) const;
+  [[nodiscard]] Result<data::Chunk> FetchResult(const std::string& query_id) const;
 
  private:
   EngineContext context_;

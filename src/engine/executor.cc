@@ -220,6 +220,7 @@ Result<Chunk> ApplyAggregate(const OperatorSpec& op, Chunk in,
   // Deterministic output order: sort group keys.
   std::vector<std::pair<std::string, const GroupState*>> ordered;
   ordered.reserve(groups.size());
+  // skyrise-check: allow(unordered-iteration) — collected then sorted below.
   for (const auto& [key, state] : groups) ordered.emplace_back(key, &state);
   std::sort(ordered.begin(), ordered.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });

@@ -67,14 +67,14 @@ struct FragmentOutput {
 /// Executes `pipeline`'s operator chain over a materialized (or synthetic)
 /// streamed input and the fully-built side inputs. `builds[i]` corresponds
 /// to pipeline input i+1.
-Result<std::vector<FragmentOutput>> ExecuteFragment(
+[[nodiscard]] Result<std::vector<FragmentOutput>> ExecuteFragment(
     const PipelineSpec& pipeline, data::Chunk stream,
     std::vector<data::Chunk> builds, CostAccumulator* cost);
 
 /// Output schema of the pipeline (after all non-terminal operators), given
 /// the streamed input schema and build schemas. Exposed for planning and
 /// tests.
-Result<data::Schema> PipelineOutputSchema(const PipelineSpec& pipeline,
+[[nodiscard]] Result<data::Schema> PipelineOutputSchema(const PipelineSpec& pipeline,
                                           const data::Schema& stream_schema,
                                           const std::vector<data::Schema>&
                                               build_schemas);

@@ -45,7 +45,7 @@ class Expr {
   std::vector<std::string> in_list;  ///< kInList.
 
   Json ToJson() const;
-  static Result<ExprPtr> FromJson(const Json& json);
+  [[nodiscard]] static Result<ExprPtr> FromJson(const Json& json);
 };
 
 // Builders.
@@ -62,11 +62,11 @@ ExprPtr Indicator(ExprPtr condition);
 
 /// Evaluates a boolean expression over a materialized chunk; returns the
 /// indices of qualifying rows.
-Result<std::vector<uint32_t>> EvalPredicate(const Expr& expr,
+[[nodiscard]] Result<std::vector<uint32_t>> EvalPredicate(const Expr& expr,
                                             const data::Chunk& chunk);
 
 /// Evaluates a numeric expression over a chunk into a double column.
-Result<std::vector<double>> EvalNumeric(const Expr& expr,
+[[nodiscard]] Result<std::vector<double>> EvalNumeric(const Expr& expr,
                                         const data::Chunk& chunk);
 
 /// Columns referenced anywhere in the expression (deduplicated).

@@ -30,7 +30,7 @@ struct InputSpec {
   int upstream_pipeline = -1;         ///< kShuffle.
 
   Json ToJson() const;
-  static Result<InputSpec> FromJson(const Json& json);
+  [[nodiscard]] static Result<InputSpec> FromJson(const Json& json);
 };
 
 struct AggregateSpec {
@@ -80,7 +80,7 @@ struct OperatorSpec {
   double udf_output_ratio = 0.05;
 
   Json ToJson() const;
-  static Result<OperatorSpec> FromJson(const Json& json);
+  [[nodiscard]] static Result<OperatorSpec> FromJson(const Json& json);
 };
 
 struct PipelineSpec {
@@ -90,7 +90,7 @@ struct PipelineSpec {
   std::vector<int> depends_on;
 
   Json ToJson() const;
-  static Result<PipelineSpec> FromJson(const Json& json);
+  [[nodiscard]] static Result<PipelineSpec> FromJson(const Json& json);
 };
 
 struct QueryPlan {
@@ -98,7 +98,7 @@ struct QueryPlan {
   std::vector<PipelineSpec> pipelines;
 
   Json ToJson() const;
-  static Result<QueryPlan> FromJson(const Json& json);
+  [[nodiscard]] static Result<QueryPlan> FromJson(const Json& json);
 
   const PipelineSpec* FindPipeline(int id) const;
 };

@@ -105,7 +105,7 @@ class FunctionContext : public std::enable_shared_from_this<FunctionContext> {
 /// FaaS platform and the EC2 shim so both run identical "binaries".
 class FunctionRegistry {
  public:
-  Status Register(const FunctionConfig& config, FunctionHandler handler) {
+  [[nodiscard]] Status Register(const FunctionConfig& config, FunctionHandler handler) {
     if (functions_.count(config.name) > 0) {
       return Status::AlreadyExists("function exists: " + config.name);
     }
@@ -118,7 +118,7 @@ class FunctionRegistry {
     FunctionHandler handler;
   };
 
-  Result<Entry> Find(const std::string& name) const {
+  [[nodiscard]] Result<Entry> Find(const std::string& name) const {
     auto it = functions_.find(name);
     if (it == functions_.end()) {
       return Status::NotFound("no such function: " + name);

@@ -245,7 +245,7 @@ Result<FileMeta> ParseFooter(const std::string& tail, int64_t tail_offset,
   }
   uint32_t footer_size;
   std::memcpy(&footer_size, tail.data() + tail.size() - 8, 4);
-  if (footer_size + kCofTrailerSize > tail.size()) {
+  if (footer_size + static_cast<size_t>(kCofTrailerSize) > tail.size()) {
     return Status::IoError("footer larger than fetched tail");
   }
   const std::string footer =

@@ -49,7 +49,7 @@ struct FileMeta {
 
   int64_t TotalRows() const;
   Json ToJson() const;
-  static Result<FileMeta> FromJson(const Json& json);
+  [[nodiscard]] static Result<FileMeta> FromJson(const Json& json);
 };
 
 constexpr int64_t kCofTrailerSize = 8;  ///< Footer length + magic.
@@ -63,7 +63,7 @@ class CofWriter {
   explicit CofWriter(data::Schema schema, int64_t row_group_rows = 65536);
 
   /// Appends a materialized chunk (split across row groups as needed).
-  Status Append(const data::Chunk& chunk);
+  [[nodiscard]] Status Append(const data::Chunk& chunk);
 
   /// Finalizes and returns the file bytes.
   std::string Finish();
@@ -99,12 +99,12 @@ FileMeta BuildSyntheticFileMeta(const data::Schema& schema, int64_t rows,
 
 /// Parses a footer from the trailing `tail` bytes of a file of `file_size`
 /// bytes. `tail_offset` is the file offset where `tail` begins.
-Result<FileMeta> ParseFooter(const std::string& tail, int64_t tail_offset,
+[[nodiscard]] Result<FileMeta> ParseFooter(const std::string& tail, int64_t tail_offset,
                              int64_t file_size);
 
 /// Decodes one row group (selected columns, in `projection` order) from
 /// per-column chunk bytes.
-Result<data::Chunk> DecodeRowGroup(
+[[nodiscard]] Result<data::Chunk> DecodeRowGroup(
     const FileMeta& meta, size_t row_group,
     const std::vector<std::string>& projection,
     const std::vector<std::string>& column_bytes);
@@ -116,7 +116,7 @@ class SyntheticFileCatalog {
   void Register(const std::string& key, FileMeta meta) {
     files_[key] = std::move(meta);
   }
-  Result<FileMeta> Find(const std::string& key) const {
+  [[nodiscard]] Result<FileMeta> Find(const std::string& key) const {
     auto it = files_.find(key);
     if (it == files_.end()) return Status::NotFound("no synthetic meta: " + key);
     return it->second;

@@ -16,7 +16,7 @@ namespace skyrise::format {
 
 // Low-level primitives (exposed for tests).
 void PutVarint(std::string* out, uint64_t v);
-Result<uint64_t> GetVarint(const std::string& in, size_t* pos);
+[[nodiscard]] Result<uint64_t> GetVarint(const std::string& in, size_t* pos);
 uint64_t ZigzagEncode(int64_t v);
 int64_t ZigzagDecode(uint64_t v);
 
@@ -32,7 +32,7 @@ enum class ColumnEncoding : uint8_t {
 ColumnEncoding EncodeColumn(const data::Column& column, std::string* out);
 
 /// Decodes an encoded column chunk of `rows` values.
-Result<data::Column> DecodeColumn(const std::string& bytes,
+[[nodiscard]] Result<data::Column> DecodeColumn(const std::string& bytes,
                                   data::DataType type, int64_t rows);
 
 }  // namespace skyrise::format

@@ -57,6 +57,8 @@ void Fabric::Step(SimTime now, SimDuration dt) {
     std::vector<size_t> members;
   };
   std::vector<Constraint> constraints;
+  // Lookup-only indices (never iterated); constraint order is fixed by the
+  // deterministic transfers_ (std::map) walk below, not by hash order.
   std::unordered_map<const Nic*, size_t> egress_index;
   std::unordered_map<const Nic*, size_t> ingress_index;
   std::unordered_map<VpcId, size_t> vpc_index;

@@ -30,10 +30,10 @@ const std::vector<Ec2NetworkSpec>& C6gNetworkSpecs();
 const std::vector<Ec2NetworkSpec>& C6gnNetworkSpecs();
 
 /// Looks up a spec by full instance type name, e.g. "c6g.xlarge".
-Result<Ec2NetworkSpec> FindInstanceSpec(const std::string& instance_type);
+[[nodiscard]] Result<Ec2NetworkSpec> FindInstanceSpec(const std::string& instance_type);
 
 /// Builds a NIC model for an EC2 instance type.
-Result<Ec2Nic::Options> MakeEc2NicOptions(const std::string& instance_type);
+[[nodiscard]] Result<Ec2Nic::Options> MakeEc2NicOptions(const std::string& instance_type);
 
 /// Lambda network constants from Section 4.2 (constant across sizes).
 struct LambdaNetworkSpec {

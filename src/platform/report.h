@@ -33,7 +33,7 @@ std::string RenderAsciiSeries(const std::vector<double>& values,
                               int height = 8, int max_width = 100);
 
 /// Writes an experiment result document to `path` (pretty JSON).
-Status WriteResultFile(const std::string& path, const Json& result);
+[[nodiscard]] Status WriteResultFile(const std::string& path, const Json& result);
 
 /// Prints a experiment banner.
 void PrintHeader(const std::string& experiment_id, const std::string& title);

@@ -66,7 +66,7 @@ struct EngineTestbed {
   /// Runs a plan on a platform until the response arrives (or a 2-hour
   /// virtual horizon). Stops at completion so warm sandbox/bucket state is
   /// preserved for back-to-back runs.
-  Result<engine::QueryResponse> RunOn(faas::ComputePlatform* platform,
+  [[nodiscard]] Result<engine::QueryResponse> RunOn(faas::ComputePlatform* platform,
                                       const engine::QueryPlan& plan,
                                       const std::string& query_id,
                                       int partitions_per_worker = 0) {
@@ -86,13 +86,13 @@ struct EngineTestbed {
     return outcome;
   }
 
-  Result<engine::QueryResponse> RunOnLambda(const engine::QueryPlan& plan,
+  [[nodiscard]] Result<engine::QueryResponse> RunOnLambda(const engine::QueryPlan& plan,
                                             const std::string& query_id,
                                             int partitions_per_worker = 0) {
     return RunOn(lambda.get(), plan, query_id, partitions_per_worker);
   }
 
-  Result<engine::QueryResponse> RunOnFleet(faas::Ec2Fleet* fleet,
+  [[nodiscard]] Result<engine::QueryResponse> RunOnFleet(faas::Ec2Fleet* fleet,
                                            const engine::QueryPlan& plan,
                                            const std::string& query_id,
                                            int partitions_per_worker = 0) {

@@ -77,8 +77,8 @@ class PriceList {
   const LambdaPricing& lambda() const { return lambda_; }
   const StorageHierarchyPricing& hierarchy() const { return hierarchy_; }
 
-  Result<Ec2InstancePricing> Ec2(const std::string& instance_type) const;
-  Result<StorageServicePricing> Storage(const std::string& service) const;
+  [[nodiscard]] Result<Ec2InstancePricing> Ec2(const std::string& instance_type) const;
+  [[nodiscard]] Result<StorageServicePricing> Storage(const std::string& service) const;
 
   const std::vector<Ec2InstancePricing>& ec2_instances() const {
     return ec2_;
@@ -93,11 +93,11 @@ class PriceList {
 
   /// Cost of running an EC2 instance for `duration` (per-second billing with
   /// a 60 s minimum, as for Linux on-demand).
-  Result<double> Ec2Cost(const std::string& instance_type,
+  [[nodiscard]] Result<double> Ec2Cost(const std::string& instance_type,
                          SimDuration duration, bool reserved = false) const;
 
   /// Cost of one storage request of `payload_bytes` against `service`.
-  Result<double> StorageRequestCost(const std::string& service, bool is_write,
+  [[nodiscard]] Result<double> StorageRequestCost(const std::string& service, bool is_write,
                                     int64_t payload_bytes) const;
 
  private:

@@ -77,6 +77,7 @@ class SimEnvironment {
   int64_t events_processed_ = 0;
   int64_t pending_count_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Membership-test only (never iterated), so hash order cannot leak.
   std::unordered_set<EventId> cancelled_;
 };
 

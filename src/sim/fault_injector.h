@@ -98,7 +98,7 @@ class FaultInjector {
 
   /// Storage admission hook: OK to serve the request, or the transient error
   /// to fail it with.
-  Status MaybeStorageError(bool is_write);
+  [[nodiscard]] Status MaybeStorageError(bool is_write);
 
   /// Extra first-byte latency on the storage data path (0 = no blip).
   SimDuration MaybeNetworkBlip();

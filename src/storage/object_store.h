@@ -121,9 +121,9 @@ class ObjectStore : public StorageService {
   void Put(const std::string& key, Blob data, const ClientContext& ctx,
            PutCallback callback) override;
 
-  Status Insert(const std::string& key, Blob data) override;
-  Result<Blob> Peek(const std::string& key) const override;
-  Status Delete(const std::string& key) override;
+  [[nodiscard]] Status Insert(const std::string& key, Blob data) override;
+  [[nodiscard]] Result<Blob> Peek(const std::string& key) const override;
+  [[nodiscard]] Status Delete(const std::string& key) override;
   std::vector<ObjectInfo> List(const std::string& prefix) const override;
   bool Contains(const std::string& key) const override;
 

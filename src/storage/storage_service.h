@@ -60,9 +60,9 @@ class StorageService {
   // --- Instant control-plane helpers (no simulated latency). Used for
   // dataset setup, metadata lookups in tests, and result verification.
 
-  virtual Status Insert(const std::string& key, Blob data) = 0;
-  virtual Result<Blob> Peek(const std::string& key) const = 0;
-  virtual Status Delete(const std::string& key) = 0;
+  [[nodiscard]] virtual Status Insert(const std::string& key, Blob data) = 0;
+  [[nodiscard]] virtual Result<Blob> Peek(const std::string& key) const = 0;
+  [[nodiscard]] virtual Status Delete(const std::string& key) = 0;
   virtual std::vector<ObjectInfo> List(const std::string& prefix) const = 0;
   virtual bool Contains(const std::string& key) const = 0;
 };

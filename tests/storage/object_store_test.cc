@@ -31,7 +31,7 @@ TEST_F(ObjectStoreTest, InsertPeekListDelete) {
 
 TEST_F(ObjectStoreTest, GetDeliversPayloadWithLatency) {
   ObjectStore s3(&env_, ObjectStore::StandardOptions());
-  s3.Insert("k", Blob::FromString("payload"));
+  ASSERT_TRUE(s3.Insert("k", Blob::FromString("payload")).ok());
   bool done = false;
   SimTime completed_at = 0;
   s3.Get("k", {}, [&](Result<Blob> r) {
@@ -56,7 +56,7 @@ TEST_F(ObjectStoreTest, GetMissingKeyIsNotFound) {
 
 TEST_F(ObjectStoreTest, GetRangeSlices) {
   ObjectStore s3(&env_, ObjectStore::StandardOptions());
-  s3.Insert("k", Blob::FromString("0123456789"));
+  ASSERT_TRUE(s3.Insert("k", Blob::FromString("0123456789")).ok());
   std::string got;
   s3.GetRange("k", 2, 4, {}, [&](Result<Blob> r) {
     ASSERT_TRUE(r.ok());
@@ -83,7 +83,7 @@ TEST_F(ObjectStoreTest, ThrottlesBeyondPartitionIops) {
   auto opt = ObjectStore::StandardOptions();
   opt.read_burst_tokens = 1000;  // Small burst so the test is quick.
   ObjectStore s3(&env_, opt);
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   int ok = 0, throttled = 0;
   // Fire 10K requests instantly against a single partition with 1K burst.
   for (int i = 0; i < 10000; ++i) {
@@ -106,7 +106,7 @@ TEST_F(ObjectStoreTest, SustainedReadOverloadSplitsPartitionsLinearly) {
   ObjectStore s3(&env_, opt);
   // Spread load across many keys so it hash-distributes over partitions.
   for (int i = 0; i < 512; ++i) {
-    s3.Insert("obj/" + std::to_string(i), Blob::Synthetic(kKiB));
+    ASSERT_TRUE(s3.Insert("obj/" + std::to_string(i), Blob::Synthetic(kKiB)).ok());
   }
   // Offered load 8K IOPS against 5.5K capacity for 30 minutes.
   const double offered = 8000;
@@ -164,7 +164,7 @@ TEST_F(ObjectStoreTest, PartitionsMergeAfterIdleDays) {
 
 TEST_F(ObjectStoreTest, ExpressHasHigherIopsCeiling) {
   ObjectStore express(&env_, ObjectStore::ExpressOptions());
-  express.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(express.Insert("k", Blob::Synthetic(kKiB)).ok());
   EXPECT_DOUBLE_EQ(express.ReadIopsCapacity(), 220000);
   EXPECT_EQ(express.partition_count(), 1);
   int ok = 0, throttled = 0;
@@ -179,7 +179,7 @@ TEST_F(ObjectStoreTest, ExpressHasHigherIopsCeiling) {
 
 TEST_F(ObjectStoreTest, LatencyDistributionMatchesFig10) {
   ObjectStore s3(&env_, ObjectStore::StandardOptions());
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   Histogram lat;
   // 100K spaced requests (10 clients, sync API pacing).
   int outstanding = 0;
@@ -203,7 +203,7 @@ TEST_F(ObjectStoreTest, LatencyDistributionMatchesFig10) {
 
 TEST_F(ObjectStoreTest, ExpressLatencyLowAndTight) {
   ObjectStore express(&env_, ObjectStore::ExpressOptions());
-  express.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(express.Insert("k", Blob::Synthetic(kKiB)).ok());
   Histogram lat;
   for (int i = 0; i < 20000; ++i) {
     const SimTime issue = Millis(2) * i;
@@ -236,7 +236,7 @@ TEST_F(ObjectStoreTest, DynamoRejectsOversizedItems) {
 
 TEST_F(ObjectStoreTest, DynamoBurstAccruesFromUnusedCapacity) {
   ObjectStore ddb(&env_, ObjectStore::DynamoDbOptions());
-  ddb.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(ddb.Insert("k", Blob::Synthetic(kKiB)).ok());
   // Fresh table: an instant 60K volley sees only the small initial
   // allowance; most requests throttle.
   int ok_fresh = 0;
@@ -257,7 +257,7 @@ TEST_F(ObjectStoreTest, DynamoBurstAccruesFromUnusedCapacity) {
 
 TEST_F(ObjectStoreTest, EfsWriteLatencyHigherThanRead) {
   ObjectStore efs(&env_, ObjectStore::EfsOptions());
-  efs.Insert("f", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(efs.Insert("f", Blob::Synthetic(kKiB)).ok());
   Histogram reads, writes;
   for (int i = 0; i < 5000; ++i) {
     const SimTime issue = Millis(10) * i;
@@ -286,7 +286,7 @@ TEST_F(ObjectStoreTest, MeterRecordsAllRequests) {
   auto opt = ObjectStore::StandardOptions();
   opt.read_burst_tokens = 10;
   ObjectStore s3(&env_, opt);
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   for (int i = 0; i < 100; ++i) {
     s3.Get("k", ctx, [](Result<Blob>) {});
   }
@@ -303,7 +303,7 @@ TEST_F(ObjectStoreTest, InjectedStorageErrorsFailRequests) {
   sim::FaultInjector injector(&env_, profile);
   ObjectStore s3(&env_, ObjectStore::StandardOptions());
   s3.set_fault_injector(&injector);
-  s3.Insert("k", Blob::FromString("v"));
+  ASSERT_TRUE(s3.Insert("k", Blob::FromString("v")).ok());
   Status get_status, put_status;
   s3.Get("k", {}, [&](Result<Blob> r) { get_status = r.status(); });
   s3.Put("w", Blob::Synthetic(kKiB), {},
@@ -327,7 +327,7 @@ TEST_F(ObjectStoreTest, InjectedErrorsAreMeteredAsFailedRequests) {
   ctx.meter = &meter;
   ObjectStore s3(&env_, ObjectStore::StandardOptions());
   s3.set_fault_injector(&injector);
-  s3.Insert("k", Blob::FromString("v"));
+  ASSERT_TRUE(s3.Insert("k", Blob::FromString("v")).ok());
   s3.Get("k", ctx, [](Result<Blob>) {});
   env_.Run();
   // Failed requests still bill and count (S3 charges for 5xx responses).
@@ -341,7 +341,7 @@ TEST_F(ObjectStoreTest, RetryClientMasksInjectedTransientErrors) {
   sim::FaultInjector injector(&env_, profile);
   ObjectStore s3(&env_, ObjectStore::StandardOptions());
   s3.set_fault_injector(&injector);
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   RetryClient::Options ropt;
   ropt.max_attempts = 10;
   RetryClient client(&env_, &s3, ropt);

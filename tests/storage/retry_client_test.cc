@@ -21,7 +21,7 @@ RetryClient::Options FastOptions() {
 
 TEST_F(RetryClientTest, SuccessPassesThrough) {
   ObjectStore s3(&env_, ObjectStore::StandardOptions());
-  s3.Insert("k", Blob::FromString("v"));
+  ASSERT_TRUE(s3.Insert("k", Blob::FromString("v")).ok());
   RetryClient client(&env_, &s3, FastOptions());
   std::string got;
   client.Get("k", {}, [&](Result<Blob> r) {
@@ -39,7 +39,7 @@ TEST_F(RetryClientTest, RetriesThrottlesUntilSuccess) {
   opt.read_burst_tokens = 1;        // Tiny burst: first volley throttles.
   opt.partition_read_iops = 1000;   // Refills during backoff.
   ObjectStore s3(&env_, opt);
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   RetryClient client(&env_, &s3, FastOptions());
   int ok = 0;
   for (int i = 0; i < 20; ++i) {
@@ -69,7 +69,7 @@ TEST_F(RetryClientTest, TimeoutTriggersRetry) {
   opt.read_latency = LatencyProfile::FromMedianP95(1000, 1100);
   opt.read_latency.tail_probability = 0;
   ObjectStore s3(&env_, opt);
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   RetryClient::Options ropt = FastOptions();
   ropt.max_attempts = 3;
   RetryClient client(&env_, &s3, ropt);
@@ -89,7 +89,7 @@ TEST_F(RetryClientTest, BackoffDelaysGrowExponentially) {
   opt.read_burst_tokens = 0;
   opt.partition_read_iops = 0;  // Never admits.
   ObjectStore s3(&env_, opt);
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   RetryClient::Options ropt = FastOptions();
   ropt.full_jitter = false;  // Deterministic delays for the assertion.
   ropt.max_attempts = 6;
@@ -112,7 +112,7 @@ TEST_F(RetryClientTest, StragglersEmergeUnderSustainedRejection) {
   opt.partition_read_iops = 300;
   ObjectStore s3(&env_, opt);
   for (int i = 0; i < 64; ++i) {
-    s3.Insert("o" + std::to_string(i), Blob::Synthetic(kKiB));
+    ASSERT_TRUE(s3.Insert("o" + std::to_string(i), Blob::Synthetic(kKiB)).ok());
   }
   RetryClient client(&env_, &s3, FastOptions());
   std::vector<double> completion_ms;
@@ -152,7 +152,7 @@ TEST_F(RetryClientTest, SizeBasedTimeoutExtendsAllowance) {
   RetryClient::Options o = FastOptions();
   o.timeout_per_mib = Millis(100);
   ObjectStore s3(&env_, ObjectStore::StandardOptions());
-  s3.Insert("big", Blob::Synthetic(8 * kMiB));
+  ASSERT_TRUE(s3.Insert("big", Blob::Synthetic(8 * kMiB)).ok());
   RetryClient client(&env_, &s3, o);
   // 8 MiB at ~62 MiB/s takes ~130 ms transfer + latency; the base 200 ms
   // timeout alone could flake, the size-based allowance (1 s total for the
@@ -174,7 +174,7 @@ TEST_F(RetryClientTest, BackoffCapClampsExponentialGrowth) {
   opt.read_burst_tokens = 0;
   opt.partition_read_iops = 0;  // Never admits: all attempts throttle.
   ObjectStore s3(&env_, opt);
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   RetryClient::Options ropt = FastOptions();
   ropt.full_jitter = false;
   ropt.max_attempts = 10;
@@ -198,7 +198,7 @@ TEST_F(RetryClientTest, TimeoutGrowthLetsSlowTransfersSucceed) {
   opt.read_latency = LatencyProfile::FromMedianP95(500, 510);
   opt.read_latency.tail_probability = 0;
   ObjectStore s3(&env_, opt);
-  s3.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
   RetryClient::Options ropt = FastOptions();
   ropt.timeout_growth = 1.5;
   RetryClient client(&env_, &s3, ropt);
@@ -231,7 +231,7 @@ TEST_F(RetryClientTest, FullJitterIsDeterministicForFixedStream) {
     opt.read_burst_tokens = 0;
     opt.partition_read_iops = 0;
     ObjectStore s3(&env, opt);
-    s3.Insert("k", Blob::Synthetic(kKiB));
+    EXPECT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
     RetryClient::Options ropt;
     ropt.full_jitter = true;
     ropt.max_attempts = 8;
@@ -276,7 +276,7 @@ TEST_F(RetryClientTest, FailFastStatsCountNonRetriableErrors) {
   throttling.read_burst_tokens = 0;
   throttling.partition_read_iops = 0;
   ObjectStore busy(&env_, throttling);
-  busy.Insert("k", Blob::Synthetic(kKiB));
+  ASSERT_TRUE(busy.Insert("k", Blob::Synthetic(kKiB)).ok());
   RetryClient::Options ropt = FastOptions();
   ropt.max_attempts = 3;
   RetryClient reader(&env_, &busy, ropt);

@@ -1,0 +1,14 @@
+// Fixture: the same banned APIs pass when each use carries an explicit
+// suppression, either on the offending line or on the line above.
+#include <chrono>
+#include <cstdlib>
+
+void WallClockForHostProfiling() {
+  // skyrise-check: allow(banned-api) — host-side profiling, not sim state.
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}
+
+const char* EnvForToolConfig() {
+  return std::getenv("HOME");  // skyrise-check: allow(banned-api)
+}

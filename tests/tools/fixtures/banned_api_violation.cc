@@ -1,0 +1,31 @@
+// Fixture: every banned nondeterminism API fires a diagnostic.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+void UseWallClock() {
+  auto t0 = std::chrono::system_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  auto t2 = std::chrono::high_resolution_clock::now();
+  (void)t0;
+  (void)t1;
+  (void)t2;
+}
+
+int UseAmbientRandomness() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::srand(42);
+  return std::rand();
+}
+
+long UseCTime() { return time(nullptr); }
+
+const char* UseEnv() { return std::getenv("HOME"); }
+
+void UseThreadIdentity() {
+  std::thread::id tid = std::this_thread::get_id();
+  (void)tid;
+}

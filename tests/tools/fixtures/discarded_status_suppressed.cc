@@ -1,0 +1,16 @@
+// Fixture: a deliberately dropped Status passes with a visible suppression.
+#include <string>
+
+namespace skyrise {
+
+class Status {};
+
+Status BestEffortCleanup(const std::string& key);
+
+void Caller() {
+  // skyrise-check: allow(discarded-status) — cleanup is best-effort by design.
+  BestEffortCleanup("tmp");
+  BestEffortCleanup("tmp2");  // skyrise-check: allow(discarded-status)
+}
+
+}  // namespace skyrise

@@ -1,0 +1,8 @@
+// skyrise-check: allow(pragma-once) — generated single-include fixture.
+#include <iostream>
+
+// skyrise-check: allow(using-namespace) — test-local shorthand.
+using namespace std;
+
+// skyrise-check: allow(raw-stdout) — fixture narrates directly.
+inline void Narrate() { std::cout << "hello\n"; }

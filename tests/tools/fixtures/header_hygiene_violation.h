@@ -1,0 +1,7 @@
+// Fixture: header without #pragma once, with `using namespace`, and with raw
+// std::cout in library code.
+#include <iostream>
+
+using namespace std;
+
+inline void Narrate() { std::cout << "hello\n"; }

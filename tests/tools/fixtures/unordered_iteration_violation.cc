@@ -1,0 +1,21 @@
+// Fixture: iterating an unordered container leaks hash order.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int EmitRows(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  std::unordered_set<int> seen;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    total += *it;
+  }
+  std::vector<int> ordered_values;
+  for (int v : ordered_values) {  // OK: vector order is deterministic.
+    total += v;
+  }
+  return total;
+}

@@ -1,0 +1,127 @@
+#include "checker.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// Golden-fixture tests for the skyrise_check lint pass: every rule family
+/// has a fixture that fires and a suppressed twin that must be clean, plus a
+/// test pinning the real tree at zero violations.
+
+namespace skyrise::check {
+namespace {
+
+const char kFixtureDir[] = SKYRISE_SOURCE_DIR "/tests/tools/fixtures/";
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Lints one fixture (diagnostic paths use the bare file name so goldens are
+/// location-independent) and returns the formatted report.
+std::string LintFixture(const std::string& name) {
+  Checker checker;
+  const std::vector<Diagnostic> diags =
+      checker.CheckSources({{name, ReadFile(kFixtureDir + name)}});
+  std::string report;
+  for (const Diagnostic& d : diags) report += FormatDiagnostic(d) + "\n";
+  return report;
+}
+
+TEST(SkyriseCheckGolden, BannedApiFires) {
+  EXPECT_EQ(LintFixture("banned_api_violation.cc"),
+            ReadFile(kFixtureDir + std::string("banned_api_violation.expected")));
+}
+
+TEST(SkyriseCheckGolden, BannedApiSuppressed) {
+  EXPECT_EQ(LintFixture("banned_api_suppressed.cc"), "");
+}
+
+TEST(SkyriseCheckGolden, DiscardedStatusFires) {
+  EXPECT_EQ(
+      LintFixture("discarded_status_violation.cc"),
+      ReadFile(kFixtureDir + std::string("discarded_status_violation.expected")));
+}
+
+TEST(SkyriseCheckGolden, DiscardedStatusSuppressed) {
+  EXPECT_EQ(LintFixture("discarded_status_suppressed.cc"), "");
+}
+
+TEST(SkyriseCheckGolden, UnorderedIterationFires) {
+  EXPECT_EQ(LintFixture("unordered_iteration_violation.cc"),
+            ReadFile(kFixtureDir +
+                     std::string("unordered_iteration_violation.expected")));
+}
+
+TEST(SkyriseCheckGolden, UnorderedIterationSuppressed) {
+  EXPECT_EQ(LintFixture("unordered_iteration_suppressed.cc"), "");
+}
+
+TEST(SkyriseCheckGolden, HeaderHygieneFires) {
+  EXPECT_EQ(
+      LintFixture("header_hygiene_violation.h"),
+      ReadFile(kFixtureDir + std::string("header_hygiene_violation.expected")));
+}
+
+TEST(SkyriseCheckGolden, HeaderHygieneSuppressed) {
+  EXPECT_EQ(LintFixture("header_hygiene_suppressed.h"), "");
+}
+
+TEST(SkyriseCheckPreprocess, StripsCommentsAndLiterals) {
+  const SourceFile f = Preprocess(
+      "x.cc",
+      "int a = 1; // system_clock in a comment\n"
+      "const char* s = \"std::rand()\";\n"
+      "/* rand() in a\n"
+      "   block comment */ int b = 2;\n");
+  Checker checker;
+  std::vector<Diagnostic> diags;
+  checker.CheckFile(f, &diags);
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags.front());
+  // Column positions survive blanking.
+  EXPECT_EQ(f.code[0].substr(0, 10), "int a = 1;");
+  EXPECT_EQ(f.code[1].find("std"), std::string::npos);
+  EXPECT_NE(f.code[3].find("int b = 2;"), std::string::npos);
+}
+
+TEST(SkyriseCheckPreprocess, SuppressionCoversSameAndNextLineOnly) {
+  const std::string src =
+      "// skyrise-check: allow(banned-api)\n"
+      "auto a = std::chrono::system_clock::now();\n"
+      "auto b = std::chrono::system_clock::now();\n";
+  Checker checker;
+  const std::vector<Diagnostic> diags =
+      checker.CheckSources({{"x.cc", src}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_EQ(diags[0].rule, "banned-api");
+}
+
+TEST(SkyriseCheckPreprocess, UnknownRuleInAllowDoesNotSuppress) {
+  const std::string src =
+      "auto a = std::chrono::system_clock::now();  "
+      "// skyrise-check: allow(unordered-iteration)\n";
+  Checker checker;
+  const std::vector<Diagnostic> diags =
+      checker.CheckSources({{"x.cc", src}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "banned-api");
+}
+
+TEST(SkyriseCheckTree, RealTreeHasZeroViolations) {
+  const std::vector<Diagnostic> diags = CheckTree(
+      SKYRISE_SOURCE_DIR, {"src", "examples", "bench", "tests", "tools"});
+  std::string report;
+  for (const Diagnostic& d : diags) report += FormatDiagnostic(d) + "\n";
+  EXPECT_TRUE(diags.empty()) << report;
+}
+
+}  // namespace
+}  // namespace skyrise::check

@@ -1,0 +1,621 @@
+#include "checker.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace skyrise::check {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when `path` lives under a top-level directory that may write to
+/// stdout directly (CLI tools and examples narrate; library code must not).
+bool StdoutExempt(const std::string& path) {
+  for (const char* dir : {"tools/", "examples/"}) {
+    if (path.rfind(dir, 0) == 0 || path.find(std::string("/") + dir) !=
+                                       std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses rule ids out of a suppression comment body, e.g.
+/// "skyrise-check: allow(banned-api, raw-stdout)".
+void ParseAllows(const std::string& comment, int line,
+                 std::map<int, std::set<std::string>>* allows) {
+  const std::string marker = "skyrise-check: allow(";
+  size_t pos = comment.find(marker);
+  while (pos != std::string::npos) {
+    const size_t open = pos + marker.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string inside = comment.substr(open, close - open);
+    std::string rule;
+    std::stringstream ss(inside);
+    while (std::getline(ss, rule, ',')) {
+      const size_t b = rule.find_first_not_of(" \t");
+      const size_t e = rule.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      (*allows)[line].insert(rule.substr(b, e - b + 1));
+    }
+    pos = comment.find(marker, close);
+  }
+}
+
+/// Skips whitespace forward from `i` within a single line.
+size_t SkipSpaces(const std::string& s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+/// Reads the identifier token starting at `i` (must be an ident char).
+std::string ReadIdent(const std::string& s, size_t i) {
+  size_t e = i;
+  while (e < s.size() && IsIdentChar(s[e])) ++e;
+  return s.substr(i, e - i);
+}
+
+/// Finds the matching `>` for a template argument list whose `<` is at
+/// `open`, treating `>>` as two closers. Returns npos when unbalanced.
+size_t MatchAngle(const std::string& s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+SourceFile Preprocess(const std::string& path, const std::string& contents) {
+  SourceFile file;
+  file.path = path;
+  file.is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+
+  // Split into lines (keep an empty trailing line off).
+  {
+    std::string line;
+    for (char c : contents) {
+      if (c == '\n') {
+        file.raw.push_back(line);
+        line.clear();
+      } else if (c != '\r') {
+        line.push_back(c);
+      }
+    }
+    if (!line.empty()) file.raw.push_back(line);
+  }
+
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // closing delimiter for a raw string, `)delim"`.
+
+  for (size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& in = file.raw[li];
+    std::string out(in.size(), ' ');
+    std::string comment_text;
+    for (size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            comment_text += in.substr(i);
+            i = in.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"' && i >= 1 && in[i - 1] == 'R') {
+            // Raw string literal R"delim( ... )delim".
+            const size_t open = in.find('(', i);
+            if (open == std::string::npos) break;
+            raw_delim = ")" + in.substr(i + 1, open - i - 1) + "\"";
+            state = State::kRawString;
+            i = open;
+          } else if (c == '"') {
+            state = State::kString;
+          } else if (c == '\'') {
+            state = State::kChar;
+          } else {
+            out[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          } else {
+            comment_text.push_back(c);
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString: {
+          const size_t end = in.find(raw_delim, i);
+          if (end == std::string::npos) {
+            i = in.size();
+          } else {
+            i = end + raw_delim.size() - 1;
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    if (state == State::kBlockComment) {
+      // Block comments continue; the whole remainder of the line was comment.
+    }
+    if (!comment_text.empty()) {
+      ParseAllows(comment_text, static_cast<int>(li) + 1, &file.allows);
+    }
+    file.code.push_back(std::move(out));
+  }
+  return file;
+}
+
+const std::vector<std::string>& Checker::RuleIds() {
+  static const std::vector<std::string> kRules = {
+      "banned-api",  "discarded-status", "unordered-iteration",
+      "pragma-once", "using-namespace",  "raw-stdout"};
+  return kRules;
+}
+
+namespace {
+
+bool Suppressed(const SourceFile& file, int line, const std::string& rule) {
+  for (int l : {line, line - 1}) {
+    auto it = file.allows.find(l);
+    if (it != file.allows.end() && it->second.count(rule) > 0) return true;
+  }
+  return false;
+}
+
+void Emit(const SourceFile& file, int line, const std::string& rule,
+          std::string message, std::vector<Diagnostic>* out) {
+  if (Suppressed(file, line, rule)) return;
+  out->push_back(Diagnostic{file.path, line, rule, std::move(message)});
+}
+
+}  // namespace
+
+void Checker::CollectFallibleNames(const SourceFile& file) {
+  for (const std::string& line : file.code) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (!IsIdentChar(line[i]) || (i > 0 && IsIdentChar(line[i - 1]))) {
+        continue;
+      }
+      const std::string tok = ReadIdent(line, i);
+      size_t after = i + tok.size();
+      const bool is_void = tok == "void";
+      if (tok == "Result") {
+        const size_t open = SkipSpaces(line, after);
+        if (open >= line.size() || line[open] != '<') continue;
+        const size_t close = MatchAngle(line, open);
+        if (close == std::string::npos) continue;  // multi-line template args
+        after = close + 1;
+      } else if (tok != "Status" && !is_void) {
+        i = after - 1;
+        continue;
+      }
+      // Parse `name(` or a qualified `A::B::name(` chain after the type.
+      size_t p = SkipSpaces(line, after);
+      std::string name;
+      while (p < line.size() && IsIdentChar(line[p])) {
+        name = ReadIdent(line, p);
+        p = SkipSpaces(line, p + name.size());
+        if (p + 1 < line.size() && line[p] == ':' && line[p + 1] == ':') {
+          p = SkipSpaces(line, p + 2);
+          continue;
+        }
+        break;
+      }
+      if (!name.empty() && p < line.size() && line[p] == '(') {
+        (is_void ? &void_names_ : &fallible_names_)->insert(name);
+      }
+      i = after - 1;
+    }
+  }
+}
+
+void Checker::CheckBannedApis(const SourceFile& file,
+                              std::vector<Diagnostic>* out) const {
+  struct Banned {
+    const char* token;
+    const char* why;
+  };
+  static const Banned kBanned[] = {
+      {"system_clock", "wall clock; use sim::SimEnvironment::now()"},
+      {"steady_clock", "host clock; use sim::SimEnvironment::now()"},
+      {"high_resolution_clock", "host clock; use sim::SimEnvironment::now()"},
+      {"random_device", "nondeterministic seed; use Rng::Fork / env seed"},
+      {"mt19937", "ambient RNG; use skyrise::Rng streams"},
+      {"mt19937_64", "ambient RNG; use skyrise::Rng streams"},
+      {"default_random_engine", "ambient RNG; use skyrise::Rng streams"},
+      {"srand", "global RNG; use skyrise::Rng streams"},
+      {"getenv", "environment lookup makes runs host-dependent"},
+      {"gettimeofday", "wall clock; use sim::SimEnvironment::now()"},
+      {"clock_gettime", "wall clock; use sim::SimEnvironment::now()"},
+      {"localtime", "wall-clock formatting; derive from virtual time"},
+      {"gmtime", "wall-clock formatting; derive from virtual time"},
+      {"this_thread", "thread identity/sleep leaks host scheduling"},
+  };
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (!IsIdentChar(line[i]) || (i > 0 && IsIdentChar(line[i - 1]))) {
+        continue;
+      }
+      const std::string tok = ReadIdent(line, i);
+      const size_t after = SkipSpaces(line, i + tok.size());
+      const char follow = after < line.size() ? line[after] : '\0';
+      const bool member_access =
+          (i >= 1 && line[i - 1] == '.') ||
+          (i >= 2 && line[i - 2] == '-' && line[i - 1] == '>');
+      for (const Banned& b : kBanned) {
+        if (tok == b.token) {
+          Emit(file, lineno, "banned-api",
+               std::string(b.token) + ": " + b.why, out);
+        }
+      }
+      if (!member_access && follow == '(' && (tok == "rand" || tok == "time")) {
+        Emit(file, lineno, "banned-api",
+             tok + "(): nondeterministic; use skyrise::Rng / virtual time",
+             out);
+      }
+      if (tok == "thread" && line.compare(i, 10, "thread::id") == 0) {
+        Emit(file, lineno, "banned-api",
+             "thread::id: host scheduling leaks into behavior", out);
+      }
+      i += tok.size() - 1;
+    }
+  }
+}
+
+void Checker::CheckDiscardedStatus(const SourceFile& file,
+                                   std::vector<Diagnostic>* out) const {
+  // Scan for statement-level call chains `a.b->C::name(...);` whose final
+  // callee returns Status/Result. `prev` tracks the last significant
+  // character across lines; a chain starting after `;`, `{`, or `}` is a
+  // full statement, so a trailing `;` right after the matching close paren
+  // means the returned value was dropped. (`:` is deliberately not a
+  // statement start: it would re-anchor mid-chain after `::` qualifiers.)
+  char prev = '{';
+  const size_t nlines = file.code.size();
+  size_t li = 0, ci = 0;
+  auto advance = [&]() {
+    ++ci;
+    while (li < nlines && ci >= file.code[li].size()) {
+      ++li;
+      ci = 0;
+    }
+  };
+  while (li < nlines) {
+    const std::string& line = file.code[li];
+    const char c = ci < line.size() ? line[ci] : ' ';
+    if (std::isspace(static_cast<unsigned char>(c)) || line.empty()) {
+      advance();
+      continue;
+    }
+    const bool stmt_start = prev == ';' || prev == '{' || prev == '}';
+    if (IsIdentChar(c) && stmt_start) {
+      // Parse the chain on this line only (multi-line chains are rare and the
+      // compiler's -Werror=unused-result backstops them).
+      size_t p = ci;
+      std::string name;
+      bool chain_ok = false;
+      const int start_line = static_cast<int>(li) + 1;
+      while (p < line.size() && IsIdentChar(line[p])) {
+        name = ReadIdent(line, p);
+        p += name.size();
+        if (p + 1 < line.size() && line[p] == ':' && line[p + 1] == ':') {
+          p += 2;
+        } else if (p + 1 < line.size() && line[p] == '-' &&
+                   line[p + 1] == '>') {
+          p += 2;
+        } else if (p < line.size() && line[p] == '.' && p + 1 < line.size() &&
+                   IsIdentChar(line[p + 1])) {
+          p += 1;
+        } else {
+          chain_ok = p < line.size() && line[p] == '(';
+          break;
+        }
+      }
+      // A name that also has a `void name(...)` declaration somewhere in the
+      // tree is ambiguous at token level (e.g. Json::Append vs
+      // ColumnFileWriter::Append); skip it — -Werror=unused-result still
+      // catches real discards of the fallible overload.
+      if (chain_ok && fallible_names_.count(name) > 0 &&
+          void_names_.count(name) == 0 && name != "return") {
+        // Find the matching close paren, possibly across lines.
+        size_t pl = li, pc = p;
+        int depth = 0;
+        bool closed = false;
+        while (pl < nlines) {
+          const std::string& l2 = file.code[pl];
+          for (; pc < l2.size(); ++pc) {
+            if (l2[pc] == '(') ++depth;
+            if (l2[pc] == ')') {
+              --depth;
+              if (depth == 0) {
+                closed = true;
+                break;
+              }
+            }
+          }
+          if (closed) break;
+          ++pl;
+          pc = 0;
+        }
+        if (closed) {
+          // Next significant char after ')' decides: `;` == discarded.
+          size_t ql = pl, qc = pc + 1;
+          char follow = '\0';
+          while (ql < nlines) {
+            const std::string& l3 = file.code[ql];
+            while (qc < l3.size() &&
+                   std::isspace(static_cast<unsigned char>(l3[qc]))) {
+              ++qc;
+            }
+            if (qc < l3.size()) {
+              follow = l3[qc];
+              break;
+            }
+            ++ql;
+            qc = 0;
+          }
+          if (follow == ';') {
+            Emit(file, start_line, "discarded-status",
+                 "result of fallible call `" + name +
+                     "(...)` is discarded; check the Status or use "
+                     "SKYRISE_CHECK_OK / SKYRISE_RETURN_IF_ERROR",
+                 out);
+          }
+          // Resume right after the close paren; whatever follows (`;`, `.`,
+          // `)`) updates `prev` through the normal scan.
+          prev = ')';
+          li = pl;
+          ci = pc;
+          advance();
+          continue;
+        }
+      }
+      // Not a flagged chain: consume the identifier and move on.
+      prev = 'a';
+      ci += ReadIdent(line, ci).size() - 1;
+      advance();
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev = c;
+    advance();
+  }
+}
+
+void Checker::CheckUnorderedIteration(const SourceFile& file,
+                                      std::vector<Diagnostic>* out) const {
+  // Pass A: names declared with an unordered container type in this file.
+  std::set<std::string> unordered_vars;
+  for (const std::string& line : file.code) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (!IsIdentChar(line[i]) || (i > 0 && IsIdentChar(line[i - 1]))) {
+        continue;
+      }
+      const std::string tok = ReadIdent(line, i);
+      i += tok.size() - 1;
+      if (tok != "unordered_map" && tok != "unordered_set") continue;
+      size_t p = SkipSpaces(line, i + 1);
+      if (p < line.size() && line[p] == '<') {
+        const size_t close = MatchAngle(line, p);
+        if (close == std::string::npos) continue;
+        p = close + 1;
+      }
+      p = SkipSpaces(line, p);
+      while (p < line.size() && (line[p] == '*' || line[p] == '&')) {
+        p = SkipSpaces(line, p + 1);
+      }
+      if (p < line.size() && IsIdentChar(line[p])) {
+        unordered_vars.insert(ReadIdent(line, p));
+      }
+    }
+  }
+  if (unordered_vars.empty()) return;
+
+  // Pass B: any `for (...)` whose header mentions one of those names — both
+  // range-for and iterator forms touch the container's hash order.
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    size_t pos = 0;
+    while ((pos = line.find("for", pos)) != std::string::npos) {
+      const bool word =
+          (pos == 0 || !IsIdentChar(line[pos - 1])) &&
+          (pos + 3 >= line.size() || !IsIdentChar(line[pos + 3]));
+      if (!word) {
+        pos += 3;
+        continue;
+      }
+      const size_t open = SkipSpaces(line, pos + 3);
+      if (open >= line.size() || line[open] != '(') {
+        pos += 3;
+        continue;
+      }
+      // Collect the parenthesized header, possibly spanning lines.
+      std::string header;
+      int depth = 0;
+      size_t hl = li, hc = open;
+      bool closed = false;
+      while (hl < file.code.size() && !closed) {
+        const std::string& l2 = file.code[hl];
+        for (; hc < l2.size(); ++hc) {
+          if (l2[hc] == '(') ++depth;
+          if (l2[hc] == ')') {
+            --depth;
+            if (depth == 0) {
+              closed = true;
+              break;
+            }
+          }
+          header.push_back(l2[hc]);
+        }
+        ++hl;
+        hc = 0;
+        header.push_back(' ');
+      }
+      for (size_t i = 0; i < header.size(); ++i) {
+        if (!IsIdentChar(header[i]) ||
+            (i > 0 && IsIdentChar(header[i - 1]))) {
+          continue;
+        }
+        const std::string tok = ReadIdent(header, i);
+        i += tok.size() - 1;
+        if (unordered_vars.count(tok) > 0) {
+          Emit(file, static_cast<int>(li) + 1, "unordered-iteration",
+               "loop over unordered container `" + tok +
+                   "`: hash order is seed/platform dependent; sort before "
+                   "emitting or switch to std::map",
+               out);
+          break;
+        }
+      }
+      pos += 3;
+    }
+  }
+}
+
+void Checker::CheckHeaderHygiene(const SourceFile& file,
+                                 std::vector<Diagnostic>* out) const {
+  if (file.is_header) {
+    bool has_pragma = false;
+    for (const std::string& line : file.raw) {
+      const size_t b = line.find_first_not_of(" \t");
+      if (b != std::string::npos && line.compare(b, 12, "#pragma once") == 0) {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma) {
+      Emit(file, 1, "pragma-once", "header is missing `#pragma once`", out);
+    }
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      const size_t pos = line.find("using");
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && IsIdentChar(line[pos - 1])) continue;
+      const size_t rest = SkipSpaces(line, pos + 5);
+      if (line.compare(rest, 9, "namespace") == 0) {
+        Emit(file, static_cast<int>(li) + 1, "using-namespace",
+             "`using namespace` in a header leaks into every includer", out);
+      }
+    }
+  }
+  if (!StdoutExempt(file.path)) {
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      size_t pos = 0;
+      while ((pos = line.find("cout", pos)) != std::string::npos) {
+        const bool word =
+            (pos == 0 || !IsIdentChar(line[pos - 1])) &&
+            (pos + 4 >= line.size() || !IsIdentChar(line[pos + 4]));
+        if (word) {
+          Emit(file, static_cast<int>(li) + 1, "raw-stdout",
+               "std::cout in library code; use the logging layer or a "
+               "report writer",
+               out);
+          break;
+        }
+        pos += 4;
+      }
+    }
+  }
+}
+
+void Checker::CheckFile(const SourceFile& file,
+                        std::vector<Diagnostic>* out) const {
+  CheckBannedApis(file, out);
+  CheckDiscardedStatus(file, out);
+  CheckUnorderedIteration(file, out);
+  CheckHeaderHygiene(file, out);
+}
+
+std::vector<Diagnostic> Checker::CheckSources(
+    const std::vector<std::pair<std::string, std::string>>& path_contents) {
+  std::vector<SourceFile> files;
+  files.reserve(path_contents.size());
+  for (const auto& [path, contents] : path_contents) {
+    files.push_back(Preprocess(path, contents));
+  }
+  for (const SourceFile& f : files) CollectFallibleNames(f);
+  std::vector<Diagnostic> diags;
+  for (const SourceFile& f : files) CheckFile(f, &diags);
+  std::sort(diags.begin(), diags.end());
+  return diags;
+}
+
+std::vector<Diagnostic> CheckTree(const std::string& root,
+                                  const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      // Lint-test fixtures violate the rules on purpose.
+      if (entry.path().string().find("/fixtures/") != std::string::npos) {
+        continue;
+      }
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const std::string& p : paths) {
+    std::ifstream in(p);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string rel = p;
+    const std::string prefix = (fs::path(root) / "").string();
+    if (rel.rfind(prefix, 0) == 0) rel = rel.substr(prefix.size());
+    sources.emplace_back(rel, buf.str());
+  }
+  Checker checker;
+  return checker.CheckSources(sources);
+}
+
+std::string FormatDiagnostic(const Diagnostic& diag) {
+  return diag.file + ":" + std::to_string(diag.line) + ": [" + diag.rule +
+         "] " + diag.message;
+}
+
+}  // namespace skyrise::check

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+/// \file checker.h
+/// `skyrise_check` — the repo's own static-analysis pass. Token/line-level
+/// (no libclang): each rule guards an invariant that deterministic replay or
+/// error propagation rests on. Intentionally standalone: depends only on the
+/// standard library so it builds before (and independently of) the simulator.
+///
+/// Rules (ids are what `skyrise-check: allow(<rule>)` suppressions name):
+///   banned-api          wall clocks, ambient randomness, env lookups, thread
+///                       ids — nondeterminism sources that must come from
+///                       sim::Environment / common/random instead
+///   discarded-status    statement-level call to a Status/Result-returning
+///                       function whose result is dropped (belt; the
+///                       [[nodiscard]] sweep + -Werror=unused-result is the
+///                       sound suspenders)
+///   unordered-iteration loops over unordered_map/unordered_set — iteration
+///                       order is hash-seed dependent and must not leak into
+///                       emitted rows, shuffle partitions, or reports
+///   pragma-once         header missing `#pragma once`
+///   using-namespace     `using namespace` at any scope in a header
+///   raw-stdout          std::cout outside tools/ and examples/ (library code
+///                       reports through the logging/report layers)
+///
+/// A suppression comment `// skyrise-check: allow(rule-a, rule-b)` silences
+/// the named rules on its own line and the following line, so intent stays
+/// visible next to the code it blesses.
+
+namespace skyrise::check {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    if (rule != other.rule) return rule < other.rule;
+    return message < other.message;
+  }
+};
+
+/// One source file, preprocessed for rule passes: `code` mirrors the original
+/// line-for-line and column-for-column with comments and string/char literal
+/// contents blanked out, and `allows` holds the per-line suppressed rule ids
+/// parsed from `skyrise-check: allow(...)` comments.
+struct SourceFile {
+  std::string path;        ///< Path as reported in diagnostics.
+  bool is_header = false;  ///< .h / .hpp
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::map<int, std::set<std::string>> allows;  ///< 1-based line -> rule ids.
+};
+
+/// Builds a SourceFile from in-memory contents (used by tests) — strips
+/// comments/literals and records suppression comments.
+SourceFile Preprocess(const std::string& path, const std::string& contents);
+
+class Checker {
+ public:
+  /// Names of functions returning Status/Result<T>, harvested from
+  /// declarations across all files handed to CollectFallibleNames(). The set
+  /// is seeded with the Status factory names so discarded temporaries
+  /// (`Status::IoError("x");`) are caught even when status.h is not scanned.
+  void CollectFallibleNames(const SourceFile& file);
+
+  /// Runs every rule over one file and appends diagnostics (suppressions
+  /// already applied). Call CollectFallibleNames() for all files first so
+  /// discarded-status sees cross-file declarations.
+  void CheckFile(const SourceFile& file, std::vector<Diagnostic>* out) const;
+
+  /// Convenience: preprocess + collect + check a set of in-memory files.
+  std::vector<Diagnostic> CheckSources(
+      const std::vector<std::pair<std::string, std::string>>& path_contents);
+
+  const std::set<std::string>& fallible_names() const {
+    return fallible_names_;
+  }
+
+  static const std::vector<std::string>& RuleIds();
+
+ private:
+  void CheckBannedApis(const SourceFile& file,
+                       std::vector<Diagnostic>* out) const;
+  void CheckDiscardedStatus(const SourceFile& file,
+                            std::vector<Diagnostic>* out) const;
+  void CheckUnorderedIteration(const SourceFile& file,
+                               std::vector<Diagnostic>* out) const;
+  void CheckHeaderHygiene(const SourceFile& file,
+                          std::vector<Diagnostic>* out) const;
+
+  std::set<std::string> fallible_names_ = {
+      "OK",        "InvalidArgument", "NotFound",    "AlreadyExists",
+      "ResourceExhausted", "DeadlineExceeded", "FailedPrecondition",
+      "OutOfRange", "Unimplemented",  "Internal",    "IoError",
+      "Cancelled"};
+  /// Names that also appear in a `void name(...)` declaration; ambiguous at
+  /// token level, so discarded-status skips them (the compiler backstops).
+  std::set<std::string> void_names_;
+};
+
+/// Walks `dirs` (recursively, deterministic lexicographic order), lints every
+/// .h/.hpp/.cc/.cpp file, and returns sorted diagnostics. Paths in
+/// diagnostics are relative to `root` when they fall under it.
+std::vector<Diagnostic> CheckTree(const std::string& root,
+                                  const std::vector<std::string>& dirs);
+
+/// Formats one diagnostic as `file:line: [rule] message`.
+std::string FormatDiagnostic(const Diagnostic& diag);
+
+}  // namespace skyrise::check

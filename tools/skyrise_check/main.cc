@@ -1,0 +1,68 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "checker.h"
+
+/// CLI for the skyrise static-analysis pass.
+///
+///   skyrise_check [--root DIR] [--quiet] [dirs...]
+///
+/// With no dirs, lints the default simulation-facing trees: src, examples,
+/// bench, tests. Exits 0 when clean, 1 on violations, 2 on usage errors.
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: skyrise_check [--root DIR] [--quiet] [--list-rules] "
+               "[dirs...]\n"
+               "Lints .h/.hpp/.cc/.cpp files for skyrise determinism and "
+               "error-handling invariants.\n"
+               "Default dirs: src examples bench tests\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> dirs;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : skyrise::check::Checker::RuleIds()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "examples", "bench", "tests"};
+
+  const std::vector<skyrise::check::Diagnostic> diags =
+      skyrise::check::CheckTree(root, dirs);
+  for (const auto& d : diags) {
+    std::printf("%s\n", skyrise::check::FormatDiagnostic(d).c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "skyrise_check: %zu violation(s)\n", diags.size());
+  }
+  return diags.empty() ? 0 : 1;
+}
