@@ -126,7 +126,7 @@ void BM_ExecutorQ6Fragment(benchmark::State& state) {
   pipeline.ops.insert(pipeline.ops.begin(), filter);
   for (auto _ : state) {
     engine::CostAccumulator cost;
-    auto out = engine::ExecuteFragment(pipeline, chunk, {}, &cost);
+    auto out = engine::ExecuteFragment(pipeline, data::Chunk(chunk), {}, &cost);
     benchmark::DoNotOptimize(out.ok());
   }
   state.SetItemsProcessed(state.iterations() * chunk.rows());
@@ -156,7 +156,7 @@ void BM_HashJoinProbe(benchmark::State& state) {
   pipeline.ops.push_back(join);
   for (auto _ : state) {
     engine::CostAccumulator cost;
-    auto out = engine::ExecuteFragment(pipeline, probe, {dim}, &cost);
+    auto out = engine::ExecuteFragment(pipeline, data::Chunk(probe), {dim}, &cost);
     benchmark::DoNotOptimize(out.ok());
   }
   state.SetItemsProcessed(state.iterations() * probe.rows());

@@ -1,0 +1,154 @@
+/// Query regression harness: runs the paper's query suite (TPC-H Q1, Q6,
+/// Q12, TPCx-BB Q3) end-to-end on the simulated Lambda platform and emits
+/// BENCH_queries.json with per-query runtime, simulated dollar cost, and the
+/// peak worker memory reported by the streaming executor. CI runs this as a
+/// smoke check; diffing the JSON across commits catches performance, cost,
+/// and memory-footprint regressions in one place.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/dataset.h"
+#include "datagen/tpch.h"
+#include "datagen/tpcxbb.h"
+#include "engine/engine.h"
+#include "engine/queries.h"
+#include "platform/report.h"
+#include "storage/object_store.h"
+
+using namespace skyrise;
+
+namespace {
+
+constexpr int kPartitions = 6;
+constexpr uint64_t kSeed = 2024;
+
+struct Testbed {
+  Testbed()
+      : env(kSeed),
+        fabric_driver(&env, &fabric),
+        store(&env, storage::ObjectStore::StandardOptions()),
+        queue(&env) {
+    datagen::TpchConfig tpch;
+    tpch.scale_factor = 0.002;
+    datagen::TpcxBbConfig bb;
+    bb.scale_factor = 0.01;
+    (void)*datagen::UploadDataset(
+        &store, "lineitem", datagen::LineitemSchema(), kPartitions, [&](int p) {
+          return datagen::GenerateLineitemPartition(tpch, p, kPartitions);
+        });
+    (void)*datagen::UploadDataset(
+        &store, "orders", datagen::OrdersSchema(), kPartitions, [&](int p) {
+          return datagen::GenerateOrdersPartition(tpch, p, kPartitions);
+        });
+    (void)*datagen::UploadDataset(
+        &store, "clickstreams", datagen::ClickstreamsSchema(), kPartitions,
+        [&](int p) {
+          return datagen::GenerateClickstreamsPartition(bb, p, kPartitions);
+        });
+    (void)*datagen::UploadDataset(&store, "item", datagen::ItemSchema(), 1,
+                                  [&](int) {
+                                    return datagen::GenerateItemTable(bb);
+                                  });
+
+    engine::EngineContext context;
+    context.env = &env;
+    context.table_store = &store;
+    context.shuffle_store = &store;
+    context.catalog = &catalog;
+    context.queue = &queue;
+    context.meter = &meter;
+    context.partitions_per_worker = 2;
+    engine = std::make_unique<engine::QueryEngine>(std::move(context));
+    SKYRISE_CHECK_OK(engine->Deploy(&registry));
+
+    faas::LambdaPlatform::Options lambda_options;
+    lambda_options.account_concurrency = 10000;
+    lambda = std::make_unique<faas::LambdaPlatform>(&env, &fabric_driver,
+                                                    &registry, lambda_options);
+  }
+
+  engine::QueryResponse Run(const engine::QueryPlan& plan,
+                            const std::string& id) {
+    Result<engine::QueryResponse> outcome =
+        Status::Internal("did not complete");
+    engine->Run(lambda.get(), plan, id,
+                [&](Result<engine::QueryResponse> r) { outcome = std::move(r); });
+    env.RunUntil(env.now() + Minutes(60));
+    SKYRISE_CHECK_OK(outcome.status());
+    return std::move(outcome).ValueUnsafe();
+  }
+
+  sim::SimEnvironment env;
+  net::Fabric fabric;
+  net::FabricDriver fabric_driver;
+  storage::ObjectStore store;
+  storage::QueueService queue;
+  format::SyntheticFileCatalog catalog;
+  pricing::CostMeter meter;
+  faas::FunctionRegistry registry;
+  std::unique_ptr<engine::QueryEngine> engine;
+  std::unique_ptr<faas::LambdaPlatform> lambda;
+};
+
+}  // namespace
+
+int main() {
+  platform::PrintHeader("Query regression",
+                        "Suite runtimes, simulated cost, and peak worker "
+                        "memory (BENCH_queries.json)");
+  Testbed bed;
+
+  engine::QuerySuiteOptions options;
+  options.join_partitions = 4;
+  struct Entry {
+    std::string id;
+    engine::QueryPlan plan;
+  };
+  const std::vector<Entry> suite = {
+      {"tpch_q1", engine::BuildTpchQ1()},
+      {"tpch_q6", engine::BuildTpchQ6()},
+      {"tpch_q12", engine::BuildTpchQ12(options)},
+      {"tpcxbb_q3", engine::BuildTpcxBbQ3(options)},
+  };
+
+  platform::TablePrinter table({"query", "runtime [ms]", "cost [USD]",
+                                "peak worker mem", "batches", "rec. mem"});
+  JsonArray queries;
+  for (const auto& entry : suite) {
+    bed.meter.Reset();
+    const auto response = bed.Run(entry.plan, entry.id);
+    const double cost_usd = bed.meter.TotalUsd();
+
+    JsonObject row;
+    row["query"] = entry.id;
+    row["runtime_ms"] = response.runtime_ms;
+    row["cost_usd"] = cost_usd;
+    row["peak_worker_memory_bytes"] = response.peak_worker_memory_bytes;
+    row["total_batches"] = response.total_batches;
+    row["recommended_memory_mib"] = response.recommended_memory_mib;
+    row["total_workers"] = response.total_workers;
+    queries.emplace_back(std::move(row));
+
+    table.AddRow({entry.id, StrFormat("%.1f", response.runtime_ms),
+                  StrFormat("%.6f", cost_usd),
+                  FormatBytes(response.peak_worker_memory_bytes),
+                  StrFormat("%lld",
+                            static_cast<long long>(response.total_batches)),
+                  StrFormat("%d MiB", response.recommended_memory_mib)});
+  }
+  table.Print();
+
+  JsonObject doc;
+  doc["suite"] = std::string("tpch+tpcxbb");
+  doc["queries"] = queries;
+  std::ofstream out("BENCH_queries.json");
+  SKYRISE_CHECK(out.good());
+  out << Json(doc).Dump(2) << "\n";
+  std::printf("\nwrote BENCH_queries.json (%zu queries)\n", queries.size());
+  return 0;
+}

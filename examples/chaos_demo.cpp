@@ -114,6 +114,9 @@ int main() {
   std::printf("\nper-stage fault summary (chaos run):\n%s\n",
               platform::RenderFaultSummary(chaos_response->raw).c_str());
 
+  std::printf("per-stage worker stats (chaos run):\n%s\n",
+              platform::RenderWorkerStats(chaos_response->raw).c_str());
+
   const bool identical = ResultBytes(&calm, "q12") == ResultBytes(&chaos, "q12");
   std::printf("result bytes identical to fault-free run: %s\n",
               identical ? "yes" : "NO");

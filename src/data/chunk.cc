@@ -34,6 +34,27 @@ Column Column::Filter(const std::vector<uint32_t>& selection) const {
   return out;
 }
 
+Column Column::Slice(size_t offset, size_t count) const {
+  SKYRISE_CHECK(offset + count <= size());
+  Column out(type_);
+  switch (type_) {
+    case DataType::kDouble:
+      out.doubles_.assign(doubles_.begin() + static_cast<ptrdiff_t>(offset),
+                          doubles_.begin() +
+                              static_cast<ptrdiff_t>(offset + count));
+      break;
+    case DataType::kString:
+      out.strings_.assign(strings_.begin() + static_cast<ptrdiff_t>(offset),
+                          strings_.begin() +
+                              static_cast<ptrdiff_t>(offset + count));
+      break;
+    default:
+      out.ints_.assign(ints_.begin() + static_cast<ptrdiff_t>(offset),
+                       ints_.begin() + static_cast<ptrdiff_t>(offset + count));
+  }
+  return out;
+}
+
 void Chunk::Append(const Chunk& other) {
   SKYRISE_CHECK(schema_ == other.schema_);
   if (is_synthetic() || other.is_synthetic()) {
@@ -47,6 +68,18 @@ void Chunk::Append(const Chunk& other) {
       columns_[c].AppendFrom(other.columns_[c], r);
     }
   }
+}
+
+Chunk Chunk::Slice(int64_t offset, int64_t count) const {
+  SKYRISE_CHECK(offset >= 0 && count >= 0 && offset + count <= rows());
+  if (is_synthetic()) return Synthetic(schema_, count);
+  std::vector<Column> columns;
+  columns.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    columns.push_back(col.Slice(static_cast<size_t>(offset),
+                                static_cast<size_t>(count)));
+  }
+  return Chunk(schema_, std::move(columns));
 }
 
 int64_t Chunk::ByteSize() const {

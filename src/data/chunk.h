@@ -91,6 +91,10 @@ class Column {
   /// Gathers the rows selected by `selection` into a new column.
   Column Filter(const std::vector<uint32_t>& selection) const;
 
+  /// Copies the contiguous row range [offset, offset + count) into a new
+  /// column. The range must lie within the column.
+  Column Slice(size_t offset, size_t count) const;
+
  private:
   DataType type_;
   std::vector<int64_t> ints_;
@@ -141,6 +145,11 @@ class Chunk {
 
   /// Appends all rows of `other` (schemas must match).
   void Append(const Chunk& other);
+
+  /// Contiguous row range [offset, offset + count) as a new chunk — the
+  /// morsel primitive. Synthetic chunks slice to synthetic chunks of `count`
+  /// rows. The range must lie within the chunk.
+  [[nodiscard]] Chunk Slice(int64_t offset, int64_t count) const;
 
   /// Rough in-memory/in-flight byte size (used by the CPU and shuffle size
   /// models; also valid for synthetic chunks via per-type width estimates).

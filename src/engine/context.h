@@ -34,8 +34,20 @@ struct EngineContext {
   int max_concurrent_requests = 16;
   int64_t range_chunk_bytes = 8 * kMiB;
 
+  // Worker execution policy: morsel size for the streaming operator chain.
+  //   > 0  — re-slice decoded row groups into batches of this many rows;
+  //   == 0 — natural morsels (one decoded row group each);
+  //   < 0  — whole-fragment materialization (the pre-streaming semantics).
+  // Results are bit-identical across settings; only peak memory and the
+  // I/O-compute overlap change.
+  int64_t morsel_rows = 4096;
+
   // Coordinator scheduling policy.
   int partitions_per_worker = 1;
+  /// Memory configured for deployed workers (set by QueryEngine::Deploy);
+  /// the coordinator's memory-aware partitions_per_worker default budgets
+  /// worker inputs against a fraction of this allocation.
+  int worker_memory_mib = 7076;
   int max_parallelism = 10000;        ///< Scheduling wave width.
   int two_level_threshold = 256;      ///< Fan out via invoker functions.
   int invoker_fanout = 32;

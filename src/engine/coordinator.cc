@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "datagen/dataset.h"
+#include "pricing/break_even.h"
 
 namespace skyrise::engine {
 
@@ -137,8 +138,27 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     const auto it = manifests_.find(stream.table);
     SKYRISE_CHECK(it != manifests_.end());
     const int files = static_cast<int>(it->second.partitions.size());
-    return std::max(1, (files + partitions_per_worker_ - 1) /
-                           partitions_per_worker_);
+    int ppw = partitions_per_worker_;
+    if (ppw <= 0) ppw = MemoryAwarePartitionsPerWorker(it->second);
+    return std::max(1, (files + ppw - 1) / ppw);
+  }
+
+  /// Memory-aware scan sizing: assign table partitions per worker so the
+  /// streamed input stays within a quarter of the deployed Lambda allocation.
+  /// Morsel execution keeps only one decoded row group plus breaker state
+  /// resident, but build-side broadcasts and output buffers still scale with
+  /// the assignment, so the budget is conservative. Workers report their
+  /// actual peak back, closing the loop via recommended_memory_mib.
+  int MemoryAwarePartitionsPerWorker(const datagen::DatasetInfo& info) {
+    const int64_t budget =
+        static_cast<int64_t>(ec_->worker_memory_mib) * kMiB / 4;
+    int64_t total_bytes = 0;
+    for (const auto& p : info.partitions) total_bytes += p.size_bytes;
+    const int files = static_cast<int>(info.partitions.size());
+    if (files == 0 || total_bytes == 0) return 1;
+    const int64_t avg = std::max<int64_t>(1, total_bytes / files);
+    return static_cast<int>(
+        std::clamp<int64_t>(budget / avg, 1, std::max(1, files)));
   }
 
   Json BuildWorkerPayload(const PipelineSpec& pipeline, int fragment,
@@ -210,6 +230,8 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     int retries = 0;        ///< Re-invocations after a failed attempt.
     int speculative = 0;    ///< Straggler duplicates launched.
     int worker_errors = 0;  ///< Failed attempts observed (all causes).
+    int64_t peak_memory = 0;  ///< Max resident bytes over the stage's workers.
+    int64_t batches = 0;      ///< Morsels processed across the stage.
     sim::EventId spec_timer = sim::kInvalidEventId;
   };
 
@@ -351,6 +373,9 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
         state->bytes_read += response.GetInt("bytes_read");
         state->bytes_written += response.GetInt("bytes_written");
         state->cold_starts += response.GetBool("cold_start") ? 1 : 0;
+        state->peak_memory = std::max(
+            state->peak_memory, response.GetInt("peak_memory_bytes", 0));
+        state->batches += response.GetInt("batches", 0);
         if (state->completed == state->fragments) {
           FinishStage(state);
           return;
@@ -434,6 +459,8 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     summary["retries"] = state->retries;
     summary["speculative"] = state->speculative;
     summary["worker_errors"] = state->worker_errors;
+    summary["peak_memory_bytes"] = state->peak_memory;
+    summary["batches"] = state->batches;
     stage_summaries_.push_back(std::move(summary));
     cumulated_worker_ms_ += state->worker_ms;
     total_requests_ += state->requests;
@@ -442,6 +469,8 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     worker_retries_ += state->retries;
     speculative_launches_ += state->speculative;
     worker_errors_ += state->worker_errors;
+    peak_worker_memory_ = std::max(peak_worker_memory_, state->peak_memory);
+    total_batches_ += state->batches;
     RunStage(state->index + 1);
   }
 
@@ -460,6 +489,13 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     response["worker_retries"] = worker_retries_;
     response["speculative_launches"] = speculative_launches_;
     response["worker_errors"] = worker_errors_;
+    response["peak_worker_memory_bytes"] = peak_worker_memory_;
+    response["total_batches"] = total_batches_;
+    // Memory-config advice: the smallest Lambda size whose allocation covers
+    // the observed peak resident bytes (Section 5 economics — memory is the
+    // Lambda price dimension, so the peak directly sets the bill).
+    response["recommended_memory_mib"] =
+        pricing::RecommendLambdaMemoryMib(peak_worker_memory_);
     Json stages = Json::Array();
     for (auto& s : stage_summaries_) stages.Append(std::move(s));
     response["stages"] = std::move(stages);
@@ -485,6 +521,8 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
   int worker_retries_ = 0;
   int speculative_launches_ = 0;
   int worker_errors_ = 0;
+  int64_t peak_worker_memory_ = 0;
+  int64_t total_batches_ = 0;
   SimTime start_ = 0;
   bool done_ = false;
 };

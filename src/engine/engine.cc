@@ -16,6 +16,10 @@ QueryResponse QueryResponse::FromJson(const Json& json) {
   response.speculative_launches =
       static_cast<int>(json.GetInt("speculative_launches"));
   response.worker_errors = static_cast<int>(json.GetInt("worker_errors"));
+  response.peak_worker_memory_bytes = json.GetInt("peak_worker_memory_bytes");
+  response.total_batches = json.GetInt("total_batches");
+  response.recommended_memory_mib =
+      static_cast<int>(json.GetInt("recommended_memory_mib"));
   response.raw = json;
   return response;
 }
@@ -25,6 +29,8 @@ Status QueryEngine::Deploy(faas::FunctionRegistry* registry,
   faas::FunctionConfig worker;
   worker.name = kWorkerFunction;
   worker.memory_mib = worker_memory_mib;
+  // The coordinator's memory-aware scan sizing budgets against this.
+  context_.worker_memory_mib = static_cast<int>(worker_memory_mib);
   worker.binary_size_bytes = 8 * kMiB;  // Small binaries: fast coldstarts.
   SKYRISE_RETURN_IF_ERROR(
       registry->Register(worker, MakeWorkerHandler(&context_)));

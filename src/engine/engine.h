@@ -25,6 +25,13 @@ struct QueryResponse {
   int worker_retries = 0;
   int speculative_launches = 0;
   int worker_errors = 0;
+  // Streaming-execution memory profile: the largest resident footprint any
+  // worker reported, the morsel count across all workers, and the smallest
+  // Lambda memory configuration that covers the peak (the memory-config
+  // recommendation fed into break-even analysis).
+  int64_t peak_worker_memory_bytes = 0;
+  int64_t total_batches = 0;
+  int recommended_memory_mib = 0;
   Json raw;
 
   static QueryResponse FromJson(const Json& json);

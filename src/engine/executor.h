@@ -1,25 +1,34 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
 #include <utility>
 #include <vector>
 
-#include <algorithm>
-
 #include "common/units.h"
 #include "data/chunk.h"
+#include "engine/memory_tracker.h"
 #include "engine/plan.h"
 
 /// \file executor.h
-/// In-worker execution of one pipeline fragment: the streamed input chunk is
-/// pushed through the operator chain (vectorized, chunk-at-a-time semantics
-/// with the fragment materialized as one batch), producing either shuffle
-/// partitions or the final result rows. Execution is pure compute —
-/// independent of the simulation — and accounts its CPU cost in a
-/// deterministic model so FaaS/IaaS timing comparisons are reproducible.
+/// In-worker execution of one pipeline fragment as a push-based morsel
+/// pipeline: the streamed input arrives in fixed-size row batches (morsels)
+/// that flow through the operator chain batch-at-a-time. Streaming operators
+/// (filter, project, join probe, limit, partition) transform each morsel in
+/// place; pipeline breakers (hash_agg, sort, bb_sessionize) accumulate
+/// explicit state that a MemoryTracker accounts, and emit on Finish().
+/// Execution is pure compute — independent of the simulation — and accounts
+/// its CPU cost in a deterministic model so FaaS/IaaS timing comparisons are
+/// reproducible. Results are bit-identical across batch sizes: per-row cost
+/// terms and per-row accumulation order do not depend on where morsel
+/// boundaries fall.
 ///
 /// Synthetic chunks flow through the same operators: cardinalities propagate
 /// via the plan's hints, schemas and byte sizes stay correct, and the CPU
-/// model charges the same per-row costs.
+/// model charges the same per-row costs. Because synthetic cardinality hints
+/// are nonlinear (rounding, group caps), a pipeline that receives a synthetic
+/// morsel accumulates its input and executes once on Finish().
 
 namespace skyrise::engine {
 
@@ -46,9 +55,12 @@ class CostAccumulator {
   double ns() const { return ns_; }
   const CostModel& model() const { return model_; }
   /// Wall-clock duration on `vcpus` cores (operators parallelize across the
-  /// worker's cores in the vectorized model).
+  /// worker's cores in the vectorized model). Rounded to the nearest
+  /// microsecond — not floored — so many small batches cost the same as one
+  /// large batch when charged via cumulative deltas.
   SimDuration Duration(int vcpus) const {
-    return static_cast<SimDuration>(ns_ / 1000.0 / std::max(1, vcpus));
+    return static_cast<SimDuration>(
+        std::llround(ns_ / 1000.0 / std::max(1, vcpus)));
   }
   void Reset() { ns_ = 0; }
 
@@ -64,12 +76,55 @@ struct FragmentOutput {
   data::Chunk chunk;
 };
 
-/// Executes `pipeline`'s operator chain over a materialized (or synthetic)
-/// streamed input and the fully-built side inputs. `builds[i]` corresponds
-/// to pipeline input i+1.
+/// Push-based streaming execution of one pipeline fragment. Build-side
+/// inputs must be fully materialized up front (`builds[i]` corresponds to
+/// pipeline input i+1); the streamed input is then fed morsel-by-morsel via
+/// Push() and finalized with Finish().
+///
+/// `morsel_rows` selects the batching strategy:
+///   > 0  — incoming chunks are re-sliced into morsels of at most that many
+///          rows before entering the operator chain;
+///   == 0 — incoming chunks pass through at their natural granularity
+///          (typically one decoded row group each);
+///   < 0  — whole-fragment mode: the entire stream is accumulated and
+///          executed as a single batch on Finish() (the seed's materialized
+///          semantics, also used as the reference in equivalence tests).
+class FragmentPipeline {
+ public:
+  FragmentPipeline(const PipelineSpec& pipeline,
+                   std::vector<data::Chunk> builds, CostAccumulator* cost,
+                   MemoryTracker* memory = nullptr, int64_t morsel_rows = 0);
+  ~FragmentPipeline();
+  FragmentPipeline(const FragmentPipeline&) = delete;
+  FragmentPipeline& operator=(const FragmentPipeline&) = delete;
+
+  /// Feeds the next batch of the streamed input through the operator chain.
+  [[nodiscard]] Status Push(data::Chunk&& morsel);
+
+  /// Ends the stream: flushes pipeline breakers in operator order and
+  /// returns the fragment outputs. Call exactly once, after the last Push.
+  [[nodiscard]] Result<std::vector<FragmentOutput>> Finish();
+
+  /// Number of morsels that entered the operator chain.
+  int64_t batches() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Executes `pipeline`'s operator chain over a fully materialized (or
+/// synthetic) streamed input and the fully-built side inputs, as a single
+/// batch. Thin wrapper over FragmentPipeline in whole-fragment mode.
 [[nodiscard]] Result<std::vector<FragmentOutput>> ExecuteFragment(
-    const PipelineSpec& pipeline, data::Chunk stream,
+    const PipelineSpec& pipeline, data::Chunk&& stream,
     std::vector<data::Chunk> builds, CostAccumulator* cost);
+
+/// Applies one filter operator to a chunk (used by scan workers for
+/// per-row-group predicate pushdown before morsels enter the pipeline).
+[[nodiscard]] Result<data::Chunk> ApplyFilterOp(const OperatorSpec& op,
+                                                data::Chunk&& in,
+                                                CostAccumulator* cost);
 
 /// Output schema of the pipeline (after all non-terminal operators), given
 /// the streamed input schema and build schemas. Exposed for planning and

@@ -24,7 +24,9 @@ struct ReadOp {
 };
 
 /// Issues reads with bounded concurrency against a retrying client,
-/// reassembling split ranges, then fires `done` with the buffers.
+/// reassembling split ranges, then fires `done` with the buffers. Used for
+/// build-side inputs, which must materialize fully before the probe stream
+/// starts.
 class ReadBatch : public std::enable_shared_from_this<ReadBatch> {
  public:
   ReadBatch(EngineContext* ec, storage::RetryClient* client,
@@ -122,6 +124,13 @@ class ReadBatch : public std::enable_shared_from_this<ReadBatch> {
   DoneFn done_;
 };
 
+/// Executes one fragment as a streaming morsel pipeline: build-side inputs
+/// (pipeline inputs 1..n) materialize first, then the streamed input 0 is
+/// read one row group at a time and pushed through a FragmentPipeline while
+/// further ranged reads are in flight — I/O and compute overlap on the sim
+/// event loop. Decoded row groups enter the pipeline in deterministic
+/// (file, row group) / upstream-fragment order regardless of which reads
+/// straggled or were retried, so result bytes are reproducible under faults.
 class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
  public:
   WorkerTask(EngineContext* ec,
@@ -165,7 +174,7 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     storage_ctx_.fabric = fctx_->fabric();
     storage_ctx_.meter = ec_->meter;
     loaded_.resize(pipeline_.inputs.size());
-    LoadInput(0);
+    LoadBuildInput(1);
   }
 
  private:
@@ -177,9 +186,10 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     fctx_->FinishError(std::move(status));
   }
 
-  void LoadInput(size_t index) {
+  // --- Build-side inputs (pipeline inputs 1..n): fully materialized. ---
+
+  void LoadBuildInput(size_t index) {
     if (index >= pipeline_.inputs.size()) {
-      input_done_ = Now();
       MaybeBarrier();
       return;
     }
@@ -203,16 +213,29 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
                     std::shared_ptr<std::vector<TableFileAssignment>> files,
                     size_t file_index) {
     if (file_index >= files->size()) {
-      LoadInput(index + 1);
+      LoadBuildInput(index + 1);
       return;
     }
     const TableFileAssignment& file = (*files)[file_index];
+    auto self = shared_from_this();
+    FetchFooter(file, [self, index, files, file_index](
+                          format::FileMeta meta) {
+      self->ReadFileColumns(index, files, file_index, (*files)[file_index],
+                            std::move(meta));
+    });
+  }
+
+  /// Fetches + parses a file footer (or resolves it via the synthetic
+  /// catalog) and hands the FileMeta to `then`. Failures finish the task.
+  void FetchFooter(const TableFileAssignment& file,
+                   std::function<void(format::FileMeta)> then) {
     const int64_t fetch =
         std::min<int64_t>(file.size, format::kFooterFetchSize);
     auto self = shared_from_this();
     table_client_->GetRange(
         file.key, file.size - fetch, fetch, storage_ctx_,
-        [self, index, files, file_index, file, fetch](Result<Blob> result) {
+        [self, file, fetch, then](Result<Blob> result) {
+          if (self->done_) return;
           if (!result.ok()) {
             self->Fail(result.status());
             return;
@@ -235,31 +258,22 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
             }
             meta = std::move(parsed).ValueUnsafe();
           }
-          self->ReadFileColumns(index, files, file_index, file,
-                                std::move(meta));
+          then(std::move(meta));
         });
   }
 
-  void ReadFileColumns(size_t index,
-                       std::shared_ptr<std::vector<TableFileAssignment>> files,
-                       size_t file_index, const TableFileAssignment& file,
-                       format::FileMeta meta) {
-    const InputSpec& spec = pipeline_.inputs[index];
-    std::vector<std::string> projection = spec.columns;
-    if (projection.empty()) {
-      for (const auto& f : meta.schema.fields()) projection.push_back(f.name);
-    }
-    // Row-group pruning on min/max statistics (selection pushdown).
-    auto meta_ptr = std::make_shared<format::FileMeta>(std::move(meta));
-    auto survivors = std::make_shared<std::vector<size_t>>();
-    for (size_t rg = 0; rg < meta_ptr->row_groups.size(); ++rg) {
+  /// Row-group pruning on min/max statistics (selection pushdown).
+  std::vector<size_t> PruneRowGroups(const InputSpec& spec,
+                                     const format::FileMeta& meta) const {
+    std::vector<size_t> survivors;
+    for (size_t rg = 0; rg < meta.row_groups.size(); ++rg) {
       bool keep = true;
       if (spec.pushdown) {
-        const auto& groups = meta_ptr->row_groups[rg];
+        const auto& groups = meta.row_groups[rg];
         keep = RangeMayMatch(
             *spec.pushdown,
             [&](const std::string& column, double* min, double* max) {
-              const int idx = meta_ptr->schema.FieldIndex(column);
+              const int idx = meta.schema.FieldIndex(column);
               if (idx < 0) return false;
               const auto& cm = groups.columns[static_cast<size_t>(idx)];
               if (!cm.min.has_value() || !cm.max.has_value()) return false;
@@ -268,8 +282,42 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
               return true;
             });
       }
-      if (keep) survivors->push_back(rg);
+      if (keep) survivors.push_back(rg);
     }
+    return survivors;
+  }
+
+  std::vector<std::string> ProjectionFor(const InputSpec& spec,
+                                         const format::FileMeta& meta) const {
+    std::vector<std::string> projection = spec.columns;
+    if (projection.empty()) {
+      for (const auto& f : meta.schema.fields()) projection.push_back(f.name);
+    }
+    return projection;
+  }
+
+  /// Applies the input's pushdown predicate to a freshly decoded row group.
+  /// Synthetic pruning already reduced groups; the residual selectivity is
+  /// relative to the pruned set.
+  [[nodiscard]] Result<Chunk> ApplyPushdown(const InputSpec& spec,
+                                            Chunk&& chunk) {
+    if (!spec.pushdown) return std::move(chunk);
+    OperatorSpec filter;
+    filter.op = "filter";
+    filter.predicate = spec.pushdown;
+    filter.selectivity = spec.pushdown_selectivity;
+    return ApplyFilterOp(filter, std::move(chunk), &cost_);
+  }
+
+  void ReadFileColumns(size_t index,
+                       std::shared_ptr<std::vector<TableFileAssignment>> files,
+                       size_t file_index, const TableFileAssignment& file,
+                       format::FileMeta meta) {
+    const InputSpec& spec = pipeline_.inputs[index];
+    auto meta_ptr = std::make_shared<format::FileMeta>(std::move(meta));
+    auto survivors =
+        std::make_shared<std::vector<size_t>>(PruneRowGroups(spec, *meta_ptr));
+    std::vector<std::string> projection = ProjectionFor(spec, *meta_ptr);
 
     // Make the input schema known even if every row group is pruned.
     {
@@ -287,15 +335,14 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
         survivors->size() * projection.size());
     size_t buffer = 0;
     for (size_t rg : *survivors) {
-      for (const auto& column : projection) {
-        const int idx = meta_ptr->schema.FieldIndex(column);
-        if (idx < 0) {
-          Fail(Status::NotFound("no column in file: " + column));
-          return;
-        }
-        const auto& cm =
-            meta_ptr->row_groups[rg].columns[static_cast<size_t>(idx)];
-        batch->Add(ReadOp{file.key, cm.offset, cm.size, buffer, 0});
+      auto ranges =
+          format::RowGroupColumnRanges(*meta_ptr, rg, projection);
+      if (!ranges.ok()) {
+        Fail(ranges.status());
+        return;
+      }
+      for (const format::ColumnRange& range : *ranges) {
+        batch->Add(ReadOp{file.key, range.offset, range.size, buffer, 0});
         ++buffer;
       }
     }
@@ -328,27 +375,14 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
           self->Fail(decoded.status());
           return;
         }
-        Chunk chunk = std::move(decoded).ValueUnsafe();
-        // Apply the pushdown predicate to the decoded rows right away.
-        const InputSpec& spec = self->pipeline_.inputs[index];
-        if (spec.pushdown) {
-          OperatorSpec filter;
-          filter.op = "filter";
-          filter.predicate = spec.pushdown;
-          filter.selectivity = spec.pushdown_selectivity;
-          // Synthetic pruning already reduced groups; apply the residual
-          // selectivity relative to the pruned set.
-          PipelineSpec wrapper;
-          wrapper.ops.push_back(filter);
-          auto filtered = ExecuteFragment(wrapper, std::move(chunk), {},
-                                          &self->cost_);
-          if (!filtered.ok()) {
-            self->Fail(filtered.status());
-            return;
-          }
-          chunk = std::move((*filtered)[0].chunk);
+        auto filtered =
+            self->ApplyPushdown(self->pipeline_.inputs[index],
+                                std::move(decoded).ValueUnsafe());
+        if (!filtered.ok()) {
+          self->Fail(filtered.status());
+          return;
         }
-        self->AccumulateInput(index, std::move(chunk));
+        self->AccumulateInput(index, std::move(filtered).ValueUnsafe());
       }
       self->LoadNextFile(index, files, file_index + 1);
     });
@@ -363,7 +397,7 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     auto remaining = std::make_shared<int>(count);
     auto failed = std::make_shared<bool>(false);
     if (count == 0) {
-      LoadInput(index + 1);
+      LoadBuildInput(index + 1);
       return;
     }
     auto self = shared_from_this();
@@ -408,7 +442,7 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
                     self->AccumulateInput(index, std::move(chunk));
                   }
                 }
-                self->LoadInput(index + 1);
+                self->LoadBuildInput(index + 1);
                 return;
               }
               (*pump)();
@@ -465,7 +499,7 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     return true;
   }
 
-  void AccumulateInput(size_t index, Chunk chunk) {
+  void AccumulateInput(size_t index, Chunk&& chunk) {
     if (!loaded_[index].has_value()) {
       loaded_[index] = std::move(chunk);
       return;
@@ -473,7 +507,7 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     loaded_[index]->Append(chunk);
   }
 
-  // --- Barrier, compute, output. ---
+  // --- Barrier, then the streamed input drives the pipeline. ---
 
   void MaybeBarrier() {
     bool has_barrier = false;
@@ -481,38 +515,309 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
       if (op.op == "barrier") has_barrier = true;
     }
     if (!has_barrier || ec_->queue == nullptr || barrier_participants_ <= 0) {
-      Compute();
+      StartStream();
       return;
     }
     const std::string name =
         StrFormat("%s/p%d/barrier", query_id_.c_str(), pipeline_.id);
     auto self = shared_from_this();
     ec_->queue->Arrive(name, barrier_participants_,
-                       [self] { self->Compute(); });
+                       [self] { self->StartStream(); });
   }
 
-  void Compute() {
-    // Missing inputs (e.g., fully pruned scans) become empty chunks; their
-    // schema is not known here, so use an empty schema — operators tolerate
-    // it only when no rows flow, which is exactly this case.
-    Chunk stream = loaded_[0].has_value() ? std::move(*loaded_[0])
-                                          : Chunk::Empty(data::Schema());
+  void StartStream() {
     std::vector<Chunk> builds;
     for (size_t i = 1; i < loaded_.size(); ++i) {
       builds.push_back(loaded_[i].has_value() ? std::move(*loaded_[i])
                                               : Chunk::Empty(data::Schema()));
     }
-    auto outputs = ExecuteFragment(pipeline_, std::move(stream),
-                                   std::move(builds), &cost_);
+    executor_ = std::make_unique<FragmentPipeline>(
+        pipeline_, std::move(builds), &cost_, &memory_, ec_->morsel_rows);
+    if (pipeline_.inputs.empty()) {
+      StreamEof();
+      return;
+    }
+    if (pipeline_.inputs[0].type == InputSpec::Type::kTable) {
+      StreamTableInput();
+    } else {
+      StreamShuffleInput();
+    }
+  }
+
+  // --- Streamed table input: per-row-group ranged reads, decoded and
+  // pushed in (file, row group) order while later reads are in flight. ---
+
+  void StreamTableInput() {
+    stream_files_ = std::make_shared<std::vector<TableFileAssignment>>(
+        assignments_[0].files);
+    StreamNextFile(0);
+  }
+
+  void StreamNextFile(size_t file_index) {
+    if (file_index >= stream_files_->size()) {
+      StreamEof();
+      return;
+    }
+    const TableFileAssignment& file = (*stream_files_)[file_index];
+    auto self = shared_from_this();
+    FetchFooter(file, [self, file_index](format::FileMeta meta) {
+      self->StreamFileColumns(file_index, std::move(meta));
+    });
+  }
+
+  void StreamFileColumns(size_t file_index, format::FileMeta meta) {
+    const InputSpec& spec = pipeline_.inputs[0];
+    stream_meta_ = std::make_shared<format::FileMeta>(std::move(meta));
+    stream_projection_ = ProjectionFor(spec, *stream_meta_);
+    stream_survivors_ = PruneRowGroups(spec, *stream_meta_);
+    {
+      auto projected = stream_meta_->schema.Select(stream_projection_);
+      if (!projected.ok()) {
+        Fail(projected.status());
+        return;
+      }
+      if (!fallback_schema_.has_value()) fallback_schema_ = *projected;
+    }
+    stream_file_index_ = file_index;
+    if (stream_survivors_.empty()) {
+      StreamNextFile(file_index + 1);
+      return;
+    }
+    const size_t cols = stream_projection_.size();
+    const std::string& key = (*stream_files_)[file_index].key;
+    stream_buffers_.assign(stream_survivors_.size() * cols, std::string());
+    stream_synthetic_.assign(stream_survivors_.size() * cols, false);
+    rg_pieces_.assign(stream_survivors_.size(), 0);
+    rg_ready_.assign(stream_survivors_.size(), false);
+    rg_cursor_ = 0;
+    for (size_t slot = 0; slot < stream_survivors_.size(); ++slot) {
+      auto ranges = format::RowGroupColumnRanges(
+          *stream_meta_, stream_survivors_[slot], stream_projection_);
+      if (!ranges.ok()) {
+        Fail(ranges.status());
+        return;
+      }
+      for (size_t c = 0; c < cols; ++c) {
+        ReadOp op{key, (*ranges)[c].offset, (*ranges)[c].size, slot * cols + c,
+                  0};
+        // Split oversized ranges into parallel chunked requests.
+        while (op.length > ec_->range_chunk_bytes) {
+          ReadOp piece = op;
+          piece.length = ec_->range_chunk_bytes;
+          stream_pending_.push_back(piece);
+          ++rg_pieces_[slot];
+          op.offset += ec_->range_chunk_bytes;
+          op.buffer_offset += ec_->range_chunk_bytes;
+          op.length -= ec_->range_chunk_bytes;
+        }
+        if (op.length > 0) {
+          stream_pending_.push_back(op);
+          ++rg_pieces_[slot];
+        }
+      }
+      if (rg_pieces_[slot] == 0) rg_ready_[slot] = true;
+    }
+    AdvanceRowGroupCursor();
+    PumpStreamReads();
+  }
+
+  void PumpStreamReads() {
+    auto self = shared_from_this();
+    while (stream_outstanding_ < ec_->max_concurrent_requests &&
+           !stream_pending_.empty()) {
+      ReadOp op = stream_pending_.front();
+      stream_pending_.pop_front();
+      ++stream_outstanding_;
+      table_client_->GetRange(op.key, op.offset, op.length, storage_ctx_,
+                              [self, op](Result<Blob> result) {
+                                self->OnStreamRead(op, std::move(result));
+                              });
+    }
+  }
+
+  void OnStreamRead(const ReadOp& op, Result<Blob> result) {
+    --stream_outstanding_;
+    if (done_) return;
+    if (!result.ok()) {
+      Fail(result.status());
+      return;
+    }
+    bytes_read_ += result->size();
+    cost_.AddNs(static_cast<double>(result->size()) *
+                cost_.model().decode_ns_per_byte);
+    if (result->is_synthetic()) {
+      stream_synthetic_[op.buffer] = true;
+    } else {
+      std::string& buffer = stream_buffers_[op.buffer];
+      const size_t end = static_cast<size_t>(op.buffer_offset) +
+                         result->data().size();
+      if (buffer.size() < end) buffer.resize(end);
+      result->data().copy(buffer.data() + op.buffer_offset,
+                          result->data().size());
+    }
+    const size_t slot = op.buffer / stream_projection_.size();
+    if (--rg_pieces_[slot] == 0) {
+      rg_ready_[slot] = true;
+      AdvanceRowGroupCursor();
+    }
+    if (!done_) PumpStreamReads();
+  }
+
+  /// Decodes + pushes every ready row group at the front of the in-order
+  /// cursor, then moves to the next file once this one is fully decoded.
+  void AdvanceRowGroupCursor() {
+    const size_t cols = stream_projection_.size();
+    while (rg_cursor_ < stream_survivors_.size() && rg_ready_[rg_cursor_]) {
+      std::vector<std::string> column_bytes;
+      column_bytes.reserve(cols);
+      for (size_t c = 0; c < cols; ++c) {
+        column_bytes.push_back(
+            std::move(stream_buffers_[rg_cursor_ * cols + c]));
+      }
+      auto decoded =
+          format::DecodeRowGroup(*stream_meta_, stream_survivors_[rg_cursor_],
+                                 stream_projection_, column_bytes);
+      if (!decoded.ok()) {
+        Fail(decoded.status());
+        return;
+      }
+      auto filtered = ApplyPushdown(pipeline_.inputs[0],
+                                    std::move(decoded).ValueUnsafe());
+      if (!filtered.ok()) {
+        Fail(filtered.status());
+        return;
+      }
+      ++rg_cursor_;
+      Enqueue(std::move(filtered).ValueUnsafe());
+    }
+    if (!stream_survivors_.empty() &&
+        rg_cursor_ == stream_survivors_.size()) {
+      stream_survivors_.clear();
+      rg_cursor_ = 0;
+      StreamNextFile(stream_file_index_ + 1);
+    }
+  }
+
+  // --- Streamed shuffle input: bounded GETs, decoded per upstream fragment
+  // and pushed in fragment order as the completion cursor advances. ---
+
+  void StreamShuffleInput() {
+    const int count = assignments_[0].upstream_fragments;
+    if (count == 0) {
+      StreamEof();
+      return;
+    }
+    shuffle_slots_.assign(static_cast<size_t>(count), {});
+    shuffle_done_.assign(static_cast<size_t>(count), false);
+    shuffle_cursor_ = 0;
+    shuffle_next_ = 0;
+    PumpShuffleStream(count);
+  }
+
+  void PumpShuffleStream(int count) {
+    const int upstream = pipeline_.inputs[0].upstream_pipeline;
+    auto self = shared_from_this();
+    while (shuffle_outstanding_ < ec_->max_concurrent_requests &&
+           shuffle_next_ < count) {
+      const int uf = shuffle_next_++;
+      ++shuffle_outstanding_;
+      const std::string key = ShuffleKey(query_id_, upstream, uf, fragment_);
+      shuffle_client_->Get(
+          key, storage_ctx_, [self, key, uf, count](Result<Blob> result) {
+            --self->shuffle_outstanding_;
+            if (self->done_) return;
+            if (!result.ok()) {
+              self->Fail(result.status());
+              return;
+            }
+            self->bytes_read_ += result->size();
+            if (!self->DecodeShuffleObject(
+                    key, *result,
+                    &self->shuffle_slots_[static_cast<size_t>(uf)])) {
+              return;
+            }
+            self->shuffle_done_[static_cast<size_t>(uf)] = true;
+            self->AdvanceShuffleCursor(count);
+            if (!self->done_) self->PumpShuffleStream(count);
+          });
+    }
+  }
+
+  void AdvanceShuffleCursor(int count) {
+    while (shuffle_cursor_ < count &&
+           shuffle_done_[static_cast<size_t>(shuffle_cursor_)]) {
+      for (auto& chunk : shuffle_slots_[static_cast<size_t>(shuffle_cursor_)]) {
+        Enqueue(std::move(chunk));
+      }
+      shuffle_slots_[static_cast<size_t>(shuffle_cursor_)].clear();
+      ++shuffle_cursor_;
+    }
+    if (shuffle_cursor_ == count) StreamEof();
+  }
+
+  // --- The compute pump: one morsel per Compute hop, charged as the
+  // cumulative cost delta so total CPU equals the materialized path. ---
+
+  void Enqueue(Chunk&& morsel) {
+    ++morsels_seen_;
+    morsels_.push_back(std::move(morsel));
+    PumpCompute();
+  }
+
+  void StreamEof() {
+    // Zero-morsel streams (e.g. every row group pruned) still run the chain
+    // once over an empty batch with the projected schema, as the
+    // materialized path did.
+    if (morsels_seen_ == 0 && fallback_schema_.has_value()) {
+      morsels_.push_back(Chunk::Empty(*fallback_schema_));
+    }
+    stream_eof_ = true;
+    input_done_ = Now();
+    PumpCompute();
+  }
+
+  void PumpCompute() {
+    if (done_ || computing_ || finished_ || executor_ == nullptr) return;
+    if (morsels_.empty()) {
+      if (stream_eof_) FinishPipeline();
+      return;
+    }
+    Chunk morsel = std::move(morsels_.front());
+    morsels_.pop_front();
+    Status pushed = executor_->Push(std::move(morsel));
+    if (!pushed.ok()) {
+      Fail(std::move(pushed));
+      return;
+    }
+    computing_ = true;
+    auto self = shared_from_this();
+    ChargeCompute([self] {
+      self->computing_ = false;
+      self->PumpCompute();
+    });
+  }
+
+  /// Sleeps for the not-yet-charged share of the accumulated CPU cost. The
+  /// cumulative-delta scheme telescopes: total charged time equals
+  /// Duration(total cost) regardless of how many batches it was split over.
+  void ChargeCompute(std::function<void()> then) {
+    const SimDuration total = cost_.Duration(fctx_->config().vcpus());
+    const SimDuration delta = total - charged_;
+    charged_ = total;
+    fctx_->Compute(delta, std::move(then));
+  }
+
+  void FinishPipeline() {
+    finished_ = true;
+    auto outputs = executor_->Finish();
     if (!outputs.ok()) {
       Fail(outputs.status());
       return;
     }
-    const SimDuration cpu = cost_.Duration(fctx_->config().vcpus());
-    auto self = shared_from_this();
     auto outs = std::make_shared<std::vector<FragmentOutput>>(
         std::move(*outputs));
-    fctx_->Compute(cpu, [self, outs] {
+    auto self = shared_from_this();
+    ChargeCompute([self, outs] {
       self->compute_done_ = self->Now();
       self->WriteOutputs(outs);
     });
@@ -610,12 +915,15 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     response["compute_ms"] = ToMillis(compute_done_ - input_done_);
     response["output_ms"] = ToMillis(Now() - compute_done_);
     response["duration_ms"] = ToMillis(Now() - start_);
+    response["peak_memory_bytes"] = memory_.peak();
+    response["batches"] = executor_ != nullptr ? executor_->batches() : 0;
     fctx_->Finish(std::move(response));
   }
 
   EngineContext* ec_;
   std::shared_ptr<faas::FunctionContext> fctx_;
   CostAccumulator cost_;
+  MemoryTracker memory_;
   std::unique_ptr<storage::RetryClient> table_client_;
   std::unique_ptr<storage::RetryClient> shuffle_client_;
   storage::ClientContext storage_ctx_;
@@ -624,7 +932,35 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
   int fragment_ = 0;
   int barrier_participants_ = 0;
   std::vector<WorkerInputAssignment> assignments_;
-  std::vector<std::optional<Chunk>> loaded_;
+  std::vector<std::optional<Chunk>> loaded_;  ///< Build-side inputs.
+
+  // Streaming state for input 0.
+  std::unique_ptr<FragmentPipeline> executor_;
+  std::deque<Chunk> morsels_;
+  int64_t morsels_seen_ = 0;
+  bool computing_ = false;
+  bool finished_ = false;
+  bool stream_eof_ = false;
+  SimDuration charged_ = 0;
+  std::optional<data::Schema> fallback_schema_;
+  std::shared_ptr<std::vector<TableFileAssignment>> stream_files_;
+  size_t stream_file_index_ = 0;
+  std::shared_ptr<format::FileMeta> stream_meta_;
+  std::vector<std::string> stream_projection_;
+  std::vector<size_t> stream_survivors_;
+  std::deque<ReadOp> stream_pending_;
+  std::vector<std::string> stream_buffers_;
+  std::vector<bool> stream_synthetic_;
+  std::vector<int> rg_pieces_;
+  std::vector<bool> rg_ready_;
+  size_t rg_cursor_ = 0;
+  int stream_outstanding_ = 0;
+  std::vector<std::vector<Chunk>> shuffle_slots_;
+  std::vector<bool> shuffle_done_;
+  int shuffle_cursor_ = 0;
+  int shuffle_next_ = 0;
+  int shuffle_outstanding_ = 0;
+
   SimTime start_ = 0;
   SimTime input_done_ = 0;
   SimTime compute_done_ = 0;

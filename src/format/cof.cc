@@ -255,6 +255,24 @@ Result<FileMeta> ParseFooter(const std::string& tail, int64_t tail_offset,
   return FileMeta::FromJson(json);
 }
 
+Result<std::vector<ColumnRange>> RowGroupColumnRanges(
+    const FileMeta& meta, size_t row_group,
+    const std::vector<std::string>& projection) {
+  if (row_group >= meta.row_groups.size()) {
+    return Status::OutOfRange("row group index");
+  }
+  const RowGroupMeta& rg = meta.row_groups[row_group];
+  std::vector<ColumnRange> ranges;
+  ranges.reserve(projection.size());
+  for (const auto& name : projection) {
+    const int idx = meta.schema.FieldIndex(name);
+    if (idx < 0) return Status::NotFound("no column: " + name);
+    const ColumnChunkMeta& cm = rg.columns[static_cast<size_t>(idx)];
+    ranges.push_back(ColumnRange{cm.offset, cm.size});
+  }
+  return ranges;
+}
+
 Result<data::Chunk> DecodeRowGroup(
     const FileMeta& meta, size_t row_group,
     const std::vector<std::string>& projection,

@@ -102,6 +102,20 @@ FileMeta BuildSyntheticFileMeta(const data::Schema& schema, int64_t rows,
 [[nodiscard]] Result<FileMeta> ParseFooter(const std::string& tail, int64_t tail_offset,
                              int64_t file_size);
 
+/// One ranged read needed to fetch a projected column chunk of a row group.
+struct ColumnRange {
+  int64_t offset = 0;  ///< Absolute file offset.
+  int64_t size = 0;
+};
+
+/// The ranged reads needed to decode row group `row_group` restricted to
+/// `projection` (in projection order) — the unit of incremental, per-row-group
+/// fetching. Synthetic files report the same ranges so the request sequence
+/// matches the real layout.
+[[nodiscard]] Result<std::vector<ColumnRange>> RowGroupColumnRanges(
+    const FileMeta& meta, size_t row_group,
+    const std::vector<std::string>& projection);
+
 /// Decodes one row group (selected columns, in `projection` order) from
 /// per-column chunk bytes.
 [[nodiscard]] Result<data::Chunk> DecodeRowGroup(

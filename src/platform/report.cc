@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/string_util.h"
+#include "common/units.h"
 
 namespace skyrise::platform {
 
@@ -107,6 +108,34 @@ std::string RenderFaultSummary(const Json& coordinator_response) {
                     coordinator_response.GetInt("speculative_launches")),
                 std::to_string(coordinator_response.GetInt("worker_errors"))});
   return table.Render();
+}
+
+std::string RenderWorkerStats(const Json& coordinator_response) {
+  const Json& stages = coordinator_response.Get("stages");
+  if (!stages.is_array() || stages.AsArray().empty()) return "";
+  TablePrinter table({"pipeline", "fragments", "batches", "peak_memory",
+                      "bytes_read", "bytes_written"});
+  for (const auto& stage : stages.AsArray()) {
+    table.AddRow({std::to_string(stage.GetInt("pipeline")),
+                  std::to_string(stage.GetInt("fragments")),
+                  std::to_string(stage.GetInt("batches")),
+                  FormatBytes(stage.GetInt("peak_memory_bytes")),
+                  FormatBytes(stage.GetInt("bytes_read")),
+                  FormatBytes(stage.GetInt("bytes_written"))});
+  }
+  table.AddRow(
+      {"total", "",
+       std::to_string(coordinator_response.GetInt("total_batches")),
+       FormatBytes(coordinator_response.GetInt("peak_worker_memory_bytes")),
+       "", ""});
+  std::string out = table.Render();
+  const int64_t recommended =
+      coordinator_response.GetInt("recommended_memory_mib");
+  if (recommended > 0) {
+    out += StrFormat("recommended worker memory: %lld MiB\n",
+                     static_cast<long long>(recommended));
+  }
+  return out;
 }
 
 }  // namespace skyrise::platform

@@ -47,4 +47,10 @@ void PrintComparison(const std::string& metric, const std::string& paper,
 /// row). Returns an empty string when the response reports no stages.
 std::string RenderFaultSummary(const Json& coordinator_response);
 
+/// Renders the per-stage worker execution table from a coordinator response:
+/// fragment count, morsel batches processed, peak worker-resident memory, and
+/// bytes moved per pipeline, plus a total row with the engine's memory-config
+/// recommendation. Returns an empty string when the response has no stages.
+std::string RenderWorkerStats(const Json& coordinator_response);
+
 }  // namespace skyrise::platform

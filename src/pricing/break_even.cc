@@ -49,6 +49,17 @@ double BreakEvenAccessSizeMb(double price_per_request,
   return price_per_request / (vm_cost_per_mb - fee_per_mb);
 }
 
+int RecommendLambdaMemoryMib(int64_t peak_memory_bytes, double headroom) {
+  SKYRISE_CHECK(peak_memory_bytes >= 0 && headroom >= 1.0);
+  constexpr int kStepMib = 128;
+  constexpr int kMinMib = 128;
+  constexpr int kMaxMib = 10240;
+  const double needed_mib =
+      static_cast<double>(peak_memory_bytes) * headroom / (1024.0 * 1024.0);
+  const int steps = static_cast<int>(std::ceil(needed_mib / kStepMib));
+  return std::clamp(steps * kStepMib, kMinMib, kMaxMib);
+}
+
 std::vector<BeiRow> ComputeStorageHierarchyTable(
     const PriceList& prices, const std::vector<int64_t>& access_sizes) {
   const StorageHierarchyPricing& h = prices.hierarchy();

@@ -40,6 +40,15 @@ double BreakEvenAccessSizeMb(double price_per_request,
                              double server_mb_per_hour,
                              double server_rent_hourly);
 
+/// Memory-config recommendation from observed execution: the smallest Lambda
+/// memory setting (in the platform's 128 MiB steps, within [128 MiB, 10 GiB])
+/// whose allocation covers `peak_memory_bytes` of resident query state plus
+/// `headroom` slack for the runtime and allocator. Peaks beyond the largest
+/// configuration clamp to it. Streaming execution lowers the peak and thus
+/// the recommended (and billed) memory size.
+int RecommendLambdaMemoryMib(int64_t peak_memory_bytes,
+                             double headroom = 1.5);
+
 /// One row of Table 7 (seconds, indexed by access size).
 struct BeiRow {
   std::string combination;             ///< e.g. "RAM/S3 Standard".

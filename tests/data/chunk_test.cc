@@ -83,6 +83,45 @@ TEST(ChunkTest, ByteSizeMaterialized) {
   EXPECT_EQ(c.ByteSize(), 8 + 4 + 4);
 }
 
+TEST(ChunkTest, SliceCopiesRowRange) {
+  Schema schema({{"x", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"s", DataType::kString}});
+  Chunk c = Chunk::Empty(schema);
+  for (int i = 0; i < 10; ++i) {
+    c.column(0).AppendInt(i);
+    c.column(1).AppendDouble(i * 0.5);
+    c.column(2).AppendString("r" + std::to_string(i));
+  }
+  Chunk mid = c.Slice(3, 4);
+  EXPECT_EQ(mid.rows(), 4);
+  EXPECT_EQ(mid.column(0).ints(), (std::vector<int64_t>{3, 4, 5, 6}));
+  EXPECT_DOUBLE_EQ(mid.column(1).doubles()[0], 1.5);
+  EXPECT_EQ(mid.column(2).strings()[3], "r6");
+  // Degenerate slices: empty anywhere, full range, single row at the tail.
+  EXPECT_EQ(c.Slice(10, 0).rows(), 0);
+  EXPECT_EQ(c.Slice(0, 10).column(0).ints(), c.column(0).ints());
+  EXPECT_EQ(c.Slice(9, 1).column(0).ints(), (std::vector<int64_t>{9}));
+}
+
+TEST(ChunkTest, SliceReassemblesToOriginal) {
+  Schema schema({{"x", DataType::kInt64}});
+  Chunk c = Chunk::Empty(schema);
+  for (int i = 0; i < 7; ++i) c.column(0).AppendInt(i * 11);
+  Chunk glued = c.Slice(0, 3);
+  glued.Append(c.Slice(3, 4));
+  EXPECT_EQ(glued.column(0).ints(), c.column(0).ints());
+}
+
+TEST(ChunkTest, SliceSyntheticKeepsSchemaAndCount) {
+  Schema schema({{"x", DataType::kInt64}, {"s", DataType::kString}});
+  Chunk c = Chunk::Synthetic(schema, 1000);
+  Chunk s = c.Slice(200, 300);
+  EXPECT_TRUE(s.is_synthetic());
+  EXPECT_EQ(s.rows(), 300);
+  EXPECT_TRUE(s.schema() == schema);
+}
+
 TEST(ChunkTest, ColumnByName) {
   Schema schema({{"x", DataType::kInt64}, {"y", DataType::kDouble}});
   Chunk c = Chunk::Empty(schema);

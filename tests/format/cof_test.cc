@@ -251,6 +251,47 @@ TEST(CofTest, FileMetaJsonRoundTrip) {
             meta->row_groups[1].columns[0].offset);
 }
 
+TEST(CofTest, RowGroupColumnRangesLocateColumnBytes) {
+  // The ranges returned for a (row group, projection) pair must address
+  // exactly the byte spans the streaming reader fetches: decoding them
+  // reproduces the original column slices.
+  Chunk chunk = SampleChunk(250);
+  const std::string file = WriteCofFile(chunk.schema(), {chunk}, 100);
+  auto meta = ParseFooter(file, 0, static_cast<int64_t>(file.size()));
+  ASSERT_TRUE(meta.ok());
+  ASSERT_EQ(meta->row_groups.size(), 3u);
+  const std::vector<std::string> projection = {"price", "id"};
+  for (size_t rg = 0; rg < meta->row_groups.size(); ++rg) {
+    auto ranges = RowGroupColumnRanges(*meta, rg, projection);
+    ASSERT_TRUE(ranges.ok());
+    ASSERT_EQ(ranges->size(), 2u);
+    std::vector<std::string> buffers;
+    for (const auto& r : *ranges) {
+      ASSERT_GE(r.offset, 0);
+      ASSERT_GT(r.size, 0);
+      ASSERT_LE(r.offset + r.size, static_cast<int64_t>(file.size()));
+      buffers.push_back(file.substr(static_cast<size_t>(r.offset),
+                                    static_cast<size_t>(r.size)));
+    }
+    auto decoded = DecodeRowGroup(*meta, rg, projection, buffers);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    const int64_t rows = std::min<int64_t>(100, 250 - 100 * rg);
+    const Chunk expected = chunk.Slice(100 * rg, rows);
+    EXPECT_EQ(decoded->column(0).doubles(), expected.column("price").doubles());
+    EXPECT_EQ(decoded->column(1).ints(), expected.column("id").ints());
+  }
+}
+
+TEST(CofTest, RowGroupColumnRangesRejectsBadInputs) {
+  Chunk chunk = SampleChunk(50);
+  const std::string file = WriteCofFile(chunk.schema(), {chunk});
+  auto meta = ParseFooter(file, 0, static_cast<int64_t>(file.size()));
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(RowGroupColumnRanges(*meta, 99, {"id"}).ok());
+  EXPECT_TRUE(
+      RowGroupColumnRanges(*meta, 0, {"nope"}).status().IsNotFound());
+}
+
 TEST(CofTest, CatalogLookup) {
   SyntheticFileCatalog catalog;
   Schema schema({{"x", DataType::kInt64}});

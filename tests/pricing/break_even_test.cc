@@ -164,5 +164,27 @@ TEST(BreakEvenTest, BeasNeverWithHighFee) {
   EXPECT_TRUE(std::isinf(BreakEvenAccessSizeMb(1e-7, 100.0, 1e6, 0.1)));
 }
 
+TEST(BreakEvenTest, RecommendLambdaMemoryFloorsAt128) {
+  EXPECT_EQ(RecommendLambdaMemoryMib(0), 128);
+  EXPECT_EQ(RecommendLambdaMemoryMib(1), 128);
+  EXPECT_EQ(RecommendLambdaMemoryMib(60 << 20), 128);  // 60 MiB * 1.5 = 90.
+}
+
+TEST(BreakEvenTest, RecommendLambdaMemoryRoundsUpTo128Step) {
+  // 100 MiB peak * 1.5 headroom = 150 MiB -> next 128 MiB step is 256.
+  EXPECT_EQ(RecommendLambdaMemoryMib(100LL << 20), 256);
+  // 1 GiB peak * 1.5 = 1536 MiB, already a multiple of 128.
+  EXPECT_EQ(RecommendLambdaMemoryMib(1LL << 30), 1536);
+  // One byte over keeps the covering guarantee: the next step up.
+  EXPECT_EQ(RecommendLambdaMemoryMib((1LL << 30) + (1 << 20)), 1664);
+  // Custom headroom is honored.
+  EXPECT_EQ(RecommendLambdaMemoryMib(100LL << 20, 1.0), 128);
+  EXPECT_EQ(RecommendLambdaMemoryMib(256LL << 20, 2.0), 512);
+}
+
+TEST(BreakEvenTest, RecommendLambdaMemoryClampsAtLambdaMax) {
+  EXPECT_EQ(RecommendLambdaMemoryMib(100LL << 30), 10240);
+}
+
 }  // namespace
 }  // namespace skyrise::pricing

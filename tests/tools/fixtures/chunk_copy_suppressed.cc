@@ -1,0 +1,15 @@
+// Fixture: an intentional owning copy with a justified suppression.
+namespace skyrise::data {
+class Chunk {};
+}  // namespace skyrise::data
+
+namespace skyrise::engine {
+
+// skyrise-check: allow(chunk-copy) — retained snapshot must own its storage.
+void Snapshot(data::Chunk chunk);
+
+void AlsoFine(
+    // skyrise-check: allow(chunk-copy) — test double mirrors a C API.
+    data::Chunk chunk);
+
+}  // namespace skyrise::engine

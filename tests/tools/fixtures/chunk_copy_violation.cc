@@ -1,0 +1,24 @@
+// Fixture: by-value data::Chunk parameters deep-copy column vectors.
+#include <cstdint>
+#include <vector>
+
+namespace skyrise::data {
+class Chunk {};
+}  // namespace skyrise::data
+
+namespace skyrise::engine {
+
+void PushMorsel(data::Chunk morsel);
+
+int64_t Consume(int mode, const data::Chunk owned, int64_t rows);
+
+void Wrapped(int64_t offset,
+             data::Chunk tail);
+
+// OK: references, rvalue refs, and template arguments do not copy.
+void Stream(data::Chunk&& morsel);
+void Inspect(const data::Chunk& morsel);
+void Batch(std::vector<data::Chunk> builds, const data::Chunk& probe);
+data::Chunk MakeChunk(int64_t rows);
+
+}  // namespace skyrise::engine

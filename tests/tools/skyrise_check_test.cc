@@ -74,6 +74,29 @@ TEST(SkyriseCheckGolden, HeaderHygieneSuppressed) {
   EXPECT_EQ(LintFixture("header_hygiene_suppressed.h"), "");
 }
 
+TEST(SkyriseCheckGolden, ChunkCopyFires) {
+  EXPECT_EQ(
+      LintFixture("chunk_copy_violation.cc"),
+      ReadFile(kFixtureDir + std::string("chunk_copy_violation.expected")));
+}
+
+TEST(SkyriseCheckGolden, ChunkCopySuppressed) {
+  EXPECT_EQ(LintFixture("chunk_copy_suppressed.cc"), "");
+}
+
+TEST(SkyriseCheckGolden, ChunkCopyScopedToEngine) {
+  // The same by-value parameter outside src/engine/ is not flagged: other
+  // layers (tests, tools, data itself) may copy chunks deliberately.
+  const std::string src = "void Keep(data::Chunk chunk);\n";
+  Checker checker;
+  const auto engine = checker.CheckSources({{"src/engine/api.cc", src}});
+  ASSERT_EQ(engine.size(), 1u);
+  EXPECT_EQ(engine[0].rule, "chunk-copy");
+  EXPECT_TRUE(checker.CheckSources({{"src/data/api.cc", src}}).empty());
+  EXPECT_TRUE(
+      checker.CheckSources({{"tests/engine/some_test.cc", src}}).empty());
+}
+
 TEST(SkyriseCheckPreprocess, StripsCommentsAndLiterals) {
   const SourceFile f = Preprocess(
       "x.cc",

@@ -30,6 +30,16 @@ bool StdoutExempt(const std::string& path) {
   return false;
 }
 
+/// True for files under the engine layer, where morsels flow through the
+/// operator chain and a by-value data::Chunk parameter is a silent deep copy
+/// on the hot path. Bare file names (no directory) are in scope so lint
+/// fixtures exercise the rule.
+bool EngineScoped(const std::string& path) {
+  if (path.find('/') == std::string::npos) return true;
+  return path.rfind("src/engine/", 0) == 0 ||
+         path.find("/src/engine/") != std::string::npos;
+}
+
 /// Parses rule ids out of a suppression comment body, e.g.
 /// "skyrise-check: allow(banned-api, raw-stdout)".
 void ParseAllows(const std::string& comment, int line,
@@ -183,7 +193,8 @@ SourceFile Preprocess(const std::string& path, const std::string& contents) {
 const std::vector<std::string>& Checker::RuleIds() {
   static const std::vector<std::string> kRules = {
       "banned-api",  "discarded-status", "unordered-iteration",
-      "pragma-once", "using-namespace",  "raw-stdout"};
+      "pragma-once", "using-namespace",  "raw-stdout",
+      "chunk-copy"};
   return kRules;
 }
 
@@ -555,12 +566,90 @@ void Checker::CheckHeaderHygiene(const SourceFile& file,
   }
 }
 
+void Checker::CheckChunkCopy(const SourceFile& file,
+                             std::vector<Diagnostic>* out) const {
+  if (!EngineScoped(file.path)) return;
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (!IsIdentChar(line[i]) || (i > 0 && IsIdentChar(line[i - 1]))) {
+        continue;
+      }
+      const std::string tok = ReadIdent(line, i);
+      if (tok != "Chunk") {
+        i += tok.size() - 1;
+        continue;
+      }
+      // A by-value parameter reads `Chunk name` followed by `,`, `)`, `=`
+      // (default argument), or the line end, in a position opened by `(` or
+      // `,`. References, rvalue refs, pointers, template arguments, return
+      // types, members, and locals all fail one of the two checks.
+      const size_t after = SkipSpaces(line, i + tok.size());
+      if (after >= line.size() || !IsIdentChar(line[after])) {
+        i += tok.size() - 1;
+        continue;
+      }
+      const std::string param = ReadIdent(line, after);
+      const size_t fq = SkipSpaces(line, after + param.size());
+      const char follow = fq < line.size() ? line[fq] : '\0';
+      if (follow != ',' && follow != ')' && follow != '=' && follow != '\0') {
+        i += tok.size() - 1;
+        continue;
+      }
+      // Walk back over a `data::`-style qualifier and an optional `const`.
+      size_t b = i;
+      while (b >= 2 && line[b - 1] == ':' && line[b - 2] == ':') {
+        size_t q = b - 2;
+        while (q > 0 && IsIdentChar(line[q - 1])) --q;
+        b = q;
+      }
+      size_t p = b;
+      while (p > 0 && std::isspace(static_cast<unsigned char>(line[p - 1]))) {
+        --p;
+      }
+      if (p >= 5 && line.compare(p - 5, 5, "const") == 0 &&
+          (p == 5 || !IsIdentChar(line[p - 6]))) {
+        p -= 5;
+        while (p > 0 &&
+               std::isspace(static_cast<unsigned char>(line[p - 1]))) {
+          --p;
+        }
+      }
+      char before = '\0';
+      if (p > 0) {
+        before = line[p - 1];
+      } else {
+        // Wrapped parameter list: the previous line's last significant
+        // character decides.
+        for (size_t pl = li; pl > 0; --pl) {
+          const size_t e = file.code[pl - 1].find_last_not_of(" \t");
+          if (e != std::string::npos) {
+            before = file.code[pl - 1][e];
+            break;
+          }
+        }
+      }
+      if (before != '(' && before != ',') {
+        i += tok.size() - 1;
+        continue;
+      }
+      Emit(file, static_cast<int>(li) + 1, "chunk-copy",
+           "pass-by-value data::Chunk parameter `" + param +
+               "` deep-copies column vectors on the morsel path; take "
+               "`const data::Chunk&` or `data::Chunk&&`",
+           out);
+      i += tok.size() - 1;
+    }
+  }
+}
+
 void Checker::CheckFile(const SourceFile& file,
                         std::vector<Diagnostic>* out) const {
   CheckBannedApis(file, out);
   CheckDiscardedStatus(file, out);
   CheckUnorderedIteration(file, out);
   CheckHeaderHygiene(file, out);
+  CheckChunkCopy(file, out);
 }
 
 std::vector<Diagnostic> Checker::CheckSources(

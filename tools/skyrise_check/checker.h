@@ -26,6 +26,11 @@
 ///   using-namespace     `using namespace` at any scope in a header
 ///   raw-stdout          std::cout outside tools/ and examples/ (library code
 ///                       reports through the logging/report layers)
+///   chunk-copy          pass-by-value data::Chunk parameter in engine code —
+///                       a silent deep copy of whole column vectors on the
+///                       morsel hot path; take `const data::Chunk&` or
+///                       `data::Chunk&&` instead (sinks that must own their
+///                       input take &&), or suppress with an allow comment
 ///
 /// A suppression comment `// skyrise-check: allow(rule-a, rule-b)` silences
 /// the named rules on its own line and the following line, so intent stays
@@ -95,6 +100,8 @@ class Checker {
                                std::vector<Diagnostic>* out) const;
   void CheckHeaderHygiene(const SourceFile& file,
                           std::vector<Diagnostic>* out) const;
+  void CheckChunkCopy(const SourceFile& file,
+                      std::vector<Diagnostic>* out) const;
 
   std::set<std::string> fallible_names_ = {
       "OK",        "InvalidArgument", "NotFound",    "AlreadyExists",
