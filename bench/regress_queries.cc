@@ -17,6 +17,8 @@
 #include "datagen/tpcxbb.h"
 #include "engine/engine.h"
 #include "engine/queries.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "platform/report.h"
 #include "storage/object_store.h"
 
@@ -70,6 +72,7 @@ struct Testbed {
     lambda_options.account_concurrency = 10000;
     lambda = std::make_unique<faas::LambdaPlatform>(&env, &fabric_driver,
                                                     &registry, lambda_options);
+    lambda->set_observer(&tracer, &metrics);
   }
 
   engine::QueryResponse Run(const engine::QueryPlan& plan,
@@ -90,10 +93,18 @@ struct Testbed {
   storage::QueueService queue;
   format::SyntheticFileCatalog catalog;
   pricing::CostMeter meter;
+  obs::Tracer tracer{&env};
+  obs::MetricsRegistry metrics;
   faas::FunctionRegistry registry;
   std::unique_ptr<engine::QueryEngine> engine;
   std::unique_ptr<faas::LambdaPlatform> lambda;
 };
+
+/// Histogram mean, 0 when the metric was never recorded.
+double HistMean(const obs::MetricsRegistry& metrics, const std::string& name) {
+  const Histogram* hist = metrics.Hist(name);
+  return hist == nullptr ? 0.0 : hist->mean();
+}
 
 }  // namespace
 
@@ -121,6 +132,7 @@ int main() {
   JsonArray queries;
   for (const auto& entry : suite) {
     bed.meter.Reset();
+    bed.metrics.Reset();
     const auto response = bed.Run(entry.plan, entry.id);
     const double cost_usd = bed.meter.TotalUsd();
 
@@ -132,6 +144,14 @@ int main() {
     row["total_batches"] = response.total_batches;
     row["recommended_memory_mib"] = response.recommended_memory_mib;
     row["total_workers"] = response.total_workers;
+    // Metrics-registry observability fields (the response no longer carries
+    // per-phase timings; the registry is the single stats path).
+    row["cold_starts"] = bed.metrics.Counter("lambda.cold_starts");
+    row["storage_attempts"] = bed.metrics.Counter("storage.s3.attempts");
+    row["storage_retries"] = bed.metrics.Counter("storage.s3.retries");
+    row["worker_input_ms_mean"] = HistMean(bed.metrics, "worker.input_ms");
+    row["worker_compute_ms_mean"] = HistMean(bed.metrics, "worker.compute_ms");
+    row["worker_output_ms_mean"] = HistMean(bed.metrics, "worker.output_ms");
     queries.emplace_back(std::move(row));
 
     table.AddRow({entry.id, StrFormat("%.1f", response.runtime_ms),
@@ -146,6 +166,8 @@ int main() {
   JsonObject doc;
   doc["suite"] = std::string("tpch+tpcxbb");
   doc["queries"] = queries;
+  doc["attributed_usd_total"] = bed.tracer.attributed_usd_total();
+  doc["span_count"] = static_cast<int64_t>(bed.tracer.spans().size());
   std::ofstream out("BENCH_queries.json");
   SKYRISE_CHECK(out.good());
   out << Json(doc).Dump(2) << "\n";

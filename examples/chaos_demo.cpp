@@ -4,8 +4,13 @@
 /// Fault-tolerant execution (per-fragment retry, speculation, idempotent
 /// shuffle writes) masks all of it: the result bytes are identical, and the
 /// per-stage fault summary shows the repair work that made that happen.
+///
+/// Pass `--trace <path>` to write the chaos run's Chrome trace-event JSON
+/// (open it in Perfetto / chrome://tracing); the query profile and metrics
+/// registry are printed either way.
 
 #include <cstdio>
+#include <cstring>
 
 #include "datagen/dataset.h"
 #include "datagen/tpch.h"
@@ -49,7 +54,12 @@ std::string ResultBytes(platform::EngineTestbed* bed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+
   std::printf("Skyrise chaos demo: TPC-H Q12 under injected faults\n\n");
 
   constexpr uint64_t kSeed = 2024;
@@ -116,6 +126,26 @@ int main() {
 
   std::printf("per-stage worker stats (chaos run):\n%s\n",
               platform::RenderWorkerStats(chaos_response->raw).c_str());
+
+  // Drain the chaos environment: zombie executions (crashed/timed-out
+  // workers whose handlers keep running) settle their remaining spans here,
+  // so the exported trace validates as fully closed.
+  chaos.base.env.RunUntil(chaos.base.env.now() + Minutes(10));
+  SKYRISE_CHECK_OK(chaos.tracer.Validate());
+
+  std::printf("query profile (chaos run):\n%s\n",
+              platform::RenderQueryProfile(chaos.tracer).c_str());
+  std::printf("metrics registry (chaos run):\n%s\n",
+              platform::RenderMetrics(chaos.metrics).c_str());
+
+  if (!trace_path.empty()) {
+    SKYRISE_CHECK_OK(chaos.tracer.WriteChromeTrace(trace_path));
+    std::printf("chaos-run trace written to %s (%lld spans, $%.6f "
+                "attributed)\n\n",
+                trace_path.c_str(),
+                static_cast<long long>(chaos.tracer.spans().size()),
+                chaos.tracer.attributed_usd_total());
+  }
 
   const bool identical = ResultBytes(&calm, "q12") == ResultBytes(&chaos, "q12");
   std::printf("result bytes identical to fault-free run: %s\n",

@@ -28,10 +28,19 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
 
   void Run() {
     start_ = Now();
+    tracer_ = fctx_->tracer();
+    metrics_ = fctx_->metrics();
     const Json& payload = fctx_->payload();
     query_id_ = payload.GetString("query_id");
     partitions_per_worker_ = static_cast<int>(
         payload.GetInt("partitions_per_worker", ec_->partitions_per_worker));
+    if (tracer_ != nullptr) {
+      query_span_ = tracer_->Begin("coordinator", "query " + query_id_,
+                                   "engine", fctx_->span());
+      tracer_->SetArg(query_span_, "query_id", Json(query_id_));
+      plan_span_ = tracer_->Begin("coordinator", "plan", "engine",
+                                  query_span_);
+    }
     auto plan = QueryPlan::FromJson(payload.Get("plan"));
     if (!plan.ok()) {
       Fail(plan.status());
@@ -43,6 +52,9 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     storage_ctx_.nic = fctx_->nic();
     storage_ctx_.fabric = fctx_->fabric();
     storage_ctx_.meter = ec_->meter;
+    storage_ctx_.tracer = tracer_;
+    storage_ctx_.span = plan_span_;
+    storage_ctx_.metrics = metrics_;
 
     // Collect referenced tables.
     for (const auto& pipeline : plan_.pipelines) {
@@ -61,6 +73,10 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
   void Fail(Status status) {
     if (done_) return;
     done_ = true;
+    if (tracer_ != nullptr) {
+      tracer_->EndWith(plan_span_, "error");
+      tracer_->EndWith(query_span_, "error");
+    }
     fctx_->FinishError(std::move(status));
   }
 
@@ -120,6 +136,7 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
       }
     }
     stages_ = std::move(order);
+    if (tracer_ != nullptr) tracer_->End(plan_span_);
     RunStage(0);
   }
 
@@ -233,6 +250,7 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     int64_t peak_memory = 0;  ///< Max resident bytes over the stage's workers.
     int64_t batches = 0;      ///< Morsels processed across the stage.
     sim::EventId spec_timer = sim::kInvalidEventId;
+    obs::SpanId span = obs::kNoSpan;  ///< "stage p<id>" span.
   };
 
   void RunStage(size_t stage_index) {
@@ -248,6 +266,11 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     state->pipeline = &pipeline;
     state->fragments = fragments;
     state->start = Now();
+    if (tracer_ != nullptr) {
+      state->span = tracer_->Begin(
+          "coordinator", StrFormat("stage p%d", pipeline.id), "engine",
+          query_span_);
+    }
     state->frags.resize(static_cast<size_t>(fragments));
     for (int f = 0; f < fragments; ++f) {
       state->frags[static_cast<size_t>(f)].payload =
@@ -273,15 +296,30 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     state->peak_running = std::max(state->peak_running, state->running);
   }
 
+  /// Opens an attempt span for fragment `f` (track "fragments") and stamps
+  /// its id into `payload` as "trace_parent", so the platform's invoke span
+  /// — and the worker's phase spans — nest under this attempt.
+  obs::SpanId BeginAttempt(const std::shared_ptr<StageState>& state, int f,
+                           Json* payload) {
+    if (tracer_ == nullptr) return obs::kNoSpan;
+    const obs::SpanId span = tracer_->Begin(
+        "fragments",
+        StrFormat("f%d a%d", f, state->frags[static_cast<size_t>(f)].attempts),
+        "engine", state->span);
+    (*payload)["trace_parent"] = span;
+    return span;
+  }
+
   /// Launches one attempt of fragment `f` directly on the worker platform.
   void InvokeFragment(std::shared_ptr<StageState> state, int f) {
     NoteLaunch(state, f);
     auto self = shared_from_this();
     Json payload = state->frags[static_cast<size_t>(f)].payload;
+    const obs::SpanId attempt_span = BeginAttempt(state, f, &payload);
     ec_->worker_platform->Invoke(
         kWorkerFunction, std::move(payload),
-        [self, state, f](Result<Json> r) {
-          self->OnWorkerOutcome(state, f, std::move(r));
+        [self, state, f, attempt_span](Result<Json> r) {
+          self->OnWorkerOutcome(state, f, attempt_span, std::move(r));
         });
   }
 
@@ -306,39 +344,46 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     // routed back to fragments by the "fragment" field, so individual worker
     // failures inside a batch retry per-fragment, not per-batch.
     auto self = shared_from_this();
-    std::vector<Json> batches;
     std::vector<std::vector<int>> batch_fragments;
     while (!state->pending.empty()) {
-      Json batch = Json::Object();
-      Json payloads = Json::Array();
       std::vector<int> members;
       for (int i = 0; i < ec_->invoker_fanout && !state->pending.empty();
            ++i) {
         const int f = state->pending.front();
         state->pending.pop_front();
-        payloads.Append(state->frags[static_cast<size_t>(f)].payload);
         members.push_back(f);
       }
-      batch["payloads"] = std::move(payloads);
-      batches.push_back(std::move(batch));
       batch_fragments.push_back(std::move(members));
     }
-    auto batch_list = std::make_shared<std::vector<Json>>(std::move(batches));
     auto member_list = std::make_shared<std::vector<std::vector<int>>>(
         std::move(batch_fragments));
     auto issue = std::make_shared<std::function<void(size_t)>>();
-    *issue = [self, state, batch_list, member_list, issue](size_t i) {
-      if (i >= batch_list->size() || state->failed) return;
+    *issue = [self, state, member_list, issue](size_t i) {
+      if (i >= member_list->size() || state->failed) return;
       const std::vector<int>& members = (*member_list)[i];
-      for (int f : members) self->NoteLaunch(state, f);
+      // The batch payload is assembled at issue time so each member carries
+      // a fresh attempt span as its trace parent; the invoker's own invoke
+      // span nests under the stage.
+      Json batch = Json::Object();
+      Json payloads = Json::Array();
+      auto attempt_spans = std::make_shared<std::map<int, obs::SpanId>>();
+      for (int f : members) {
+        self->NoteLaunch(state, f);
+        Json payload = state->frags[static_cast<size_t>(f)].payload;
+        (*attempt_spans)[f] = self->BeginAttempt(state, f, &payload);
+        payloads.Append(std::move(payload));
+      }
+      batch["payloads"] = std::move(payloads);
+      if (self->tracer_ != nullptr) batch["trace_parent"] = state->span;
       self->ec_->worker_platform->Invoke(
-          kInvokerFunction, std::move((*batch_list)[i]),
-          [self, state, members](Result<Json> r) {
+          kInvokerFunction, std::move(batch),
+          [self, state, members, attempt_spans](Result<Json> r) {
             if (!r.ok()) {
               // The invoker itself died (crash/timeout): every fragment of
               // the batch failed; each retries independently.
               for (int f : members) {
-                self->OnWorkerOutcome(state, f, r.status());
+                self->OnWorkerOutcome(state, f, (*attempt_spans)[f],
+                                      r.status());
               }
               return;
             }
@@ -347,7 +392,8 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
             for (const auto& response : r->Get("responses").AsArray()) {
               const int f = static_cast<int>(response.GetInt("fragment", -1));
               if (f < 0 || f >= state->fragments) continue;
-              self->OnWorkerOutcome(state, f, Json(response));
+              self->OnWorkerOutcome(state, f, (*attempt_spans)[f],
+                                    Json(response));
             }
           });
       self->ec_->env->Schedule(kInvokeDispatchLatency,
@@ -357,12 +403,17 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
   }
 
   void OnWorkerOutcome(std::shared_ptr<StageState> state, int f,
-                       Result<Json> result) {
+                       obs::SpanId attempt_span, Result<Json> result) {
     FragmentState& frag = state->frags[static_cast<size_t>(f)];
     --frag.outstanding;
     --state->running;
-    if (state->failed || done_) return;
     const bool ok = result.ok() && !result->Has("error");
+    // The attempt span closes whenever its callback fires, even for late
+    // duplicates or outcomes arriving after the stage already failed.
+    if (tracer_ != nullptr) {
+      tracer_->EndWith(attempt_span, ok ? "ok" : "error");
+    }
+    if (state->failed || done_) return;
     if (ok) {
       if (!frag.completed) {
         frag.completed = true;
@@ -392,6 +443,7 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
         if (frag.attempts >= ec_->worker_max_attempts) {
           state->failed = true;
           ec_->env->Cancel(state->spec_timer);
+          if (tracer_ != nullptr) tracer_->EndWith(state->span, "error");
           Fail(Status::Internal(
               "pipeline " + std::to_string(state->pipeline->id) +
               " fragment " + std::to_string(f) + " failed after " +
@@ -461,6 +513,24 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     summary["worker_errors"] = state->worker_errors;
     summary["peak_memory_bytes"] = state->peak_memory;
     summary["batches"] = state->batches;
+    if (tracer_ != nullptr) {
+      tracer_->SetArg(state->span, "fragments", Json(state->fragments));
+      tracer_->SetArg(state->span, "retries", Json(state->retries));
+      tracer_->SetArg(state->span, "speculative", Json(state->speculative));
+      tracer_->SetArg(state->span, "worker_errors",
+                      Json(state->worker_errors));
+      tracer_->SetArg(state->span, "batches", Json(state->batches));
+      tracer_->SetArg(state->span, "peak_memory_bytes",
+                      Json(state->peak_memory));
+      tracer_->End(state->span);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Add("coord.stages");
+      metrics_->Add("coord.fragments", state->fragments);
+      metrics_->Add("coord.retries", state->retries);
+      metrics_->Add("coord.speculative", state->speculative);
+      metrics_->Record("coord.stage_ms", ToMillis(Now() - state->start));
+    }
     stage_summaries_.push_back(std::move(summary));
     cumulated_worker_ms_ += state->worker_ms;
     total_requests_ += state->requests;
@@ -499,11 +569,16 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     Json stages = Json::Array();
     for (auto& s : stage_summaries_) stages.Append(std::move(s));
     response["stages"] = std::move(stages);
+    if (tracer_ != nullptr) tracer_->End(query_span_);
     fctx_->Finish(std::move(response));
   }
 
   EngineContext* ec_;
   std::shared_ptr<faas::FunctionContext> fctx_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanId query_span_ = obs::kNoSpan;
+  obs::SpanId plan_span_ = obs::kNoSpan;
   std::unique_ptr<storage::RetryClient> client_;
   storage::ClientContext storage_ctx_;
   QueryPlan plan_;

@@ -139,11 +139,19 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
 
   void Run() {
     start_ = Now();
+    tracer_ = fctx_->tracer();
+    metrics_ = fctx_->metrics();
     const Json& payload = fctx_->payload();
     query_id_ = payload.GetString("query_id");
     fragment_ = static_cast<int>(payload.GetInt("fragment"));
     barrier_participants_ =
         static_cast<int>(payload.GetInt("barrier_participants", 0));
+    // Phase spans live on the "worker" track under the platform's execution
+    // span; storage request spans hang off the phase that issued them.
+    if (tracer_ != nullptr) {
+      input_span_ = tracer_->Begin("worker", "input", "engine", fctx_->span());
+      tracer_->SetArg(input_span_, "fragment", Json(fragment_));
+    }
     auto parsed = PipelineSpec::FromJson(payload.Get("pipeline"));
     if (!parsed.ok()) {
       Fail(parsed.status());
@@ -173,6 +181,9 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     storage_ctx_.nic = fctx_->nic();
     storage_ctx_.fabric = fctx_->fabric();
     storage_ctx_.meter = ec_->meter;
+    storage_ctx_.tracer = tracer_;
+    storage_ctx_.span = input_span_;
+    storage_ctx_.metrics = metrics_;
     loaded_.resize(pipeline_.inputs.size());
     LoadBuildInput(1);
   }
@@ -183,6 +194,12 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
   void Fail(Status status) {
     if (done_) return;
     done_ = true;
+    if (tracer_ != nullptr) {
+      // Close whichever phase is still open (EndWith no-ops on the rest).
+      tracer_->EndWith(input_span_, "error");
+      tracer_->EndWith(compute_span_, "error");
+      tracer_->EndWith(output_span_, "error");
+    }
     fctx_->FinishError(std::move(status));
   }
 
@@ -520,9 +537,16 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     }
     const std::string name =
         StrFormat("%s/p%d/barrier", query_id_.c_str(), pipeline_.id);
+    obs::SpanId barrier_span = obs::kNoSpan;
+    if (tracer_ != nullptr) {
+      barrier_span = tracer_->Begin("worker", "barrier", "engine",
+                                    input_span_);
+    }
     auto self = shared_from_this();
-    ec_->queue->Arrive(name, barrier_participants_,
-                       [self] { self->StartStream(); });
+    ec_->queue->Arrive(name, barrier_participants_, [self, barrier_span] {
+      if (self->tracer_ != nullptr) self->tracer_->End(barrier_span);
+      self->StartStream();
+    });
   }
 
   void StartStream() {
@@ -773,6 +797,14 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     }
     stream_eof_ = true;
     input_done_ = Now();
+    if (tracer_ != nullptr) {
+      tracer_->SetArg(input_span_, "bytes_read", Json(bytes_read_));
+      tracer_->End(input_span_);
+      compute_span_ = tracer_->Begin("worker", "compute", "engine",
+                                     fctx_->span());
+      tracer_->SetArg(compute_span_, "fragment", Json(fragment_));
+      storage_ctx_.span = compute_span_;
+    }
     PumpCompute();
   }
 
@@ -819,6 +851,20 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     auto self = shared_from_this();
     ChargeCompute([self, outs] {
       self->compute_done_ = self->Now();
+      if (self->tracer_ != nullptr) {
+        self->tracer_->SetArg(self->compute_span_, "batches",
+                              Json(self->executor_->batches()));
+        self->tracer_->SetArg(self->compute_span_, "morsels",
+                              Json(self->morsels_seen_));
+        self->tracer_->SetArg(self->compute_span_, "peak_memory_bytes",
+                              Json(self->memory_.peak()));
+        self->tracer_->End(self->compute_span_);
+        self->output_span_ = self->tracer_->Begin("worker", "output", "engine",
+                                                  self->fctx_->span());
+        self->tracer_->SetArg(self->output_span_, "fragment",
+                              Json(self->fragment_));
+        self->storage_ctx_.span = self->output_span_;
+      }
       self->WriteOutputs(outs);
     });
   }
@@ -903,6 +949,22 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
   void Respond() {
     if (done_) return;
     done_ = true;
+    if (tracer_ != nullptr) {
+      tracer_->SetArg(output_span_, "bytes_written", Json(bytes_written_));
+      tracer_->SetArg(output_span_, "rows_out", Json(rows_out_));
+      tracer_->End(output_span_);
+    }
+    // Phase timings live in the trace and the metrics registry; the response
+    // carries only the fields the coordinator aggregates.
+    if (metrics_ != nullptr) {
+      metrics_->Add("worker.fragments");
+      metrics_->Record("worker.input_ms", ToMillis(input_done_ - start_));
+      metrics_->Record("worker.compute_ms",
+                       ToMillis(compute_done_ - input_done_));
+      metrics_->Record("worker.output_ms", ToMillis(Now() - compute_done_));
+      metrics_->Record("worker.duration_ms", ToMillis(Now() - start_));
+      metrics_->Max("worker.peak_memory_bytes", memory_.peak());
+    }
     Json response = Json::Object();
     response["fragment"] = fragment_;
     response["rows_out"] = rows_out_;
@@ -911,9 +973,6 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     response["requests"] = table_client_->stats().attempts +
                            shuffle_client_->stats().attempts;
     response["cold_start"] = fctx_->cold_start();
-    response["input_ms"] = ToMillis(input_done_ - start_);
-    response["compute_ms"] = ToMillis(compute_done_ - input_done_);
-    response["output_ms"] = ToMillis(Now() - compute_done_);
     response["duration_ms"] = ToMillis(Now() - start_);
     response["peak_memory_bytes"] = memory_.peak();
     response["batches"] = executor_ != nullptr ? executor_->batches() : 0;
@@ -922,6 +981,11 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
 
   EngineContext* ec_;
   std::shared_ptr<faas::FunctionContext> fctx_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanId input_span_ = obs::kNoSpan;
+  obs::SpanId compute_span_ = obs::kNoSpan;
+  obs::SpanId output_span_ = obs::kNoSpan;
   CostAccumulator cost_;
   MemoryTracker memory_;
   std::unique_ptr<storage::RetryClient> table_client_;

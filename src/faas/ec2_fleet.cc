@@ -19,6 +19,11 @@ Ec2Fleet::Ec2Fleet(sim::SimEnvironment* env, net::FabricDriver* fabric,
 
 void Ec2Fleet::Start(std::function<void()> on_ready) {
   SKYRISE_CHECK(!running_);
+  if (tracer_ != nullptr) {
+    fleet_span_ = tracer_->Begin("ec2", "fleet " + opt_.instance_type, "faas");
+    tracer_->SetArg(fleet_span_, "instances", Json(opt_.instance_count));
+    tracer_->SetArg(fleet_span_, "slots", Json(total_slots()));
+  }
   const SimDuration boot =
       opt_.pre_provisioned
           ? 0
@@ -37,14 +42,41 @@ void Ec2Fleet::Start(std::function<void()> on_ready) {
 void Ec2Fleet::Stop() {
   if (!running_) return;
   running_ = false;
-  meter_.RecordEc2Usage(opt_.instance_type,
-                        (env_->now() - started_at_) * opt_.instance_count,
-                        opt_.reserved_pricing);
+  const double usd = meter_.RecordEc2Usage(
+      opt_.instance_type, (env_->now() - started_at_) * opt_.instance_count,
+      opt_.reserved_pricing);
+  if (tracer_ != nullptr) {
+    tracer_->AddCost(fleet_span_, usd);
+    tracer_->End(fleet_span_);
+    fleet_span_ = obs::kNoSpan;
+  }
 }
 
 void Ec2Fleet::Invoke(const std::string& function, Json payload,
                       ResponseCallback callback) {
-  queue_.push_back(Pending{function, std::move(payload), std::move(callback)});
+  Pending pending;
+  pending.function = function;
+  pending.enqueued_at = env_->now();
+  if (tracer_ != nullptr) {
+    pending.invoke_span =
+        tracer_->Begin("ec2", "invoke " + function, "faas",
+                       payload.GetInt("trace_parent", obs::kNoSpan));
+    pending.queued_span =
+        tracer_->Begin("ec2", "queued", "faas", pending.invoke_span);
+    auto inner = std::make_shared<ResponseCallback>(std::move(callback));
+    const obs::SpanId invoke_span = pending.invoke_span;
+    callback = [this, invoke_span, inner](Result<Json> result) {
+      const char* outcome = "ok";
+      if (!result.ok()) {
+        outcome = result.status().IsDeadlineExceeded() ? "timeout" : "error";
+      }
+      tracer_->EndWith(invoke_span, outcome);
+      (*inner)(std::move(result));
+    };
+  }
+  pending.payload = std::move(payload);
+  pending.callback = std::move(callback);
+  queue_.push_back(std::move(pending));
   MaybeDispatch();
 }
 
@@ -58,6 +90,11 @@ void Ec2Fleet::MaybeDispatch() {
 }
 
 void Ec2Fleet::Dispatch(Pending pending) {
+  if (tracer_ != nullptr) tracer_->End(pending.queued_span);
+  if (metrics_ != nullptr) {
+    metrics_->Record("ec2.queue_wait_ms",
+                     ToMillis(env_->now() - pending.enqueued_at));
+  }
   auto entry = registry_->Find(pending.function);
   if (!entry.ok()) {
     ++free_slots_;
@@ -70,9 +107,19 @@ void Ec2Fleet::Dispatch(Pending pending) {
                                instance,
                                pending = std::move(pending)]() mutable {
     ++stats_.invocations;
+    if (metrics_ != nullptr) metrics_->Add("ec2.invocations");
     auto ctx = std::make_shared<FunctionContext>(
         env_, nics_[static_cast<size_t>(instance)].get(), fabric_,
         std::move(pending.payload), /*cold_start=*/false, entry.config);
+    obs::SpanId exec_span = obs::kNoSpan;
+    const SimTime exec_start = env_->now();
+    if (tracer_ != nullptr) {
+      exec_span = tracer_->Begin("ec2", "exec " + entry.config.name, "faas",
+                                 pending.invoke_span);
+      tracer_->SetArg(exec_span, "cold", Json(false));
+      tracer_->SetArg(exec_span, "memory_mib", Json(entry.config.memory_mib));
+    }
+    ctx->set_observability(tracer_, exec_span, metrics_);
     auto callback =
         std::make_shared<ResponseCallback>(std::move(pending.callback));
     // The handler, the enforced timeout, and an injected crash race to
@@ -83,23 +130,28 @@ void Ec2Fleet::Dispatch(Pending pending) {
       sim::EventId crash_event = sim::kInvalidEventId;
     };
     auto gate = std::make_shared<Gate>();
-    auto settle = [this, gate] {
+    auto settle = [this, gate, exec_span, exec_start](const char* outcome) {
       env_->Cancel(gate->timeout_event);
       env_->Cancel(gate->crash_event);
+      if (tracer_ != nullptr) tracer_->EndWith(exec_span, outcome);
+      if (metrics_ != nullptr) {
+        metrics_->Record("ec2.exec_ms", ToMillis(env_->now() - exec_start));
+      }
       ++free_slots_;
       MaybeDispatch();
     };
     ctx->set_on_finish([gate, settle, callback](Json response) {
       if (gate->settled) return;
       gate->settled = true;
-      settle();
+      settle("ok");
       (*callback)(std::move(response));
     });
     ctx->set_on_finish_error([this, gate, settle, callback](Status status) {
       if (gate->settled) return;
       gate->settled = true;
       ++stats_.errors;
-      settle();
+      if (metrics_ != nullptr) metrics_->Add("ec2.errors");
+      settle("error");
       (*callback)(std::move(status));
     });
     const std::string function = entry.config.name;
@@ -110,7 +162,11 @@ void Ec2Fleet::Dispatch(Pending pending) {
             gate->settled = true;
             ++stats_.timeouts;
             ++stats_.errors;
-            settle();
+            if (metrics_ != nullptr) {
+              metrics_->Add("ec2.timeouts");
+              metrics_->Add("ec2.errors");
+            }
+            settle("timeout");
             (*callback)(
                 Status::DeadlineExceeded("Task timed out: " + function));
           });
@@ -124,7 +180,11 @@ void Ec2Fleet::Dispatch(Pending pending) {
               gate->settled = true;
               ++stats_.crashes;
               ++stats_.errors;
-              settle();
+              if (metrics_ != nullptr) {
+                metrics_->Add("ec2.crashes");
+                metrics_->Add("ec2.errors");
+              }
+              settle("crash");
               (*callback)(Status::IoError("worker crashed (injected): " +
                                           function));
             });

@@ -71,11 +71,22 @@ class Ec2Fleet : public ComputePlatform {
     fault_injector_ = injector;
   }
 
+  /// Emits the shim lifecycle (queueing, execution, fleet lifetime) as spans
+  /// on track "ec2" and mirrors Stats onto "ec2.*" counters. The fleet's
+  /// lifetime bill is attributed to the fleet span at Stop().
+  void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) override {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
  private:
   struct Pending {
     std::string function;
     Json payload;
     ResponseCallback callback;
+    obs::SpanId invoke_span = obs::kNoSpan;
+    obs::SpanId queued_span = obs::kNoSpan;
+    SimTime enqueued_at = 0;
   };
 
   void Dispatch(Pending pending);
@@ -87,6 +98,9 @@ class Ec2Fleet : public ComputePlatform {
   Options opt_;
   Rng rng_;
   sim::FaultInjector* fault_injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanId fleet_span_ = obs::kNoSpan;
   Stats stats_;
   std::string name_ = "ec2";
   std::vector<std::unique_ptr<net::Ec2Nic>> nics_;

@@ -9,6 +9,8 @@
 #include "common/units.h"
 #include "net/fabric_driver.h"
 #include "net/nic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/environment.h"
 
 /// \file function.h
@@ -89,6 +91,20 @@ class FunctionContext : public std::enable_shared_from_this<FunctionContext> {
     on_finish_error_ = std::move(cb);
   }
 
+  /// Observability hooks, wired by the platform before the handler runs.
+  /// `span` is the execution span for this invocation; handlers open child
+  /// spans under it and storage clients attribute request costs to it.
+  /// All three may be null/kNoSpan when tracing is off.
+  void set_observability(obs::Tracer* tracer, obs::SpanId span,
+                         obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    span_ = span;
+    metrics_ = metrics;
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::SpanId span() const { return span_; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   sim::SimEnvironment* env_;
   net::Nic* nic_;
@@ -99,6 +115,9 @@ class FunctionContext : public std::enable_shared_from_this<FunctionContext> {
   bool finished_ = false;
   std::function<void(Json)> on_finish_;
   std::function<void(Status)> on_finish_error_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::SpanId span_ = obs::kNoSpan;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Uploaded function binaries: name -> (config, handler). Shared between the
@@ -138,6 +157,11 @@ class ComputePlatform {
   virtual void Invoke(const std::string& function, Json payload,
                       ResponseCallback callback) = 0;
   virtual const std::string& platform_name() const = 0;
+
+  /// Attaches a span/metric sink for the invocation lifecycle. Callers may
+  /// carry a parent span into Invoke via `payload["trace_parent"]`.
+  virtual void set_observer(obs::Tracer* /*tracer*/,
+                            obs::MetricsRegistry* /*metrics*/) {}
 };
 
 }  // namespace skyrise::faas

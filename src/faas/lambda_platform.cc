@@ -53,23 +53,55 @@ void LambdaPlatform::InvokeAsync(const std::string& function, Json payload,
 void LambdaPlatform::DoInvoke(const std::string& function, Json payload,
                               ResponseCallback callback,
                               SimDuration extra_latency) {
+  obs::SpanId invoke_span = obs::kNoSpan;
+  if (tracer_ != nullptr) {
+    invoke_span = tracer_->Begin("lambda", "invoke " + function, "faas",
+                                 payload.GetInt("trace_parent", obs::kNoSpan));
+    // The invoke span closes when the caller's response callback fires, with
+    // an outcome derived from the final status.
+    auto inner = std::make_shared<ResponseCallback>(std::move(callback));
+    callback = [this, invoke_span, inner](Result<Json> result) {
+      const char* outcome = "ok";
+      if (!result.ok()) {
+        const Status& st = result.status();
+        outcome = st.IsResourceExhausted() ? "throttle"
+                  : st.IsDeadlineExceeded() ? "timeout"
+                                            : "error";
+      }
+      tracer_->EndWith(invoke_span, outcome);
+      (*inner)(std::move(result));
+    };
+  }
   SimDuration frontend =
       storage::SampleLatency(opt_.frontend_latency, &rng_) + extra_latency;
   if (fault_injector_ != nullptr) {
     frontend += fault_injector_->MaybeInvokeDelay();
   }
-  env_->Schedule(frontend, [this, function, payload = std::move(payload),
+  obs::SpanId frontend_span = obs::kNoSpan;
+  if (tracer_ != nullptr) {
+    frontend_span = tracer_->Begin("lambda", "frontend", "faas", invoke_span);
+  }
+  env_->Schedule(frontend, [this, function, invoke_span, frontend_span,
+                            payload = std::move(payload),
                             callback = std::move(callback)]() mutable {
+    if (tracer_ != nullptr) tracer_->End(frontend_span);
     ++stats_.invocations;
+    if (metrics_ != nullptr) metrics_->Add("lambda.invocations");
     // Admission: account-level concurrent execution quota.
     auto entry = registry_->Find(function);
     if (!entry.ok()) {
       ++stats_.errors;
+      if (metrics_ != nullptr) metrics_->Add("lambda.errors");
       callback(entry.status());
       return;
     }
     if (active_ >= opt_.account_concurrency) {
       ++stats_.throttles;
+      if (metrics_ != nullptr) metrics_->Add("lambda.throttles");
+      if (tracer_ != nullptr) {
+        tracer_->Instant("lambda", "throttle.concurrency", "faas",
+                         invoke_span);
+      }
       callback(Status::ResourceExhausted(
           "429 TooManyRequestsException: account concurrency"));
       return;
@@ -81,6 +113,10 @@ void LambdaPlatform::DoInvoke(const std::string& function, Json payload,
     }
     if (active_ >= CurrentScaleLimit()) {
       ++stats_.throttles;
+      if (metrics_ != nullptr) metrics_->Add("lambda.throttles");
+      if (tracer_ != nullptr) {
+        tracer_->Instant("lambda", "throttle.scaling", "faas", invoke_span);
+      }
       callback(Status::ResourceExhausted(
           "429 TooManyRequestsException: scaling rate"));
       return;
@@ -95,30 +131,50 @@ void LambdaPlatform::DoInvoke(const std::string& function, Json payload,
       --warm_total_;
       env_->Cancel(sandbox->reap_event);
       ++stats_.warm_starts;
+      if (metrics_ != nullptr) metrics_->Add("lambda.warm_starts");
       const SimDuration dispatch =
           storage::SampleLatency(opt_.warm_overhead, &rng_);
-      env_->Schedule(dispatch, [this, entry = std::move(entry).ValueUnsafe(),
+      obs::SpanId warm_span = obs::kNoSpan;
+      if (tracer_ != nullptr) {
+        warm_span = tracer_->Begin("lambda", "warm dispatch", "faas",
+                                   invoke_span);
+      }
+      env_->Schedule(dispatch, [this, invoke_span, warm_span,
+                                entry = std::move(entry).ValueUnsafe(),
                                 sandbox = std::move(sandbox),
                                 payload = std::move(payload),
                                 callback = std::move(callback)]() mutable {
+        if (tracer_ != nullptr) tracer_->End(warm_span);
         Execute(entry, std::move(sandbox), std::move(payload), /*cold=*/false,
-                std::move(callback));
+                invoke_span, std::move(callback));
       });
       return;
     }
 
     // Placement: create a new execution environment (coldstart).
     ++stats_.cold_starts;
+    if (metrics_ != nullptr) metrics_->Add("lambda.cold_starts");
     auto sandbox = std::make_shared<Sandbox>();
     sandbox->nic = std::make_unique<net::LambdaNic>();
     sandbox->id = next_sandbox_id_++;
     const SimDuration cold = SampleColdstart(entry->config);
-    env_->Schedule(cold, [this, entry = std::move(entry).ValueUnsafe(),
+    if (metrics_ != nullptr) {
+      metrics_->Record("lambda.coldstart_ms", ToMillis(cold));
+    }
+    obs::SpanId cold_span = obs::kNoSpan;
+    if (tracer_ != nullptr) {
+      cold_span = tracer_->Begin("lambda", "coldstart", "faas", invoke_span);
+      tracer_->SetArg(cold_span, "binary_bytes",
+                      Json(entry->config.binary_size_bytes));
+    }
+    env_->Schedule(cold, [this, invoke_span, cold_span,
+                          entry = std::move(entry).ValueUnsafe(),
                           sandbox = std::move(sandbox),
                           payload = std::move(payload),
                           callback = std::move(callback)]() mutable {
+      if (tracer_ != nullptr) tracer_->End(cold_span);
       Execute(entry, std::move(sandbox), std::move(payload), /*cold=*/true,
-              std::move(callback));
+              invoke_span, std::move(callback));
     });
   });
 }
@@ -138,12 +194,21 @@ SimDuration LambdaPlatform::SampleColdstart(const FunctionConfig& config) {
 
 void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
                              std::shared_ptr<Sandbox> sandbox, Json payload,
-                             bool cold, ResponseCallback callback) {
+                             bool cold, obs::SpanId invoke_span,
+                             ResponseCallback callback) {
   auto ctx = std::make_shared<FunctionContext>(
       env_, sandbox->nic.get(), fabric_, std::move(payload), cold,
       entry.config);
   const SimTime exec_start = env_->now();
   const std::string function = entry.config.name;
+  obs::SpanId exec_span = obs::kNoSpan;
+  if (tracer_ != nullptr) {
+    exec_span = tracer_->Begin("lambda", "exec " + function, "faas",
+                               invoke_span);
+    tracer_->SetArg(exec_span, "cold", Json(cold));
+    tracer_->SetArg(exec_span, "memory_mib", Json(entry.config.memory_mib));
+  }
+  ctx->set_observability(tracer_, exec_span, metrics_);
   // The handler, the enforced timeout, and an injected crash race to settle
   // the execution; whichever claims the gate first wins, the others no-op.
   struct Gate {
@@ -154,13 +219,24 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
   auto gate = std::make_shared<Gate>();
   // Shared cleanup. Abnormal terminations (timeout, sandbox kill) tear the
   // execution environment down instead of returning it to the warm pool.
-  auto settle = [this, gate, exec_start, function, sandbox,
-                 config = entry.config](bool keep_sandbox) {
+  // The billed invocation cost is attributed to the execution span; the
+  // handler may keep running as a zombie after an abnormal settle, so its
+  // child spans (on other tracks) can outlive this one.
+  auto settle = [this, gate, exec_start, exec_span, function, sandbox,
+                 config = entry.config](bool keep_sandbox,
+                                        const char* outcome) {
     env_->Cancel(gate->timeout_event);
     env_->Cancel(gate->crash_event);
     const SimDuration duration = env_->now() - exec_start;
-    meter_.RecordLambdaInvocation(config.memory_gib(),
-                                  std::max<SimDuration>(duration, 1));
+    const double usd = meter_.RecordLambdaInvocation(
+        config.memory_gib(), std::max<SimDuration>(duration, 1));
+    if (tracer_ != nullptr) {
+      tracer_->AddCost(exec_span, usd);
+      tracer_->EndWith(exec_span, outcome);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Record("lambda.exec_ms", ToMillis(duration));
+    }
     --active_;
     if (keep_sandbox) {
       sandbox->nic->NotifyIdle();
@@ -170,7 +246,7 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
   ctx->set_on_finish([gate, settle, callback](Json response) mutable {
     if (gate->settled) return;
     gate->settled = true;
-    settle(/*keep_sandbox=*/true);
+    settle(/*keep_sandbox=*/true, "ok");
     callback(std::move(response));
   });
   ctx->set_on_finish_error(
@@ -178,7 +254,8 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
         if (gate->settled) return;
         gate->settled = true;
         ++stats_.errors;
-        settle(/*keep_sandbox=*/true);
+        if (metrics_ != nullptr) metrics_->Add("lambda.errors");
+        settle(/*keep_sandbox=*/true, "error");
         callback(std::move(status));
       });
   if (entry.config.timeout > 0) {
@@ -188,7 +265,11 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
           gate->settled = true;
           ++stats_.timeouts;
           ++stats_.errors;
-          settle(/*keep_sandbox=*/false);
+          if (metrics_ != nullptr) {
+            metrics_->Add("lambda.timeouts");
+            metrics_->Add("lambda.errors");
+          }
+          settle(/*keep_sandbox=*/false, "timeout");
           callback(Status::DeadlineExceeded(
               "Task timed out: " + function));
         });
@@ -204,7 +285,11 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
             gate->settled = true;
             ++stats_.crashes;
             ++stats_.errors;
-            settle(/*keep_sandbox=*/!kill);
+            if (metrics_ != nullptr) {
+              metrics_->Add("lambda.crashes");
+              metrics_->Add("lambda.errors");
+            }
+            settle(/*keep_sandbox=*/!kill, "crash");
             callback(Status::IoError("function crashed (injected): " +
                                      function));
           });
@@ -227,6 +312,10 @@ void LambdaPlatform::ReleaseSandbox(const std::string& function,
         pool.erase(it);
         --warm_total_;
         ++stats_.reaped_sandboxes;
+        if (metrics_ != nullptr) metrics_->Add("lambda.reaped_sandboxes");
+        if (tracer_ != nullptr) {
+          tracer_->Instant("lambda", "sandbox.reap", "faas");
+        }
         return;
       }
     }

@@ -102,6 +102,14 @@ class LambdaPlatform : public ComputePlatform {
     fault_injector_ = injector;
   }
 
+  /// Emits the invocation lifecycle (frontend routing, throttles, warm
+  /// dispatch / coldstart, execution, sandbox reaping) as spans on track
+  /// "lambda" and mirrors Stats onto "lambda.*" counters.
+  void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) override {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
  private:
   struct Sandbox {
     std::unique_ptr<net::LambdaNic> nic;
@@ -113,7 +121,7 @@ class LambdaPlatform : public ComputePlatform {
                 ResponseCallback callback, SimDuration extra_latency);
   void Execute(const FunctionRegistry::Entry& entry,
                std::shared_ptr<Sandbox> sandbox, Json payload, bool cold,
-               ResponseCallback callback);
+               obs::SpanId invoke_span, ResponseCallback callback);
   void ReleaseSandbox(const std::string& function,
                       std::shared_ptr<Sandbox> sandbox);
   SimDuration SampleColdstart(const FunctionConfig& config);
@@ -125,6 +133,8 @@ class LambdaPlatform : public ComputePlatform {
   Options opt_;
   Rng rng_;
   sim::FaultInjector* fault_injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::string name_ = "lambda";
   std::map<std::string, std::deque<std::shared_ptr<Sandbox>>> warm_pool_;
   int active_ = 0;

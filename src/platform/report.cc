@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <utility>
 
 #include "common/string_util.h"
 #include "common/units.h"
@@ -135,6 +137,117 @@ std::string RenderWorkerStats(const Json& coordinator_response) {
     out += StrFormat("recommended worker memory: %lld MiB\n",
                      static_cast<long long>(recommended));
   }
+  return out;
+}
+
+std::string RenderMetrics(const obs::MetricsRegistry& metrics) {
+  std::string out;
+  if (!metrics.counters().empty()) {
+    TablePrinter counters({"counter", "value"});
+    for (const auto& [name, value] : metrics.counters()) {
+      counters.AddRow({name, std::to_string(value)});
+    }
+    out += counters.Render();
+  }
+  if (!metrics.histograms().empty()) {
+    if (!out.empty()) out += "\n";
+    TablePrinter hists(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, hist] : metrics.histograms()) {
+      hists.AddRow({name, std::to_string(hist.count()),
+                    StrFormat("%.2f", hist.mean()),
+                    StrFormat("%.2f", hist.Percentile(50.0)),
+                    StrFormat("%.2f", hist.Percentile(95.0)),
+                    StrFormat("%.2f", hist.Percentile(99.0)),
+                    StrFormat("%.2f", hist.max())});
+    }
+    out += hists.Render();
+  }
+  return out;
+}
+
+std::string RenderQueryProfile(const obs::Tracer& tracer) {
+  const std::vector<obs::Span>& spans = tracer.spans();
+  if (spans.empty()) return "";
+  std::map<obs::SpanId, std::vector<const obs::Span*>> children;
+  for (const auto& span : spans) children[span.parent].push_back(&span);
+  // Profile root: the slowest top-level span; ties break to the earliest
+  // id, so the rendering is deterministic.
+  const obs::Span* root = nullptr;
+  for (const obs::Span* span : children[obs::kNoSpan]) {
+    if (root == nullptr || span->duration() > root->duration()) root = span;
+  }
+  if (root == nullptr) return "";
+
+  std::string out = "critical path:\n";
+  TablePrinter path({"span", "track", "start_ms", "duration_ms", "outcome"});
+  std::string indent;
+  for (const obs::Span* node = root; node != nullptr;) {
+    path.AddRow({indent + node->name, node->track,
+                 StrFormat("%.3f", ToMillis(node->start - root->start)),
+                 StrFormat("%.3f", ToMillis(node->duration())),
+                 node->outcome.empty() ? "open" : node->outcome});
+    const obs::Span* next = nullptr;
+    const auto it = children.find(node->id);
+    if (it != children.end()) {
+      for (const obs::Span* child : it->second) {
+        if (child->instant) continue;
+        if (next == nullptr || child->end > next->end) next = child;
+      }
+    }
+    node = next;
+    indent += "  ";
+  }
+  out += path.Render();
+
+  out += "\ntime in state (per-category busy time, overlaps counted once):\n";
+  std::map<std::string, std::vector<std::pair<SimTime, SimTime>>> by_category;
+  for (const auto& span : spans) {
+    if (span.instant || span.end <= span.start) continue;
+    by_category[span.category].emplace_back(span.start, span.end);
+  }
+  TablePrinter states({"category", "busy_ms", "share"});
+  const double window_ms = ToMillis(root->duration());
+  for (auto& [category, intervals] : by_category) {
+    std::sort(intervals.begin(), intervals.end());
+    SimDuration busy = 0;
+    SimTime merged_start = intervals[0].first;
+    SimTime merged_end = intervals[0].second;
+    for (const auto& [begin, end] : intervals) {
+      if (begin > merged_end) {
+        busy += merged_end - merged_start;
+        merged_start = begin;
+        merged_end = end;
+      } else {
+        merged_end = std::max(merged_end, end);
+      }
+    }
+    busy += merged_end - merged_start;
+    states.AddRow({category, StrFormat("%.3f", ToMillis(busy)),
+                   window_ms > 0
+                       ? StrFormat("%.1f%%", 100.0 * ToMillis(busy) / window_ms)
+                       : "-"});
+  }
+  out += states.Render();
+
+  out += "\nslowest spans:\n";
+  std::vector<const obs::Span*> slowest;
+  for (const auto& span : spans) {
+    if (!span.instant) slowest.push_back(&span);
+  }
+  std::stable_sort(slowest.begin(), slowest.end(),
+                   [](const obs::Span* a, const obs::Span* b) {
+                     return a->duration() > b->duration();
+                   });
+  if (slowest.size() > 10) slowest.resize(10);
+  TablePrinter top({"span", "track", "duration_ms", "cost_usd", "outcome"});
+  for (const obs::Span* span : slowest) {
+    top.AddRow({span->name, span->track,
+                StrFormat("%.3f", ToMillis(span->duration())),
+                StrFormat("%.6f", span->cost_usd),
+                span->outcome.empty() ? "open" : span->outcome});
+  }
+  out += top.Render();
   return out;
 }
 

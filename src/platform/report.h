@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file report.h
 /// Result presentation for experiment harnesses: aligned ASCII tables (the
@@ -52,5 +54,18 @@ std::string RenderFaultSummary(const Json& coordinator_response);
 /// bytes moved per pipeline, plus a total row with the engine's memory-config
 /// recommendation. Returns an empty string when the response has no stages.
 std::string RenderWorkerStats(const Json& coordinator_response);
+
+/// Renders the metrics registry as two tables: counters (name, value) and
+/// latency histograms (count, mean, p50/p95/p99, max — the percentiles the
+/// paper's latency figures report). Returns an empty string when the
+/// registry holds nothing.
+std::string RenderMetrics(const obs::MetricsRegistry& metrics);
+
+/// Renders a query profile from a trace: the critical path (the chain of
+/// latest-ending children from the slowest root span), a time-in-state
+/// breakdown (per-category busy time, interval-union so overlapping spans
+/// count once), and the top-10 slowest spans with their attributed cost.
+/// Returns an empty string when the tracer holds no spans.
+std::string RenderQueryProfile(const obs::Tracer& tracer);
 
 }  // namespace skyrise::platform

@@ -4,6 +4,8 @@
 
 #include "engine/engine.h"
 #include "net/fabric_driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/object_store.h"
 
 /// \file testbed.h
@@ -51,6 +53,7 @@ struct EngineTestbed {
     lambda_options.account_concurrency = 10000;  // The paper's quota raise.
     lambda = std::make_unique<faas::LambdaPlatform>(
         &base.env, &base.fabric_driver, &registry, lambda_options);
+    lambda->set_observer(&tracer, &metrics);
     engine::EngineContext context;
     context.env = &base.env;
     context.table_store = &base.s3;
@@ -103,6 +106,11 @@ struct EngineTestbed {
   storage::QueueService queue;
   format::SyntheticFileCatalog catalog;
   pricing::CostMeter meter;
+  /// Query tracing + metrics; the Lambda platform publishes here (spans on
+  /// tracks "lambda"/"worker"/"coordinator"/"fragments"/"storage/<svc>").
+  /// Ec2 fleets join via `fleet.set_observer(&tracer, &metrics)`.
+  obs::Tracer tracer{&base.env};
+  obs::MetricsRegistry metrics;
   faas::FunctionRegistry registry;
   std::unique_ptr<faas::LambdaPlatform> lambda;
   std::unique_ptr<engine::QueryEngine> engine;

@@ -2,27 +2,34 @@
 
 namespace skyrise::pricing {
 
-void CostMeter::RecordStorageRequest(const std::string& service, bool is_write,
-                                     int64_t payload_bytes, bool success) {
+double CostMeter::RecordStorageRequest(const std::string& service,
+                                       bool is_write, int64_t payload_bytes,
+                                       bool success) {
   requests_by_service_[service] += 1;
   bytes_by_service_[service] += payload_bytes;
   if (!success) ++failed_requests_;
   // AWS bills throttled/failed requests that reached the service as well.
   auto cost = prices_->StorageRequestCost(service, is_write, payload_bytes);
-  if (cost.ok()) storage_usd_ += *cost;
+  if (!cost.ok()) return 0;
+  storage_usd_ += *cost;
+  return *cost;
 }
 
-void CostMeter::RecordLambdaInvocation(double memory_gib,
-                                       SimDuration duration) {
+double CostMeter::RecordLambdaInvocation(double memory_gib,
+                                         SimDuration duration) {
   ++lambda_invocations_;
   lambda_lifetime_ += duration;
-  compute_usd_ += prices_->LambdaInvocationCost(memory_gib, duration);
+  const double cost = prices_->LambdaInvocationCost(memory_gib, duration);
+  compute_usd_ += cost;
+  return cost;
 }
 
-void CostMeter::RecordEc2Usage(const std::string& instance_type,
-                               SimDuration duration, bool reserved) {
+double CostMeter::RecordEc2Usage(const std::string& instance_type,
+                                 SimDuration duration, bool reserved) {
   auto cost = prices_->Ec2Cost(instance_type, duration, reserved);
-  if (cost.ok()) compute_usd_ += *cost;
+  if (!cost.ok()) return 0;
+  compute_usd_ += *cost;
+  return *cost;
 }
 
 int64_t CostMeter::TotalRequests() const {

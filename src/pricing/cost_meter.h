@@ -20,15 +20,19 @@ class CostMeter {
       : prices_(prices) {}
 
   /// Records one storage request (counted whether or not it succeeded).
-  void RecordStorageRequest(const std::string& service, bool is_write,
-                            int64_t payload_bytes, bool success);
+  /// Returns the exact USD amount added to the meter (0 when the service has
+  /// no price entry), so callers can attribute it to a trace span.
+  double RecordStorageRequest(const std::string& service, bool is_write,
+                              int64_t payload_bytes, bool success);
 
   /// Records a completed Lambda invocation of `memory_gib` for `duration`.
-  void RecordLambdaInvocation(double memory_gib, SimDuration duration);
+  /// Returns the exact USD amount added to the meter.
+  double RecordLambdaInvocation(double memory_gib, SimDuration duration);
 
-  /// Records EC2 instance usage.
-  void RecordEc2Usage(const std::string& instance_type, SimDuration duration,
-                      bool reserved = false);
+  /// Records EC2 instance usage. Returns the exact USD amount added to the
+  /// meter (0 when the instance type has no price entry).
+  double RecordEc2Usage(const std::string& instance_type, SimDuration duration,
+                        bool reserved = false);
 
   /// Total accumulated cost in USD.
   double TotalUsd() const { return storage_usd_ + compute_usd_; }

@@ -341,8 +341,16 @@ void ObjectStore::GetRange(const std::string& key, int64_t offset,
     Status injected = fault_injector_->MaybeStorageError(/*is_write=*/false);
     if (!injected.ok()) {
       if (ctx.meter != nullptr) {
-        ctx.meter->RecordStorageRequest(opt_.service_name, /*is_write=*/false,
-                                        0, /*success=*/false);
+        const double usd = ctx.meter->RecordStorageRequest(
+            opt_.service_name, /*is_write=*/false, 0, /*success=*/false);
+        if (ctx.tracer != nullptr) ctx.tracer->AddCost(ctx.span, usd);
+      }
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->Instant("storage/" + opt_.service_name, "fault.injected",
+                            "storage", ctx.span);
+      }
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Add("storage." + opt_.service_name + ".faults_injected");
       }
       FailAfterRejectLatency(ctx, std::move(injected), std::move(callback),
                              nullptr);
@@ -365,11 +373,16 @@ void ObjectStore::GetRange(const std::string& key, int64_t offset,
              : (length < 0 ? it->second.size() - std::min(offset, it->second.size())
                            : std::min(length, it->second.size() - offset));
   if (ctx.meter != nullptr) {
-    ctx.meter->RecordStorageRequest(opt_.service_name, /*is_write=*/false,
-                                    std::max<int64_t>(payload_size, 0),
-                                    admitted && found);
+    const double usd = ctx.meter->RecordStorageRequest(
+        opt_.service_name, /*is_write=*/false,
+        std::max<int64_t>(payload_size, 0), admitted && found);
+    if (ctx.tracer != nullptr) ctx.tracer->AddCost(ctx.span, usd);
   }
   if (!admitted) {
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->Instant("storage/" + opt_.service_name, "throttle",
+                          "storage", ctx.span);
+    }
     FailAfterRejectLatency(ctx,
                            Status::ResourceExhausted("503 SlowDown: " + key),
                            std::move(callback), nullptr);
@@ -395,8 +408,17 @@ void ObjectStore::Put(const std::string& key, Blob data,
     Status injected = fault_injector_->MaybeStorageError(/*is_write=*/true);
     if (!injected.ok()) {
       if (ctx.meter != nullptr) {
-        ctx.meter->RecordStorageRequest(opt_.service_name, /*is_write=*/true,
-                                        data.size(), /*success=*/false);
+        const double usd = ctx.meter->RecordStorageRequest(
+            opt_.service_name, /*is_write=*/true, data.size(),
+            /*success=*/false);
+        if (ctx.tracer != nullptr) ctx.tracer->AddCost(ctx.span, usd);
+      }
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->Instant("storage/" + opt_.service_name, "fault.injected",
+                            "storage", ctx.span);
+      }
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Add("storage." + opt_.service_name + ".faults_injected");
       }
       FailAfterRejectLatency(ctx, std::move(injected), nullptr,
                              std::move(callback));
@@ -414,10 +436,15 @@ void ObjectStore::Put(const std::string& key, Blob data,
   }
   const bool admitted = global_write_bucket_.TryConsume(1, now);
   if (ctx.meter != nullptr) {
-    ctx.meter->RecordStorageRequest(opt_.service_name, /*is_write=*/true,
-                                    data.size(), admitted);
+    const double usd = ctx.meter->RecordStorageRequest(
+        opt_.service_name, /*is_write=*/true, data.size(), admitted);
+    if (ctx.tracer != nullptr) ctx.tracer->AddCost(ctx.span, usd);
   }
   if (!admitted) {
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->Instant("storage/" + opt_.service_name, "throttle",
+                          "storage", ctx.span);
+    }
     FailAfterRejectLatency(ctx,
                            Status::ResourceExhausted("503 SlowDown: " + key),
                            nullptr, std::move(callback));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/string_util.h"
+
 namespace skyrise::storage {
 
 namespace {
@@ -46,70 +48,155 @@ SimDuration RetryClient::BackoffDelay(int attempt) {
                                   static_cast<double>(ceiling));
 }
 
+std::string RetryClient::Track() const {
+  return "storage/" + service_->service_name();
+}
+
+std::string RetryClient::MetricPrefix() const {
+  return "storage." + service_->service_name();
+}
+
 void RetryClient::Get(const std::string& key, const ClientContext& ctx,
                       GetCallback callback) {
-  AttemptGet(key, 0, -1, ctx, 0, std::move(callback));
+  GetRange(key, 0, -1, ctx, std::move(callback));
 }
 
 void RetryClient::GetRange(const std::string& key, int64_t offset,
                            int64_t length, const ClientContext& ctx,
                            GetCallback callback) {
-  AttemptGet(key, offset, length, ctx, 0, std::move(callback));
+  obs::SpanId req = obs::kNoSpan;
+  if (ctx.tracer != nullptr) {
+    req = ctx.tracer->Begin(Track(), "get " + key, "storage", ctx.span);
+    ctx.tracer->SetArg(req, "key", Json(key));
+    ctx.tracer->SetArg(req, "offset", Json(offset));
+    ctx.tracer->SetArg(req, "length", Json(length));
+  }
+  if (ctx.tracer != nullptr || ctx.metrics != nullptr) {
+    const SimTime req_start = env_->now();
+    auto inner = std::make_shared<GetCallback>(std::move(callback));
+    callback = [this, ctx, req, req_start, inner](Result<Blob> result) {
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Record(MetricPrefix() + ".request_ms",
+                            ToMillis(env_->now() - req_start));
+      }
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->EndWith(req, result.ok() ? "ok" : "error");
+      }
+      (*inner)(std::move(result));
+    };
+  }
+  AttemptGet(key, offset, length, ctx, 0, req, std::move(callback));
 }
 
 void RetryClient::AttemptGet(const std::string& key, int64_t offset,
                              int64_t length, const ClientContext& ctx,
-                             int attempt, GetCallback callback) {
+                             int attempt, obs::SpanId req_span,
+                             GetCallback callback) {
   ++stats_.attempts;
+  if (ctx.metrics != nullptr) ctx.metrics->Add(MetricPrefix() + ".attempts");
   auto gate = std::make_shared<AttemptGate>();
   auto shared_cb = std::make_shared<GetCallback>(std::move(callback));
 
-  auto retry_or_fail = [this, key, offset, length, ctx, attempt,
+  ClientContext attempt_ctx = ctx;
+  obs::SpanId att = obs::kNoSpan;
+  const SimTime att_start = env_->now();
+  if (ctx.tracer != nullptr) {
+    att = ctx.tracer->Begin(Track(), StrFormat("attempt %d", attempt + 1),
+                            "storage", req_span);
+    attempt_ctx.span = att;
+  }
+  auto settle_attempt = [this, ctx, att, att_start](const char* outcome) {
+    if (ctx.tracer != nullptr) ctx.tracer->EndWith(att, outcome);
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->Record(MetricPrefix() + ".attempt_ms",
+                          ToMillis(env_->now() - att_start));
+    }
+  };
+
+  auto retry_or_fail = [this, key, offset, length, ctx, attempt, req_span,
                         shared_cb](Status error) {
     if (attempt + 1 >= opt_.max_attempts) {
       ++stats_.permanent_failures;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Add(MetricPrefix() + ".permanent_failures");
+      }
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
+      }
       (*shared_cb)(std::move(error));
       return;
     }
-    env_->Schedule(BackoffDelay(attempt),
-                   [this, key, offset, length, ctx, attempt, shared_cb] {
-                     AttemptGet(key, offset, length, ctx, attempt + 1,
-                                std::move(*shared_cb));
-                   });
+    if (ctx.metrics != nullptr) ctx.metrics->Add(MetricPrefix() + ".retries");
+    obs::SpanId backoff = obs::kNoSpan;
+    if (ctx.tracer != nullptr) {
+      backoff = ctx.tracer->Begin(Track(), "backoff", "storage", req_span);
+    }
+    env_->Schedule(BackoffDelay(attempt), [this, key, offset, length, ctx,
+                                           attempt, req_span, backoff,
+                                           shared_cb] {
+      if (ctx.tracer != nullptr) ctx.tracer->End(backoff);
+      AttemptGet(key, offset, length, ctx, attempt + 1, req_span,
+                 std::move(*shared_cb));
+    });
   };
 
   const SimDuration timeout = static_cast<SimDuration>(
       static_cast<double>(TimeoutFor(length >= 0 ? length : 0)) *
       std::pow(opt_.timeout_growth, attempt));
   const sim::EventId timeout_event = env_->Schedule(
-      timeout, [this, gate, retry_or_fail]() mutable {
+      timeout, [this, ctx, gate, settle_attempt, retry_or_fail]() mutable {
         if (!gate->Claim()) return;
         ++stats_.timeouts;
+        if (ctx.metrics != nullptr) {
+          ctx.metrics->Add(MetricPrefix() + ".timeouts");
+        }
+        settle_attempt("timeout");
         retry_or_fail(Status::DeadlineExceeded("request timed out"));
       });
 
   service_->GetRange(
-      key, offset, length, ctx,
-      [this, gate, timeout_event, retry_or_fail,
-       shared_cb](Result<Blob> result) mutable {
+      key, offset, length, attempt_ctx,
+      [this, ctx, attempt, req_span, gate, timeout_event, settle_attempt,
+       retry_or_fail, shared_cb](Result<Blob> result) mutable {
         if (!gate->Claim()) return;  // Timed out; stale response.
         env_->Cancel(timeout_event);
         if (result.ok()) {
           ++stats_.successes;
+          if (ctx.metrics != nullptr) {
+            ctx.metrics->Add(MetricPrefix() + ".successes");
+          }
+          settle_attempt("ok");
+          if (ctx.tracer != nullptr) {
+            ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
+          }
           (*shared_cb)(std::move(result));
           return;
         }
         Status st = result.status();
-        if (st.IsResourceExhausted()) ++stats_.throttles;
+        if (st.IsResourceExhausted()) {
+          ++stats_.throttles;
+          if (ctx.metrics != nullptr) {
+            ctx.metrics->Add(MetricPrefix() + ".throttles");
+          }
+        }
         if (st.IsRetriable()) {
           // Throttles (503 SlowDown), timeouts, and transient I/O errors
           // (500 InternalError) are worth another attempt.
+          settle_attempt(st.IsResourceExhausted() ? "throttle" : "error");
           retry_or_fail(std::move(st));
         } else {
           // NotFound, InvalidArgument, etc. will not heal with time: fail
           // fast instead of burning the retry budget.
           ++stats_.fail_fasts;
           ++stats_.permanent_failures;
+          if (ctx.metrics != nullptr) {
+            ctx.metrics->Add(MetricPrefix() + ".fail_fasts");
+            ctx.metrics->Add(MetricPrefix() + ".permanent_failures");
+          }
+          settle_attempt("fail_fast");
+          if (ctx.tracer != nullptr) {
+            ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
+          }
           (*shared_cb)(std::move(st));
         }
       });
@@ -117,26 +204,76 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
 
 void RetryClient::Put(const std::string& key, Blob data,
                       const ClientContext& ctx, PutCallback callback) {
-  AttemptPut(key, std::move(data), ctx, 0, std::move(callback));
+  obs::SpanId req = obs::kNoSpan;
+  if (ctx.tracer != nullptr) {
+    req = ctx.tracer->Begin(Track(), "put " + key, "storage", ctx.span);
+    ctx.tracer->SetArg(req, "key", Json(key));
+    ctx.tracer->SetArg(req, "bytes", Json(data.size()));
+  }
+  if (ctx.tracer != nullptr || ctx.metrics != nullptr) {
+    const SimTime req_start = env_->now();
+    auto inner = std::make_shared<PutCallback>(std::move(callback));
+    callback = [this, ctx, req, req_start, inner](Status status) {
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Record(MetricPrefix() + ".request_ms",
+                            ToMillis(env_->now() - req_start));
+      }
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->EndWith(req, status.ok() ? "ok" : "error");
+      }
+      (*inner)(std::move(status));
+    };
+  }
+  AttemptPut(key, std::move(data), ctx, 0, req, std::move(callback));
 }
 
 void RetryClient::AttemptPut(const std::string& key, Blob data,
                              const ClientContext& ctx, int attempt,
-                             PutCallback callback) {
+                             obs::SpanId req_span, PutCallback callback) {
   ++stats_.attempts;
+  if (ctx.metrics != nullptr) ctx.metrics->Add(MetricPrefix() + ".attempts");
   auto gate = std::make_shared<AttemptGate>();
   auto shared_cb = std::make_shared<PutCallback>(std::move(callback));
 
-  auto retry_or_fail = [this, key, data, ctx, attempt,
+  ClientContext attempt_ctx = ctx;
+  obs::SpanId att = obs::kNoSpan;
+  const SimTime att_start = env_->now();
+  if (ctx.tracer != nullptr) {
+    att = ctx.tracer->Begin(Track(), StrFormat("attempt %d", attempt + 1),
+                            "storage", req_span);
+    attempt_ctx.span = att;
+  }
+  auto settle_attempt = [this, ctx, att, att_start](const char* outcome) {
+    if (ctx.tracer != nullptr) ctx.tracer->EndWith(att, outcome);
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->Record(MetricPrefix() + ".attempt_ms",
+                          ToMillis(env_->now() - att_start));
+    }
+  };
+
+  auto retry_or_fail = [this, key, data, ctx, attempt, req_span,
                         shared_cb](Status error) {
     if (attempt + 1 >= opt_.max_attempts) {
       ++stats_.permanent_failures;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Add(MetricPrefix() + ".permanent_failures");
+      }
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
+      }
       (*shared_cb)(std::move(error));
       return;
     }
+    if (ctx.metrics != nullptr) ctx.metrics->Add(MetricPrefix() + ".retries");
+    obs::SpanId backoff = obs::kNoSpan;
+    if (ctx.tracer != nullptr) {
+      backoff = ctx.tracer->Begin(Track(), "backoff", "storage", req_span);
+    }
     env_->Schedule(BackoffDelay(attempt),
-                   [this, key, data, ctx, attempt, shared_cb] {
-                     AttemptPut(key, data, ctx, attempt + 1,
+                   [this, key, data, ctx, attempt, req_span, backoff,
+                    shared_cb] {
+                     if (ctx.tracer != nullptr) ctx.tracer->End(backoff);
+                     AttemptPut(key, data, ctx, attempt + 1, req_span,
                                 std::move(*shared_cb));
                    });
   };
@@ -144,32 +281,58 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
   const SimDuration timeout = static_cast<SimDuration>(
       static_cast<double>(TimeoutFor(data.size())) *
       std::pow(opt_.timeout_growth, attempt));
-  const sim::EventId timeout_event =
-      env_->Schedule(timeout, [this, gate, retry_or_fail]() mutable {
+  const sim::EventId timeout_event = env_->Schedule(
+      timeout, [this, ctx, gate, settle_attempt, retry_or_fail]() mutable {
         if (!gate->Claim()) return;
         ++stats_.timeouts;
+        if (ctx.metrics != nullptr) {
+          ctx.metrics->Add(MetricPrefix() + ".timeouts");
+        }
+        settle_attempt("timeout");
         retry_or_fail(Status::DeadlineExceeded("request timed out"));
       });
 
-  service_->Put(key, data, ctx,
-                [this, gate, timeout_event, retry_or_fail,
-                 shared_cb](Status status) mutable {
-                  if (!gate->Claim()) return;
-                  env_->Cancel(timeout_event);
-                  if (status.ok()) {
-                    ++stats_.successes;
-                    (*shared_cb)(std::move(status));
-                    return;
-                  }
-                  if (status.IsResourceExhausted()) ++stats_.throttles;
-                  if (status.IsRetriable()) {
-                    retry_or_fail(std::move(status));
-                  } else {
-                    ++stats_.fail_fasts;
-                    ++stats_.permanent_failures;
-                    (*shared_cb)(std::move(status));
-                  }
-                });
+  service_->Put(
+      key, data, attempt_ctx,
+      [this, ctx, attempt, req_span, gate, timeout_event, settle_attempt,
+       retry_or_fail, shared_cb](Status status) mutable {
+        if (!gate->Claim()) return;
+        env_->Cancel(timeout_event);
+        if (status.ok()) {
+          ++stats_.successes;
+          if (ctx.metrics != nullptr) {
+            ctx.metrics->Add(MetricPrefix() + ".successes");
+          }
+          settle_attempt("ok");
+          if (ctx.tracer != nullptr) {
+            ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
+          }
+          (*shared_cb)(std::move(status));
+          return;
+        }
+        if (status.IsResourceExhausted()) {
+          ++stats_.throttles;
+          if (ctx.metrics != nullptr) {
+            ctx.metrics->Add(MetricPrefix() + ".throttles");
+          }
+        }
+        if (status.IsRetriable()) {
+          settle_attempt(status.IsResourceExhausted() ? "throttle" : "error");
+          retry_or_fail(std::move(status));
+        } else {
+          ++stats_.fail_fasts;
+          ++stats_.permanent_failures;
+          if (ctx.metrics != nullptr) {
+            ctx.metrics->Add(MetricPrefix() + ".fail_fasts");
+            ctx.metrics->Add(MetricPrefix() + ".permanent_failures");
+          }
+          settle_attempt("fail_fast");
+          if (ctx.tracer != nullptr) {
+            ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
+          }
+          (*shared_cb)(std::move(status));
+        }
+      });
 }
 
 }  // namespace skyrise::storage

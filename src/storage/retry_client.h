@@ -45,7 +45,10 @@ class RetryClient {
               const Options& options, uint64_t rng_stream = 2001);
 
   /// Retrying full-object read. The callback receives the final outcome
-  /// after all attempts.
+  /// after all attempts. When `ctx.tracer` is set, the request opens a span
+  /// on track "storage/<service>" under `ctx.span`, with one child span per
+  /// attempt and per backoff wait; the storage service attributes request
+  /// costs and fault/throttle markers to the active attempt span.
   void Get(const std::string& key, const ClientContext& ctx,
            GetCallback callback);
   void GetRange(const std::string& key, int64_t offset, int64_t length,
@@ -61,11 +64,14 @@ class RetryClient {
  private:
   SimDuration TimeoutFor(int64_t expected_bytes) const;
   SimDuration BackoffDelay(int attempt);
+  std::string Track() const;
+  std::string MetricPrefix() const;
 
   void AttemptGet(const std::string& key, int64_t offset, int64_t length,
-                  const ClientContext& ctx, int attempt, GetCallback callback);
+                  const ClientContext& ctx, int attempt, obs::SpanId req_span,
+                  GetCallback callback);
   void AttemptPut(const std::string& key, Blob data, const ClientContext& ctx,
-                  int attempt, PutCallback callback);
+                  int attempt, obs::SpanId req_span, PutCallback callback);
 
   sim::SimEnvironment* env_;
   StorageService* service_;

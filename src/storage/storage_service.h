@@ -8,6 +8,8 @@
 #include "common/units.h"
 #include "net/fabric_driver.h"
 #include "net/nic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pricing/cost_meter.h"
 #include "storage/blob.h"
 
@@ -28,6 +30,9 @@ struct ClientContext {
   net::FabricDriver* fabric = nullptr;
   net::VpcId vpc = net::kNoVpc;
   pricing::CostMeter* meter = nullptr;  ///< Request metering hook (optional).
+  obs::Tracer* tracer = nullptr;        ///< Span sink (optional).
+  obs::SpanId span = obs::kNoSpan;      ///< Parent span for request spans.
+  obs::MetricsRegistry* metrics = nullptr;  ///< Counter sink (optional).
 };
 
 using GetCallback = std::function<void(Result<Blob>)>;

@@ -191,5 +191,64 @@ TEST(ReportTest, RenderFaultSummaryTabulatesStagesAndTotals) {
   EXPECT_EQ(RenderFaultSummary(Json::Object()), "");
 }
 
+TEST(ReportTest, RenderMetricsTabulatesCountersAndHistograms) {
+  obs::MetricsRegistry metrics;
+  EXPECT_EQ(RenderMetrics(metrics), "");  // Empty registry, empty render.
+  metrics.Add("lambda.invocations", 12);
+  metrics.Record("worker.input_ms", 10.0);
+  metrics.Record("worker.input_ms", 30.0);
+  const std::string out = RenderMetrics(metrics);
+  EXPECT_NE(out.find("lambda.invocations"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find("worker.input_ms"), std::string::npos);
+  EXPECT_NE(out.find("p95"), std::string::npos);
+}
+
+TEST(ReportTest, RenderQueryProfileShowsCriticalPathAndSlowestSpans) {
+  sim::SimEnvironment env(5);
+  obs::Tracer tracer(&env);
+  EXPECT_EQ(RenderQueryProfile(tracer), "");  // No spans, empty render.
+  const auto invoke = tracer.Begin("lambda", "invoke fn", "faas");
+  const auto exec = tracer.Begin("lambda", "exec fn", "faas", invoke);
+  env.RunUntil(Micros(1000));
+  const auto get = tracer.Begin("storage/s3", "get key", "storage", exec);
+  tracer.AddCost(get, 0.25);
+  env.RunUntil(Micros(4000));
+  tracer.End(get);
+  env.RunUntil(Micros(5000));
+  tracer.End(exec);
+  tracer.End(invoke);
+
+  const std::string out = RenderQueryProfile(tracer);
+  EXPECT_NE(out.find("critical path"), std::string::npos);
+  EXPECT_NE(out.find("invoke fn"), std::string::npos);
+  // The storage request is on the critical path (latest-ending child chain).
+  EXPECT_NE(out.find("get key"), std::string::npos);
+  EXPECT_NE(out.find("time in state"), std::string::npos);
+  EXPECT_NE(out.find("faas"), std::string::npos);
+  EXPECT_NE(out.find("slowest spans"), std::string::npos);
+  EXPECT_NE(out.find("0.250000"), std::string::npos);  // Attributed cost.
+}
+
+TEST(TestbedTest, EngineTestbedCollectsTraceAndMetrics) {
+  EngineTestbed bed(27);
+  datagen::TpchConfig tpch;
+  tpch.scale_factor = 0.001;
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &bed.base.s3, "lineitem", datagen::LineitemSchema(), 2,
+                       [&](int p) {
+                         return datagen::GenerateLineitemPartition(tpch, p, 2);
+                       })
+                       .status());
+  auto response = bed.RunOnLambda(engine::BuildTpchQ6(), "tb-q6", 1);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(bed.tracer.Validate().ok());
+  EXPECT_GT(bed.tracer.spans().size(), 0u);
+  EXPECT_GT(bed.metrics.Counter("lambda.invocations"), 0);
+  EXPECT_EQ(bed.tracer.attributed_usd("faas"),
+            bed.lambda->meter()->ComputeUsd());
+  EXPECT_EQ(bed.tracer.attributed_usd("storage"), bed.meter.StorageUsd());
+}
+
 }  // namespace
 }  // namespace skyrise::platform

@@ -75,6 +75,28 @@ TEST(CostMeterTest, ResetClears) {
   EXPECT_EQ(meter.TotalRequests(), 0);
 }
 
+TEST(CostMeterTest, RecordReturnsTheExactDeltaAdded) {
+  // The tracing layer attributes each returned delta to a span; the per-span
+  // costs reconcile against the meter only if every Record* call returns
+  // exactly what it added.
+  CostMeter meter;
+  double storage_sum = 0;
+  double compute_sum = 0;
+  storage_sum += meter.RecordStorageRequest("s3", false, kKiB, true);
+  storage_sum += meter.RecordStorageRequest("s3", true, 64 * kKiB, true);
+  storage_sum += meter.RecordStorageRequest("dynamodb", false, kKiB, false);
+  compute_sum += meter.RecordLambdaInvocation(2.0, Millis(250));
+  compute_sum += meter.RecordEc2Usage("c6g.xlarge", Minutes(5));
+  // Bitwise: the same doubles were added in the same order.
+  EXPECT_EQ(storage_sum, meter.StorageUsd());
+  EXPECT_EQ(compute_sum, meter.ComputeUsd());
+  EXPECT_GT(storage_sum + compute_sum, 0.0);
+  // Unknown services/instances add nothing and return exactly 0.
+  EXPECT_EQ(meter.RecordStorageRequest("no-such-service", false, kKiB, true),
+            0.0);
+  EXPECT_EQ(meter.RecordEc2Usage("no-such-type", Hours(1)), 0.0);
+}
+
 TEST(CostMeterTest, S3Warm100kIopsCostsAbout144PerHour) {
   // Section 2.2: "Keeping S3 warm for 100K IOPS costs $144 per hour"
   // (100K GET/s * 3600 s * $0.4/M = $144).

@@ -1,0 +1,371 @@
+/// trace_check: validates an exported Chrome trace-event JSON file against
+/// the structural invariants of the tracing subsystem AND against the schema
+/// documented in DESIGN.md §10 (the block between `<!-- trace-schema:begin
+/// -->` and `<!-- trace-schema:end -->`). CI runs it on the chaos_demo
+/// trace, so the documented schema and the emitted JSON cannot drift apart.
+///
+/// Checks:
+///   1. Document structure: displayTimeUnit/metadata/traceEvents, metadata
+///      clock/seed/span_count/attributed_usd, per-event required fields by
+///      phase ("M" metadata, "X" complete slice, "i" instant).
+///   2. Span-tree consistency: unique ids, parents precede children,
+///      span_count matches.
+///   3. Lane nesting: "X" slices sharing a (pid, tid) lane nest properly
+///      (no partial overlap), so Perfetto renders them as a clean stack.
+///   4. Cost reconciliation: per-category sums of args.cost_usd match the
+///      metadata.attributed_usd buckets.
+///   5. Schema conformance, field-for-field: every observed field, span arg,
+///      and outcome value is documented, and every documented non-optional
+///      one (no trailing `?` in the doc table) is observed in the trace.
+///
+/// Usage: trace_check <trace.json> <DESIGN.md>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace {
+
+using skyrise::Json;
+
+int g_failures = 0;
+
+void Fail(const std::string& message) {
+  std::fprintf(stderr, "trace_check: FAIL: %s\n", message.c_str());
+  ++g_failures;
+}
+
+/// One documented schema section: token -> optional (trailing '?').
+struct SchemaSection {
+  std::map<std::string, bool> tokens;
+
+  bool Has(const std::string& token) const { return tokens.count(token) > 0; }
+};
+
+struct Schema {
+  SchemaSection events;    ///< Document/metadata/event field names.
+  SchemaSection args;      ///< Span-specific args keys.
+  SchemaSection outcomes;  ///< Outcome vocabulary.
+};
+
+/// Extracts the backticked token from a markdown table row ("| `tok` | ..."),
+/// or an empty string when the line is not a token row. A `?` immediately
+/// after the closing backtick (optional marker) is kept on the token.
+std::string RowToken(const std::string& line) {
+  const size_t first = line.find('`');
+  if (first == std::string::npos || line.rfind("|", first) == std::string::npos)
+    return "";
+  const size_t second = line.find('`', first + 1);
+  if (second == std::string::npos) return "";
+  std::string token = line.substr(first + 1, second - first - 1);
+  if (second + 1 < line.size() && line[second + 1] == '?') token += '?';
+  return token;
+}
+
+bool LoadSchema(const std::string& design_path, Schema* schema) {
+  std::ifstream in(design_path);
+  if (!in.good()) {
+    Fail("cannot open " + design_path);
+    return false;
+  }
+  bool inside = false;
+  bool found = false;
+  SchemaSection* section = nullptr;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("<!-- trace-schema:begin -->") != std::string::npos) {
+      inside = true;
+      found = true;
+      continue;
+    }
+    if (line.find("<!-- trace-schema:end -->") != std::string::npos) break;
+    if (!inside) continue;
+    if (line.find("<!-- trace-schema:events -->") != std::string::npos) {
+      section = &schema->events;
+      continue;
+    }
+    if (line.find("<!-- trace-schema:args -->") != std::string::npos) {
+      section = &schema->args;
+      continue;
+    }
+    if (line.find("<!-- trace-schema:outcomes -->") != std::string::npos) {
+      section = &schema->outcomes;
+      continue;
+    }
+    if (section == nullptr || line.rfind("| `", 0) != 0) continue;
+    std::string token = RowToken(line);
+    if (token.empty()) continue;
+    bool optional = false;
+    if (token.back() == '?') {
+      optional = true;
+      token.pop_back();
+    }
+    section->tokens[token] = optional;
+  }
+  if (!found) Fail("no <!-- trace-schema:begin --> block in " + design_path);
+  return found;
+}
+
+struct Observed {
+  std::set<std::string> fields;
+  std::set<std::string> args;
+  std::set<std::string> outcomes;
+};
+
+void CheckCoverage(const SchemaSection& documented,
+                   const std::set<std::string>& observed,
+                   const std::string& what) {
+  for (const std::string& token : observed) {
+    if (!documented.Has(token)) {
+      Fail("emitted " + what + " `" + token + "` is not documented in the "
+           "trace-schema block");
+    }
+  }
+  for (const auto& [token, optional] : documented.tokens) {
+    if (!optional && observed.count(token) == 0) {
+      Fail("documented " + what + " `" + token +
+           "` never appears in the trace (mark it optional with a trailing "
+           "`?` or emit it)");
+    }
+  }
+}
+
+struct Slice {
+  int64_t ts = 0;
+  int64_t dur = 0;
+  int64_t span = 0;
+};
+
+void CheckLaneNesting(std::map<std::pair<int64_t, int64_t>,
+                               std::vector<Slice>>* lanes) {
+  for (auto& [lane, slices] : *lanes) {
+    std::sort(slices.begin(), slices.end(), [](const Slice& a,
+                                               const Slice& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      if (a.dur != b.dur) return a.dur > b.dur;
+      return a.span < b.span;
+    });
+    std::vector<int64_t> stack;  // End times of enclosing slices.
+    for (const Slice& slice : slices) {
+      while (!stack.empty() && stack.back() <= slice.ts) stack.pop_back();
+      if (!stack.empty() && slice.ts + slice.dur > stack.back()) {
+        Fail(skyrise::StrFormat(
+            "span %lld overlaps but does not nest on pid %lld tid %lld",
+            static_cast<long long>(slice.span),
+            static_cast<long long>(lane.first),
+            static_cast<long long>(lane.second)));
+      }
+      stack.push_back(slice.ts + slice.dur);
+    }
+  }
+}
+
+int Run(const std::string& trace_path, const std::string& design_path) {
+  Schema schema;
+  if (!LoadSchema(design_path, &schema)) return 1;
+
+  std::ifstream in(trace_path);
+  if (!in.good()) {
+    Fail("cannot open " + trace_path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = Json::Parse(buffer.str());
+  if (!doc.ok()) {
+    Fail("trace is not valid JSON: " + doc.status().ToString());
+    return 1;
+  }
+
+  Observed observed;
+
+  // --- Document structure. ---
+  if (!doc->is_object()) {
+    Fail("top-level trace document must be a JSON object");
+    return 1;
+  }
+  for (const auto& [key, value] : doc->AsObject()) observed.fields.insert(key);
+  if (doc->GetString("displayTimeUnit") != "ms") {
+    Fail("displayTimeUnit must be \"ms\"");
+  }
+  const Json& metadata = doc->Get("metadata");
+  if (!metadata.is_object()) {
+    Fail("metadata must be an object");
+  } else {
+    for (const auto& [key, value] : metadata.AsObject()) {
+      observed.fields.insert(key);
+    }
+    if (metadata.GetString("clock") != "sim_us") {
+      Fail("metadata.clock must be \"sim_us\"");
+    }
+    if (!metadata.Has("seed")) Fail("metadata.seed missing");
+    if (!metadata.Get("attributed_usd").is_object()) {
+      Fail("metadata.attributed_usd must be an object");
+    }
+  }
+
+  const Json& events = doc->Get("traceEvents");
+  if (!events.is_array()) {
+    Fail("traceEvents must be an array");
+    return 1;
+  }
+
+  // --- Per-event structure. ---
+  std::set<int64_t> span_ids;
+  std::map<int64_t, int64_t> parent_of;
+  std::map<std::string, double> cost_by_category;
+  std::map<std::pair<int64_t, int64_t>, std::vector<Slice>> lanes;
+  int64_t slice_count = 0;
+  int64_t instant_count = 0;
+  for (const Json& event : events.AsArray()) {
+    if (!event.is_object()) {
+      Fail("trace event is not an object");
+      continue;
+    }
+    for (const auto& [key, value] : event.AsObject()) {
+      observed.fields.insert(key);
+    }
+    const std::string ph = event.GetString("ph");
+    if (ph == "M") {
+      const std::string name = event.GetString("name");
+      if (name != "process_name" && name != "thread_name") {
+        Fail("metadata event with unexpected name `" + name + "`");
+      }
+      if (!event.Get("args").Has("name")) {
+        Fail("metadata event without args.name");
+      }
+      continue;
+    }
+    if (ph != "X" && ph != "i") {
+      Fail("unexpected event phase `" + ph + "`");
+      continue;
+    }
+    const Json& args = event.Get("args");
+    if (!args.is_object()) {
+      Fail("span event without args object");
+      continue;
+    }
+    for (const auto& [key, value] : args.AsObject()) {
+      if (key == "span" || key == "parent" || key == "cost_usd" ||
+          key == "outcome") {
+        observed.fields.insert(key);
+      } else {
+        observed.args.insert(key);
+      }
+    }
+    const int64_t span = args.GetInt("span", -1);
+    const int64_t parent = args.GetInt("parent", -1);
+    if (span <= 0) Fail("span event with non-positive args.span");
+    if (parent < 0) Fail("span event without args.parent");
+    if (!span_ids.insert(span).second) {
+      Fail(skyrise::StrFormat("duplicate span id %lld",
+                              static_cast<long long>(span)));
+    }
+    parent_of[span] = parent;
+    if (ph == "i") {
+      ++instant_count;
+      if (event.GetString("s") != "t") {
+        Fail("instant event must have thread scope (s == \"t\")");
+      }
+      continue;
+    }
+    ++slice_count;
+    const int64_t dur = event.GetInt("dur", -1);
+    if (dur < 0) Fail("X event without a non-negative dur");
+    const std::string outcome = args.GetString("outcome");
+    if (outcome.empty()) {
+      Fail("X event without args.outcome");
+    } else {
+      observed.outcomes.insert(outcome);
+    }
+    cost_by_category[event.GetString("cat")] += args.GetDouble("cost_usd");
+    lanes[{event.GetInt("pid", -1), event.GetInt("tid", -1)}].push_back(
+        Slice{event.GetInt("ts", 0), dur, span});
+  }
+
+  // --- Span-tree consistency. ---
+  const int64_t span_count = metadata.GetInt("span_count", -1);
+  if (span_count != static_cast<int64_t>(span_ids.size())) {
+    Fail(skyrise::StrFormat(
+        "metadata.span_count (%lld) != distinct span events (%lld)",
+        static_cast<long long>(span_count),
+        static_cast<long long>(span_ids.size())));
+  }
+  for (const auto& [span, parent] : parent_of) {
+    if (parent == 0) continue;
+    if (span_ids.count(parent) == 0) {
+      Fail(skyrise::StrFormat("span %lld has unknown parent %lld",
+                              static_cast<long long>(span),
+                              static_cast<long long>(parent)));
+    } else if (parent >= span) {
+      Fail(skyrise::StrFormat("span %lld has parent %lld opened after it",
+                              static_cast<long long>(span),
+                              static_cast<long long>(parent)));
+    }
+  }
+
+  CheckLaneNesting(&lanes);
+
+  // --- Cost reconciliation. ---
+  if (metadata.Get("attributed_usd").is_object()) {
+    double bucket_total = 0;
+    for (const auto& [bucket, usd] : metadata.Get("attributed_usd")
+                                         .AsObject()) {
+      bucket_total += usd.AsDouble();
+      const double span_sum = cost_by_category.count(bucket) > 0
+                                  ? cost_by_category[bucket]
+                                  : 0.0;
+      if (std::fabs(span_sum - usd.AsDouble()) > 1e-9) {
+        Fail(skyrise::StrFormat(
+            "category %s: per-span cost sum %.12f != attributed bucket %.12f",
+            bucket.c_str(), span_sum, usd.AsDouble()));
+      }
+    }
+    for (const auto& [category, sum] : cost_by_category) {
+      if (sum > 0 &&
+          !metadata.Get("attributed_usd").Has(category)) {
+        Fail("category " + category +
+             " carries span costs but has no attributed_usd bucket");
+      }
+    }
+    (void)bucket_total;
+  }
+
+  // --- Schema conformance (both directions). ---
+  CheckCoverage(schema.events, observed.fields, "field");
+  CheckCoverage(schema.args, observed.args, "span arg");
+  CheckCoverage(schema.outcomes, observed.outcomes, "outcome");
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "trace_check: %d failure(s) in %s\n", g_failures,
+                 trace_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "trace_check: OK — %lld slices, %lld instants, %zu distinct span "
+      "args, schema in sync with %s\n",
+      static_cast<long long>(slice_count),
+      static_cast<long long>(instant_count), observed.args.size(),
+      design_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: trace_check <trace.json> <DESIGN.md>\n");
+    return 2;
+  }
+  return Run(argv[1], argv[2]);
+}
