@@ -69,6 +69,7 @@ int main() {
   SKYRISE_CHECK_OK(iaas.status());
   fleet.Stop();
   auto iaas_result = bed.engine->FetchResult("quickstart-q6-vm");
+  SKYRISE_CHECK_OK(iaas_result.status());
   std::printf("IaaS run: %.1f ms, identical result: %s\n", iaas->runtime_ms,
               iaas_result->column("revenue").doubles()[0] ==
                       result->column("revenue").doubles()[0]

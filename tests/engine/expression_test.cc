@@ -28,8 +28,10 @@ TEST(ExpressionTest, NumericComparison) {
   ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{1, 2}));
   sel = EvalPredicate(*Cmp("==", Col("a"), Num(2)), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{1}));
   sel = EvalPredicate(*Cmp("<=", Col("b"), Num(1.5)), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{0, 1}));
 }
 
@@ -37,34 +39,42 @@ TEST(ExpressionTest, ColumnColumnComparison) {
   auto chunk = TestChunk();
   // a < b: 1<0.5 F, 2<1.5 F, 3<2.5 F.
   auto sel = EvalPredicate(*Cmp("<", Col("a"), Col("b")), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_TRUE(sel->empty());
   sel = EvalPredicate(*Cmp(">", Col("a"), Col("b")), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(sel->size(), 3u);
 }
 
 TEST(ExpressionTest, StringEquality) {
   auto chunk = TestChunk();
   auto sel = EvalPredicate(*Cmp("==", Col("s"), Str("x")), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{0, 2}));
   sel = EvalPredicate(*Cmp("!=", Col("s"), Str("x")), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{1}));
 }
 
 TEST(ExpressionTest, InList) {
   auto chunk = TestChunk();
   auto sel = EvalPredicate(*InList(Col("s"), {"y", "z"}), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{1}));
 }
 
 TEST(ExpressionTest, BetweenAndBoolOps) {
   auto chunk = TestChunk();
   auto sel = EvalPredicate(*Between(Col("d"), Num(15), Num(30)), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{1, 2}));
   sel = EvalPredicate(
       *And(Cmp(">", Col("a"), Num(1)), Cmp("==", Col("s"), Str("x"))), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{2}));
   sel = EvalPredicate(
       *Or(Cmp("==", Col("a"), Num(1)), Cmp("==", Col("a"), Num(3))), chunk);
+  ASSERT_TRUE(sel.ok());
   EXPECT_EQ(*sel, (std::vector<uint32_t>{0, 2}));
 }
 
@@ -76,8 +86,10 @@ TEST(ExpressionTest, NumericEvaluation) {
   EXPECT_DOUBLE_EQ((*vals)[1], 3.0);
   EXPECT_DOUBLE_EQ((*vals)[2], 7.5);
   vals = EvalNumeric(*Arith("/", Col("b"), Col("a")), chunk);
+  ASSERT_TRUE(vals.ok());
   EXPECT_DOUBLE_EQ((*vals)[1], 0.75);
   vals = EvalNumeric(*Arith("-", Num(1), Col("b")), chunk);
+  ASSERT_TRUE(vals.ok());
   EXPECT_DOUBLE_EQ((*vals)[0], 0.5);
 }
 

@@ -91,8 +91,10 @@ TEST(PriceListTest, Ec2CostMinimumBilling) {
   ASSERT_TRUE(short_run.ok());
   EXPECT_NEAR(*short_run, 0.136 / 60, 1e-9);
   auto hour = list.Ec2Cost("c6g.xlarge", Hours(1));
+  ASSERT_TRUE(hour.ok());
   EXPECT_NEAR(*hour, 0.136, 1e-9);
   auto reserved = list.Ec2Cost("c6g.xlarge", Hours(1), /*reserved=*/true);
+  ASSERT_TRUE(reserved.ok());
   EXPECT_LT(*reserved, *hour);
 }
 

@@ -1,0 +1,13 @@
+#pragma once
+// Fixture: fully annotated header — must stay silent.
+#include "common/result.h"
+
+class Store {
+ public:
+  [[nodiscard]] Status Flush();
+  [[nodiscard]] virtual Result<int> Count() const;
+  [[nodiscard]] static Status Validate(int v);
+  void Reset();
+};
+
+[[nodiscard]] inline Status Ping() { return Status::OK(); }

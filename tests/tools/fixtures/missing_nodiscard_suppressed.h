@@ -1,0 +1,9 @@
+#pragma once
+// Fixture: the violation from the twin file, blessed with a written reason.
+#include "common/result.h"
+
+class Store {
+ public:
+  // Fire-and-forget by contract; errors surface via the poll loop. skyrise-check: allow(missing-nodiscard)
+  Status Flush();
+};

@@ -1,0 +1,12 @@
+#pragma once
+// Fixture: Status/Result-returning declarations without [[nodiscard]].
+#include "common/result.h"
+
+class Store {
+ public:
+  Status Flush();          // fires
+  Result<int> Count();     // fires
+  [[nodiscard]] Status Sync();  // clean: annotated
+  void Reset();            // clean: not fallible
+  Status* last_status();   // clean: pointer return, not a fresh result
+};

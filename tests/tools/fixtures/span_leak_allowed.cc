@@ -1,0 +1,30 @@
+// Fixture: spans closed on every path, including the pervasive
+// `if (tracer_ != nullptr)` guard pattern — must stay silent.
+#include "obs/trace.h"
+
+void DoWork();
+
+void ClosedOnAllPaths(obs::Tracer* tracer, bool fail) {
+  obs::SpanId s = tracer->Begin("worker", "stage", "engine");
+  if (fail) {
+    tracer->EndWith(s, "error");
+    return;
+  }
+  tracer->End(s);
+}
+
+void GuardCorrelated(obs::Tracer* tracer_) {
+  obs::SpanId s = obs::kNoSpan;
+  if (tracer_ != nullptr) {
+    s = tracer_->Begin("worker", "stage", "engine");
+  }
+  DoWork();
+  if (tracer_ != nullptr) {
+    tracer_->End(s);
+  }
+}
+
+obs::SpanId HandedOff(obs::Tracer* tracer) {
+  obs::SpanId s = tracer->Begin("worker", "stage", "engine");
+  return s;  // caller owns ending it
+}

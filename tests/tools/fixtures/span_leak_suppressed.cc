@@ -1,0 +1,11 @@
+// Fixture: the violation from the twin file, blessed with a written reason.
+#include "obs/trace.h"
+
+void LeaksOnFailure(obs::Tracer* tracer, bool fail) {
+  // Tracer::Validate() reports the open span; this probes that path. skyrise-check: allow(span-leak)
+  obs::SpanId s = tracer->Begin("worker", "stage", "engine");
+  if (fail) {
+    return;
+  }
+  tracer->End(s);
+}

@@ -1,0 +1,12 @@
+// Fixture: a span begun but not ended on an early-return path.
+#include "obs/trace.h"
+
+void DoWork();
+
+void LeaksOnFailure(obs::Tracer* tracer, bool fail) {
+  obs::SpanId s = tracer->Begin("worker", "stage", "engine");
+  if (fail) {
+    return;  // fires: s is still open here
+  }
+  tracer->End(s);
+}

@@ -1,0 +1,30 @@
+// Fixture: statuses consumed on every path — must stay silent.
+#include "common/status.h"
+
+Status Store(int v);
+
+Status Propagated() {
+  Status s = Store(1);
+  return s;
+}
+
+void Branched() {
+  Status s = Store(1);
+  if (!s.ok()) {
+    return;
+  }
+}
+
+void Checked() {
+  Status s = Store(2);
+  SKYRISE_CHECK_OK(s);
+}
+
+void AccumulatorNotFromCall(bool flag) {
+  // A default-constructed accumulator is not a dropped call result.
+  Status first_error;
+  if (flag) {
+    first_error = Store(3);
+    SKYRISE_CHECK_OK(first_error);
+  }
+}

@@ -1,0 +1,12 @@
+// Fixture: the violation from the twin file, blessed with a written reason.
+#include "common/status.h"
+
+Status Store(int v);
+
+void ConsumedOnOnePathOnly(bool flaky) {
+  // Best-effort flush; failure is retried by the caller. skyrise-check: allow(status-path-drop)
+  Status s = Store(1);
+  if (flaky) {
+    SKYRISE_CHECK_OK(s);
+  }
+}

@@ -1,0 +1,12 @@
+// Fixture: a Status bound from a fallible call is dropped on one path.
+#include "common/status.h"
+
+Status Store(int v);
+
+void ConsumedOnOnePathOnly(bool flaky) {
+  Status s = Store(1);
+  if (flaky) {
+    SKYRISE_CHECK_OK(s);
+  }
+  // fires: when !flaky, s leaves scope unconsumed
+}

@@ -1,0 +1,46 @@
+// Fixture: every deref sits on a checked path — must stay silent.
+#include "common/result.h"
+
+Result<int> Fetch();
+
+int EarlyReturn() {
+  auto r = Fetch();
+  if (!r.ok()) return -1;
+  return *r;
+}
+
+int IfElse() {
+  auto r = Fetch();
+  if (r.ok()) {
+    return *r;
+  }
+  return -1;
+}
+
+int AssertStyle() {
+  auto r = Fetch();
+  SKYRISE_CHECK(r.ok());
+  return *r;
+}
+
+int CheckOkMacro() {
+  auto r = Fetch();
+  SKYRISE_CHECK_OK(r.status());
+  return *r;
+}
+
+int ConjunctionCheck(bool flag) {
+  auto r = Fetch();
+  if (flag && r.ok()) {
+    return *r;
+  }
+  return -1;
+}
+
+int DisjunctionEarlyOut(bool flag) {
+  auto r = Fetch();
+  if (flag || !r.ok()) {
+    return -1;
+  }
+  return *r;
+}

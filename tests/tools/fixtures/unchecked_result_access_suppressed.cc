@@ -1,0 +1,10 @@
+// Fixture: the violation from the twin file, blessed with a written reason.
+#include "common/result.h"
+
+Result<int> Fetch();
+
+int DerefWithoutCheck() {
+  auto r = Fetch();
+  // Probe binary: a crash here is the desired failure mode. skyrise-check: allow(unchecked-result-access)
+  return *r;
+}

@@ -1,0 +1,17 @@
+// Fixture: dereferencing a Result<T> without a dominating ok() check.
+#include "common/result.h"
+
+Result<int> Fetch();
+
+int DerefWithoutCheck() {
+  auto r = Fetch();
+  return *r;  // fires: no ok() check on this path
+}
+
+int DerefOnErrPath() {
+  auto r = Fetch();
+  if (!r.ok()) {
+    return r->value;  // fires: ok() is known false here
+  }
+  return *r;  // clean: fall-through path is checked
+}

@@ -1,0 +1,26 @@
+// Fixture: collect-then-sort and ordered collectors — must stay silent.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+void Render(const std::vector<int>& rows);
+void RenderMap(const std::map<int, int>& m);
+
+void CollectThenSort(const std::unordered_map<int, int>& index) {
+  std::vector<int> rows;
+  // skyrise-check: allow(unordered-iteration) — collected then sorted below.
+  for (const auto& [k, v] : index) {
+    rows.push_back(v);
+  }
+  std::sort(rows.begin(), rows.end());
+  Render(rows);
+}
+
+void OrderedCollectorNeverTaints(const std::unordered_map<int, int>& index) {
+  std::map<int, int> by_key;
+  // skyrise-check: allow(unordered-iteration) — std::map re-orders on insert.
+  for (const auto& [k, v] : index) {
+    by_key.insert({k, v});
+  }
+  RenderMap(by_key);
+}

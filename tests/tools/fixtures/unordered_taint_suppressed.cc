@@ -1,0 +1,15 @@
+// Fixture: the violation from the twin file, blessed with a written reason.
+#include <unordered_map>
+#include <vector>
+
+void Render(const std::vector<int>& rows);
+
+void EmitsHashOrder(const std::unordered_map<int, int>& index) {
+  std::vector<int> rows;
+  // skyrise-check: allow(unordered-iteration) — order proven irrelevant: sink sums rows.
+  for (const auto& [k, v] : index) {
+    rows.push_back(v);
+  }
+  // Sink is an order-insensitive reducer (sums the rows). skyrise-check: allow(unordered-taint)
+  Render(rows);
+}

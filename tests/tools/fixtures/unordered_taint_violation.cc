@@ -1,0 +1,14 @@
+// Fixture: rows collected in unordered-container order reach a sink unsorted.
+#include <unordered_map>
+#include <vector>
+
+void Render(const std::vector<int>& rows);
+
+void EmitsHashOrder(const std::unordered_map<int, int>& index) {
+  std::vector<int> rows;
+  // skyrise-check: allow(unordered-iteration) — collected then sorted... except it is not.
+  for (const auto& [k, v] : index) {
+    rows.push_back(v);
+  }
+  Render(rows);  // fires: rows still carry hash order
+}

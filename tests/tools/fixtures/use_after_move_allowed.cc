@@ -1,0 +1,32 @@
+// Fixture: moves followed by reinit or no further use — must stay silent.
+#include "data/chunk.h"
+
+void Consume(data::Chunk&& c);
+
+void MoveIsLastUse() {
+  data::Chunk chunk;
+  Consume(std::move(chunk));
+}
+
+void MoveThenClear() {
+  data::Chunk chunk;
+  Consume(std::move(chunk));
+  chunk.clear();
+  auto n = chunk.num_rows();
+}
+
+void MoveThenReassign() {
+  data::Chunk chunk;
+  Consume(std::move(chunk));
+  chunk = data::Chunk();
+  auto n = chunk.num_rows();
+}
+
+void MoveOnOneBranchOnly(bool take) {
+  data::Chunk chunk;
+  if (take) {
+    Consume(std::move(chunk));
+    return;
+  }
+  auto n = chunk.num_rows();
+}

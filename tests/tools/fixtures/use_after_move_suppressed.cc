@@ -1,0 +1,11 @@
+// Fixture: the violation from the twin file, blessed with a written reason.
+#include "data/chunk.h"
+
+void Consume(data::Chunk&& c);
+
+void UseAfterMove() {
+  data::Chunk chunk;
+  Consume(std::move(chunk));
+  // Moved-from Chunk is documented empty-but-valid; size read is deliberate. skyrise-check: allow(use-after-move)
+  auto n = chunk.num_rows();
+}

@@ -1,0 +1,16 @@
+// Fixture: using a moved-from Chunk/Result local.
+#include "data/chunk.h"
+
+void Consume(data::Chunk&& c);
+
+void UseAfterMove() {
+  data::Chunk chunk;
+  Consume(std::move(chunk));
+  auto n = chunk.num_rows();  // fires: chunk was moved from above
+}
+
+void MoveInCaptureInit() {
+  data::Chunk chunk;
+  auto task = [owned = std::move(chunk)]() { return owned.num_rows(); };
+  auto n = chunk.num_rows();  // fires: the capture-init moved chunk
+}

@@ -7,9 +7,16 @@
 #include <string>
 #include <vector>
 
+#include "baseline.h"
+#include "cfg.h"
+#include "lexer.h"
+#include "nodiscard.h"
+
 /// Golden-fixture tests for the skyrise_check lint pass: every rule family
-/// has a fixture that fires and a suppressed twin that must be clean, plus a
-/// test pinning the real tree at zero violations.
+/// has a fixture that fires, an allowed twin showing the sanctioned pattern,
+/// and a suppressed twin that must be clean; plus a test pinning the real
+/// tree at zero violations, a robustness test that the CFG layer parses
+/// every file in the repo, and idempotence tests for `--fix`.
 
 namespace skyrise::check {
 namespace {
@@ -95,6 +102,224 @@ TEST(SkyriseCheckGolden, ChunkCopyScopedToEngine) {
   EXPECT_TRUE(checker.CheckSources({{"src/data/api.cc", src}}).empty());
   EXPECT_TRUE(
       checker.CheckSources({{"tests/engine/some_test.cc", src}}).empty());
+}
+
+// --- v2 flow-sensitive rules -----------------------------------------------
+
+struct RuleFixture {
+  const char* test_name;
+  const char* stem;
+  const char* ext;
+};
+
+class SkyriseCheckFlowGolden : public ::testing::TestWithParam<RuleFixture> {};
+
+TEST_P(SkyriseCheckFlowGolden, ViolationMatchesGolden) {
+  const RuleFixture& f = GetParam();
+  const std::string violation =
+      std::string(f.stem) + "_violation" + f.ext;
+  EXPECT_EQ(LintFixture(violation),
+            ReadFile(kFixtureDir + std::string(f.stem) +
+                     std::string("_violation.expected")));
+}
+
+TEST_P(SkyriseCheckFlowGolden, AllowedPatternIsClean) {
+  const RuleFixture& f = GetParam();
+  EXPECT_EQ(LintFixture(std::string(f.stem) + "_allowed" + f.ext), "");
+}
+
+TEST_P(SkyriseCheckFlowGolden, SuppressionSilences) {
+  const RuleFixture& f = GetParam();
+  EXPECT_EQ(LintFixture(std::string(f.stem) + "_suppressed" + f.ext), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlowRules, SkyriseCheckFlowGolden,
+    ::testing::Values(
+        RuleFixture{"UncheckedResultAccess", "unchecked_result_access", ".cc"},
+        RuleFixture{"StatusPathDrop", "status_path_drop", ".cc"},
+        RuleFixture{"UseAfterMove", "use_after_move", ".cc"},
+        RuleFixture{"SpanLeak", "span_leak", ".cc"},
+        RuleFixture{"UnorderedTaint", "unordered_taint", ".cc"},
+        RuleFixture{"MissingNodiscard", "missing_nodiscard", ".h"}),
+    [](const ::testing::TestParamInfo<RuleFixture>& info) {
+      return std::string(info.param.test_name);
+    });
+
+TEST(SkyriseCheckFlow, EarlyReturnNarrowsPath) {
+  // The fall-through of `if (!r.ok()) return ...;` is a checked path.
+  Checker checker;
+  const auto diags = checker.CheckSources({{"x.cc",
+                                            "Result<int> Get();\n"
+                                            "int F() {\n"
+                                            "  auto r = Get();\n"
+                                            "  if (!r.ok()) return -1;\n"
+                                            "  return *r;\n"
+                                            "}\n"}});
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags.front());
+}
+
+TEST(SkyriseCheckFlow, LoopCarriedMoveIsCaught) {
+  // A move in a loop body reaches the next iteration through the back edge.
+  Checker checker;
+  const auto diags =
+      checker.CheckSources({{"x.cc",
+                             "void Sink(data::Chunk&& c);\n"
+                             "void F(int n) {\n"
+                             "  data::Chunk chunk;\n"
+                             "  for (int i = 0; i < n; ++i) {\n"
+                             "    Sink(std::move(chunk));\n"
+                             "  }\n"
+                             "}\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "use-after-move");
+}
+
+TEST(SkyriseCheckFlow, MissingNodiscardScopedToSrcHeaders) {
+  const std::string src = "#pragma once\nStatus Flush();\n";
+  Checker checker;
+  const auto in_src = checker.CheckSources({{"src/engine/api.h", src}});
+  ASSERT_EQ(in_src.size(), 1u);
+  EXPECT_EQ(in_src[0].rule, "missing-nodiscard");
+  // Implementation files and non-src headers inherit the contract from the
+  // annotated declaration; they are out of scope.
+  EXPECT_TRUE(checker.CheckSources({{"src/engine/api.cc", src}}).empty());
+  EXPECT_TRUE(checker.CheckSources({{"tests/util/helpers.h", src}}).empty());
+}
+
+// --- CFG robustness ---------------------------------------------------------
+
+TEST(SkyriseCheckCfg, ParsesEveryFileInTheRepo) {
+  // The lexer, bracket pairing, function extraction, and statement parser
+  // must accept every file in the tree without crashing, and must find a
+  // healthy number of function bodies (guards against the extractor
+  // silently going blind, which would turn the flow rules off).
+  size_t files = 0;
+  size_t functions = 0;
+  for (const TreeFile& tf :
+       LoadTree(SKYRISE_SOURCE_DIR,
+                {"src", "examples", "bench", "tests", "tools"})) {
+    const SourceFile sf = Preprocess(tf.rel, tf.contents);
+    const std::vector<Token> toks = Lex(sf);
+    const BracketMap brackets = PairBrackets(toks);
+    const std::vector<FunctionScope> scopes =
+        ExtractFunctions(toks, brackets);
+    for (const FunctionScope& scope : scopes) {
+      const Stmt root = ParseFunctionBody(toks, brackets, scope.body_begin,
+                                          scope.body_end);
+      EXPECT_EQ(root.kind, Stmt::Kind::kBlock) << tf.rel;
+    }
+    ++files;
+    functions += scopes.size();
+  }
+  EXPECT_GT(files, 100u);
+  EXPECT_GT(functions, 1000u);
+}
+
+TEST(SkyriseCheckCfg, LambdaBodiesAreSeparateScopes) {
+  const SourceFile sf = Preprocess(
+      "x.cc",
+      "void Outer() {\n"
+      "  auto f = [](int v) { return v + 1; };\n"
+      "  f(2);\n"
+      "}\n");
+  const std::vector<Token> toks = Lex(sf);
+  const BracketMap brackets = PairBrackets(toks);
+  const std::vector<FunctionScope> scopes = ExtractFunctions(toks, brackets);
+  ASSERT_EQ(scopes.size(), 2u);
+  EXPECT_FALSE(scopes[0].is_lambda);
+  EXPECT_EQ(scopes[0].name, "Outer");
+  EXPECT_TRUE(scopes[1].is_lambda);
+}
+
+// --- --fix rewriter ---------------------------------------------------------
+
+TEST(SkyriseCheckFix, InsertsNodiscardAndPragmaOnce) {
+  const std::string original =
+      "class Store {\n"
+      " public:\n"
+      "  Status Flush();\n"
+      "  static Result<int> Count();\n"
+      "};\n";
+  const SourceFile sf = Preprocess("src/store.h", original);
+  const std::string fixed = ApplyMechanicalFixes(sf, original);
+  EXPECT_NE(fixed.find("#pragma once"), std::string::npos);
+  EXPECT_NE(fixed.find("  [[nodiscard]] Status Flush();"), std::string::npos);
+  EXPECT_NE(fixed.find("  [[nodiscard]] static Result<int> Count();"),
+            std::string::npos);
+  // The fixed file lints clean for the mechanical rules.
+  Checker checker;
+  for (const Diagnostic& d :
+       checker.CheckSources({{"src/store.h", fixed}})) {
+    EXPECT_NE(d.rule, "missing-nodiscard") << FormatDiagnostic(d);
+    EXPECT_NE(d.rule, "pragma-once") << FormatDiagnostic(d);
+  }
+}
+
+TEST(SkyriseCheckFix, FixIsIdempotent) {
+  const std::string original =
+      "class Store {\n"
+      " public:\n"
+      "  Status Flush();\n"
+      "};\n";
+  const SourceFile sf = Preprocess("src/store.h", original);
+  const std::string once = ApplyMechanicalFixes(sf, original);
+  const SourceFile sf2 = Preprocess("src/store.h", once);
+  const std::string twice = ApplyMechanicalFixes(sf2, once);
+  EXPECT_NE(once, original);
+  EXPECT_EQ(twice, once);
+}
+
+TEST(SkyriseCheckFix, SuppressedFindingsAreNotFixed) {
+  const std::string original =
+      "#pragma once\n"
+      "class Store {\n"
+      " public:\n"
+      "  // Fire-and-forget by contract. skyrise-check: allow(missing-nodiscard)\n"
+      "  Status Flush();\n"
+      "};\n";
+  const SourceFile sf = Preprocess("src/store.h", original);
+  EXPECT_EQ(ApplyMechanicalFixes(sf, original), original);
+}
+
+TEST(SkyriseCheckFix, RealTreeIsFullyFixed) {
+  // --fix over the repo must be a no-op: every mechanical finding is either
+  // fixed or explicitly suppressed.
+  for (const TreeFile& tf :
+       LoadTree(SKYRISE_SOURCE_DIR,
+                {"src", "examples", "bench", "tests", "tools"})) {
+    const SourceFile sf = Preprocess(tf.rel, tf.contents);
+    EXPECT_EQ(ApplyMechanicalFixes(sf, tf.contents), tf.contents) << tf.rel;
+  }
+}
+
+// --- baseline ratchet -------------------------------------------------------
+
+TEST(SkyriseCheckBaseline, FiltersKnownFindingsOnly) {
+  const Diagnostic known{"a.cc", 3, "banned-api", "old"};
+  const Diagnostic fresh{"b.cc", 9, "span-leak", "new"};
+  const std::set<std::string> baseline =
+      ParseBaseline("# comment\n\n  " + FormatDiagnostic(known) + "  \n");
+  const std::vector<Diagnostic> out =
+      FilterBaseline({known, fresh}, baseline);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "b.cc");
+}
+
+TEST(SkyriseCheckBaseline, RenderRoundTrips) {
+  const Diagnostic d{"a.cc", 3, "banned-api", "why"};
+  const std::set<std::string> parsed = ParseBaseline(RenderBaseline({d}));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(*parsed.begin(), FormatDiagnostic(d));
+}
+
+TEST(SkyriseCheckBaseline, CheckedInBaselineIsEmpty) {
+  // The ratchet's goal state: no accepted legacy findings. If this fails,
+  // someone added a baseline entry instead of fixing or suppressing.
+  std::set<std::string> baseline;
+  ASSERT_TRUE(LoadBaselineFile(
+      SKYRISE_SOURCE_DIR "/tools/skyrise_check/baseline.txt", &baseline));
+  EXPECT_TRUE(baseline.empty());
 }
 
 TEST(SkyriseCheckPreprocess, StripsCommentsAndLiterals) {

@@ -1,0 +1,56 @@
+#include "baseline.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace skyrise::check {
+
+std::set<std::string> ParseBaseline(const std::string& contents) {
+  std::set<std::string> lines;
+  std::stringstream ss(contents);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const size_t e = line.find_last_not_of(" \t");
+    lines.insert(line.substr(b, e - b + 1));
+  }
+  return lines;
+}
+
+bool LoadBaselineFile(const std::string& path, std::set<std::string>* out) {
+  out->clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = ParseBaseline(buf.str());
+  return true;
+}
+
+std::vector<Diagnostic> FilterBaseline(const std::vector<Diagnostic>& diags,
+                                       const std::set<std::string>& baseline) {
+  std::vector<Diagnostic> fresh;
+  for (const Diagnostic& d : diags) {
+    if (baseline.count(FormatDiagnostic(d)) == 0) fresh.push_back(d);
+  }
+  return fresh;
+}
+
+std::string RenderBaseline(const std::vector<Diagnostic>& diags) {
+  std::string out =
+      "# skyrise_check baseline — accepted legacy findings, one "
+      "FormatDiagnostic line each.\n"
+      "# CI fails only on findings not listed here; the goal state is an "
+      "empty file.\n"
+      "# Regenerate with: skyrise_check --root . --write-baseline "
+      "tools/skyrise_check/baseline.txt\n";
+  for (const Diagnostic& d : diags) {
+    out += FormatDiagnostic(d);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace skyrise::check

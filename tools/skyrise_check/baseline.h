@@ -1,0 +1,32 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checker.h"
+
+/// \file baseline.h
+/// Ratchet mode: a checked-in baseline of formatted diagnostics lets CI fail
+/// only on *new* violations while legacy ones are burned down. The baseline
+/// file holds one `FormatDiagnostic` line per accepted finding; blank lines
+/// and `#` comments are ignored. The goal state is an empty baseline, which
+/// makes `--baseline` equivalent to the strict default.
+
+namespace skyrise::check {
+
+/// Parses baseline `contents` into the set of accepted diagnostic lines.
+std::set<std::string> ParseBaseline(const std::string& contents);
+
+/// Reads a baseline file; returns false (and leaves `out` empty) when the
+/// file cannot be read.
+bool LoadBaselineFile(const std::string& path, std::set<std::string>* out);
+
+/// Diagnostics not covered by the baseline, in input order.
+std::vector<Diagnostic> FilterBaseline(const std::vector<Diagnostic>& diags,
+                                       const std::set<std::string>& baseline);
+
+/// Serializes diagnostics as a baseline file body (header comment included).
+std::string RenderBaseline(const std::vector<Diagnostic>& diags);
+
+}  // namespace skyrise::check

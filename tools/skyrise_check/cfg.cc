@@ -1,0 +1,354 @@
+#include "cfg.h"
+
+#include <set>
+
+namespace skyrise::check {
+namespace {
+
+constexpr size_t kNone = FunctionScope::kNone;
+
+bool IsSpecifier(const Token& t) {
+  static const std::set<std::string> kSpecifiers = {
+      "const", "noexcept", "override", "final", "mutable", "&", "&&"};
+  return kSpecifiers.count(t.text) > 0;
+}
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch";
+}
+
+/// True when the `[` at `open` introduces a lambda rather than a subscript:
+/// subscripts follow a value (identifier, `)`, `]`, or a closing template
+/// `>`); lambda introducers follow operators, `(`, `,`, `=`, `return`, ...
+bool IsLambdaIntro(const std::vector<Token>& toks, size_t open) {
+  if (open == 0) return true;
+  const Token& prev = toks[open - 1];
+  if (prev.IsIdent()) {
+    // `return [..]` / `co_return [..]` still introduce lambdas.
+    return prev.Is("return") || prev.Is("co_return");
+  }
+  return !(prev.Is(")") || prev.Is("]") || prev.Is(">"));
+}
+
+/// Walks backward from the token before a `{`, skipping trailing-return
+/// types and function specifiers, to find the `)` closing the parameter
+/// list. Returns kNone when the brace cannot be a function body.
+size_t FindParamClose(const std::vector<Token>& toks,
+                      const BracketMap& brackets, size_t brace) {
+  size_t j = brace;
+  int guard = 0;
+  while (j > 0 && ++guard < 64) {
+    --j;
+    const Token& t = toks[j];
+    if (IsSpecifier(t)) continue;
+    if (t.Is(")")) {
+      const size_t open = brackets.MatchOf(j);
+      if (open == kNone || open == 0) return kNone;
+      if (toks[open - 1].Is("noexcept")) {
+        j = open - 1;  // noexcept(expr) — keep walking.
+        continue;
+      }
+      return j;
+    }
+    if (t.Is("]")) {
+      // Lambda with no parameter list: `[...] {`.
+      const size_t open = brackets.MatchOf(j);
+      if (open != kNone && IsLambdaIntro(toks, open)) return j;
+      return kNone;
+    }
+    // Trailing return type `-> Type` between the params and the body: scan
+    // back for the `->`, bounded by statement punctuation.
+    if (t.IsIdent() || t.Is(">") || t.Is("<") || t.Is("::") || t.Is("*")) {
+      size_t k = j;
+      int inner = 0;
+      while (k > 0 && ++inner < 48) {
+        --k;
+        const std::string& s = toks[k].text;
+        if (s == "->") {
+          j = k;  // Loop continues from before the arrow.
+          break;
+        }
+        if (s == ";" || s == "{" || s == "}" || s == "(" || s == ")") {
+          return kNone;
+        }
+      }
+      if (j == k) continue;
+      return kNone;
+    }
+    return kNone;
+  }
+  return kNone;
+}
+
+}  // namespace
+
+std::vector<FunctionScope> ExtractFunctions(const std::vector<Token>& toks,
+                                            const BracketMap& brackets) {
+  std::vector<FunctionScope> scopes;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].Is("{") || brackets.MatchOf(i) == kNone) continue;
+    if (i == 0) continue;
+    const size_t close = FindParamClose(toks, brackets, i);
+    if (close == kNone) continue;
+
+    FunctionScope scope;
+    scope.line = toks[i].line;
+    scope.body_begin = i;
+    scope.body_end = brackets.MatchOf(i);
+    scope.params_begin = kNone;
+    scope.params_end = kNone;
+    scope.capture_begin = kNone;
+    scope.capture_end = kNone;
+
+    if (toks[close].Is("]")) {
+      // Lambda without parameter list.
+      scope.is_lambda = true;
+      scope.capture_end = close;
+      scope.capture_begin = brackets.MatchOf(close);
+      scopes.push_back(scope);
+      continue;
+    }
+    const size_t open = brackets.MatchOf(close);
+    if (open == kNone || open == 0) continue;
+    scope.params_begin = open;
+    scope.params_end = close;
+    const Token& before = toks[open - 1];
+    if (before.Is("]")) {
+      const size_t cap = brackets.MatchOf(open - 1);
+      if (cap == kNone || !IsLambdaIntro(toks, cap)) continue;
+      scope.is_lambda = true;
+      scope.capture_begin = cap;
+      scope.capture_end = open - 1;
+      scopes.push_back(scope);
+      continue;
+    }
+    if (before.IsIdent()) {
+      if (IsControlKeyword(before.text)) continue;
+      scope.name = before.text;
+      scopes.push_back(scope);
+      continue;
+    }
+    // Operator overloads: `operator<symbol>(params)` / `operator()(params)`.
+    for (size_t back = 1; back <= 3 && open >= 1 + back; ++back) {
+      if (toks[open - 1 - back].Is("operator")) {
+        scope.name = "operator";
+        scopes.push_back(scope);
+        break;
+      }
+    }
+  }
+  return scopes;
+}
+
+namespace {
+
+/// Advances from `i` to the next token matching `text` at bracket depth 0,
+/// jumping over balanced groups. Returns `end` when not found.
+size_t ScanTo(const std::vector<Token>& toks, const BracketMap& brackets,
+              size_t i, size_t end, const char* text) {
+  while (i < end) {
+    const std::string& t = toks[i].text;
+    if (t == text) return i;
+    if (t == "(" || t == "[" || t == "{") {
+      const size_t m = brackets.MatchOf(i);
+      if (m == kNone || m <= i || m >= end) return end;
+      i = m + 1;
+      continue;
+    }
+    ++i;
+  }
+  return end;
+}
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& toks, const BracketMap& brackets)
+      : toks_(toks), brackets_(brackets) {}
+
+  /// Parses statements in [begin, end) into `out`.
+  void ParseList(size_t begin, size_t end, std::vector<Stmt>* out) {
+    size_t i = begin;
+    int guard = 0;
+    while (i < end && ++guard < (1 << 20)) {
+      // Skip case/default labels so the statements after them parse.
+      if (toks_[i].Is("case")) {
+        const size_t colon = ScanTo(toks_, brackets_, i + 1, end, ":");
+        i = colon < end ? colon + 1 : end;
+        continue;
+      }
+      if (toks_[i].Is("default") && i + 1 < end && toks_[i + 1].Is(":")) {
+        i += 2;
+        continue;
+      }
+      if (toks_[i].Is(";")) {
+        ++i;
+        continue;
+      }
+      Stmt stmt;
+      i = ParseOne(i, end, &stmt);
+      out->push_back(std::move(stmt));
+    }
+  }
+
+  /// Parses one statement starting at `i`; returns the index just past it.
+  size_t ParseOne(size_t i, size_t end, Stmt* stmt) {
+    stmt->begin = i;
+    const std::string& t = toks_[i].text;
+    if (t == "{") {
+      const size_t m = brackets_.MatchOf(i);
+      if (m == kNone || m >= end) return Simple(i, end, stmt);
+      stmt->kind = Stmt::Kind::kBlock;
+      stmt->end = m;
+      ParseList(i + 1, m, &stmt->sub);
+      return m + 1;
+    }
+    if (t == "if") return ParseIf(i, end, stmt);
+    if (t == "while" || t == "for") return ParseLoop(i, end, stmt);
+    if (t == "do") return ParseDo(i, end, stmt);
+    if (t == "switch") return ParseSwitch(i, end, stmt);
+    if (t == "try") return ParseTry(i, end, stmt);
+    if (t == "return" || t == "co_return") {
+      stmt->kind = Stmt::Kind::kReturn;
+      const size_t semi = ScanTo(toks_, brackets_, i, end, ";");
+      stmt->end = semi < end ? semi : end - 1;
+      return stmt->end + 1;
+    }
+    if (t == "break" || t == "continue") {
+      stmt->kind = t == "break" ? Stmt::Kind::kBreak : Stmt::Kind::kContinue;
+      const size_t semi = ScanTo(toks_, brackets_, i, end, ";");
+      stmt->end = semi < end ? semi : end - 1;
+      return stmt->end + 1;
+    }
+    return Simple(i, end, stmt);
+  }
+
+ private:
+  size_t Simple(size_t i, size_t end, Stmt* stmt) {
+    stmt->kind = Stmt::Kind::kSimple;
+    const size_t semi = ScanTo(toks_, brackets_, i, end, ";");
+    stmt->end = semi < end ? semi : end - 1;
+    return stmt->end + 1;
+  }
+
+  /// Returns the `(`'s index for a control header at/after `i`, or kNone.
+  size_t HeaderOpen(size_t i, size_t end) const {
+    for (size_t j = i; j < end && j < i + 3; ++j) {
+      if (toks_[j].Is("(")) {
+        const size_t m = brackets_.MatchOf(j);
+        if (m != kNone && m < end) return j;
+        return kNone;
+      }
+    }
+    return kNone;
+  }
+
+  size_t ParseIf(size_t i, size_t end, Stmt* stmt) {
+    stmt->kind = Stmt::Kind::kIf;
+    const size_t open = HeaderOpen(i + 1, end);  // Skips `constexpr`.
+    if (open == kNone) return Simple(i, end, stmt);
+    const size_t close = brackets_.MatchOf(open);
+    stmt->cond_begin = open + 1;
+    stmt->cond_end = close > open ? close - 1 : open;
+    Stmt then_stmt;
+    size_t next = ParseOne(close + 1, end, &then_stmt);
+    stmt->sub.push_back(std::move(then_stmt));
+    if (next < end && toks_[next].Is("else")) {
+      Stmt else_stmt;
+      next = ParseOne(next + 1, end, &else_stmt);
+      stmt->sub.push_back(std::move(else_stmt));
+    }
+    stmt->end = next > i ? next - 1 : i;
+    return next;
+  }
+
+  size_t ParseLoop(size_t i, size_t end, Stmt* stmt) {
+    stmt->kind = Stmt::Kind::kLoop;
+    const size_t open = HeaderOpen(i + 1, end);
+    if (open == kNone) return Simple(i, end, stmt);
+    const size_t close = brackets_.MatchOf(open);
+    stmt->cond_begin = open + 1;
+    stmt->cond_end = close > open ? close - 1 : open;
+    if (toks_[i].Is("for")) {
+      const size_t semi =
+          ScanTo(toks_, brackets_, stmt->cond_begin, close, ";");
+      stmt->range_for = semi >= close;
+    }
+    Stmt body;
+    const size_t next = ParseOne(close + 1, end, &body);
+    stmt->sub.push_back(std::move(body));
+    stmt->end = next > i ? next - 1 : i;
+    return next;
+  }
+
+  size_t ParseDo(size_t i, size_t end, Stmt* stmt) {
+    stmt->kind = Stmt::Kind::kDo;
+    Stmt body;
+    size_t next = ParseOne(i + 1, end, &body);
+    stmt->sub.push_back(std::move(body));
+    if (next < end && toks_[next].Is("while")) {
+      const size_t open = HeaderOpen(next + 1, end);
+      if (open != kNone) {
+        const size_t close = brackets_.MatchOf(open);
+        stmt->cond_begin = open + 1;
+        stmt->cond_end = close > open ? close - 1 : open;
+        next = close + 1;
+        if (next < end && toks_[next].Is(";")) ++next;
+      }
+    }
+    stmt->end = next > i ? next - 1 : i;
+    return next;
+  }
+
+  size_t ParseSwitch(size_t i, size_t end, Stmt* stmt) {
+    stmt->kind = Stmt::Kind::kSwitch;
+    const size_t open = HeaderOpen(i + 1, end);
+    if (open == kNone) return Simple(i, end, stmt);
+    const size_t close = brackets_.MatchOf(open);
+    stmt->cond_begin = open + 1;
+    stmt->cond_end = close > open ? close - 1 : open;
+    Stmt body;
+    const size_t next = ParseOne(close + 1, end, &body);
+    stmt->sub.push_back(std::move(body));
+    stmt->end = next > i ? next - 1 : i;
+    return next;
+  }
+
+  size_t ParseTry(size_t i, size_t end, Stmt* stmt) {
+    stmt->kind = Stmt::Kind::kTry;
+    Stmt body;
+    size_t next = ParseOne(i + 1, end, &body);
+    stmt->sub.push_back(std::move(body));
+    while (next < end && toks_[next].Is("catch")) {
+      const size_t open = HeaderOpen(next + 1, end);
+      if (open == kNone) break;
+      const size_t close = brackets_.MatchOf(open);
+      Stmt handler;
+      next = ParseOne(close + 1, end, &handler);
+      stmt->sub.push_back(std::move(handler));
+    }
+    stmt->end = next > i ? next - 1 : i;
+    return next;
+  }
+
+  const std::vector<Token>& toks_;
+  const BracketMap& brackets_;
+};
+
+}  // namespace
+
+Stmt ParseFunctionBody(const std::vector<Token>& toks,
+                       const BracketMap& brackets, size_t body_begin,
+                       size_t body_end) {
+  Stmt root;
+  root.kind = Stmt::Kind::kBlock;
+  root.begin = body_begin;
+  root.end = body_end;
+  if (body_begin < body_end && body_end <= toks.size()) {
+    Parser parser(toks, brackets);
+    parser.ParseList(body_begin + 1, body_end, &root.sub);
+  }
+  return root;
+}
+
+}  // namespace skyrise::check

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+/// \file cfg.h
+/// Function discovery and per-function control-flow structure for the
+/// flow-sensitive rules. Two layers:
+///
+///  1. ExtractFunctions() classifies every `{...}` region in a token stream
+///     and returns the ones that are function (or lambda) bodies, with the
+///     parameter-list and capture-list token ranges attached. Classification
+///     is heuristic (no semantic analysis); a brace it cannot prove to be a
+///     function body is simply not analyzed — the flow rules stay silent
+///     there, which is the conservative direction for a linter.
+///
+///  2. ParseFunctionBody() turns one body into a statement tree (blocks,
+///     if/else, loops, switch, return/break/continue) over token index
+///     ranges. The dataflow engine abstractly interprets this tree; loops
+///     are handled by re-executing their body to a small fixpoint, so the
+///     tree *is* the CFG (join points are the structured merge points).
+///
+/// Both layers must accept every file in the repo without crashing — there
+/// is a test that runs them over the full tree.
+
+namespace skyrise::check {
+
+struct FunctionScope {
+  std::string name;           ///< Best-effort callee name ("" for lambdas).
+  int line = 0;               ///< Line of the opening brace.
+  size_t body_begin = 0;      ///< Token index of `{`.
+  size_t body_end = 0;        ///< Token index of the matching `}`.
+  size_t params_begin = 0;    ///< Token index of `(`, or kNone.
+  size_t params_end = 0;      ///< Token index of `)`, or kNone.
+  size_t capture_begin = 0;   ///< Lambdas: token index of `[`, or kNone.
+  size_t capture_end = 0;     ///< Lambdas: token index of `]`, or kNone.
+  bool is_lambda = false;
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+};
+
+/// All function/lambda bodies in the stream, in body_begin order. Nested
+/// scopes (lambdas inside functions) appear as separate entries; callers
+/// analyzing an outer scope should treat inner scopes' body ranges as
+/// opaque.
+std::vector<FunctionScope> ExtractFunctions(const std::vector<Token>& toks,
+                                            const BracketMap& brackets);
+
+struct Stmt {
+  enum class Kind {
+    kBlock,     ///< `{ sub... }`
+    kSimple,    ///< expression/declaration statement up to `;`
+    kIf,        ///< sub[0] = then, sub[1] = else (optional)
+    kLoop,      ///< for/while: sub[0] = body
+    kDo,        ///< do-while: sub[0] = body
+    kSwitch,    ///< sub[0] = body (case labels are join points)
+    kTry,       ///< sub[0] = try block, sub[1..] = catch blocks
+    kReturn,
+    kBreak,
+    kContinue,
+  };
+  Kind kind = Kind::kSimple;
+  size_t begin = 0;  ///< First token index of the statement.
+  size_t end = 0;    ///< Last token index (inclusive).
+  /// kIf/kLoop/kDo/kSwitch: token range inside the condition parens
+  /// (begin > end when absent). For C++17 `if (init; cond)` this is the
+  /// full paren contents; the condition parser handles the split.
+  size_t cond_begin = 1;
+  size_t cond_end = 0;
+  /// kLoop: true for range-for (`for (decl : expr)`).
+  bool range_for = false;
+  std::vector<Stmt> sub;
+};
+
+/// Parses the token range strictly inside a body's braces into a statement
+/// tree rooted at a kBlock. Never throws; malformed regions degrade to
+/// kSimple statements covering the remaining tokens.
+Stmt ParseFunctionBody(const std::vector<Token>& toks,
+                       const BracketMap& brackets, size_t body_begin,
+                       size_t body_end);
+
+}  // namespace skyrise::check

@@ -6,6 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "dataflow.h"
+#include "nodiscard.h"
+
 namespace skyrise::check {
 namespace {
 
@@ -192,15 +195,17 @@ SourceFile Preprocess(const std::string& path, const std::string& contents) {
 
 const std::vector<std::string>& Checker::RuleIds() {
   static const std::vector<std::string> kRules = {
-      "banned-api",  "discarded-status", "unordered-iteration",
-      "pragma-once", "using-namespace",  "raw-stdout",
-      "chunk-copy"};
+      "banned-api",          "discarded-status",
+      "unordered-iteration", "pragma-once",
+      "using-namespace",     "raw-stdout",
+      "chunk-copy",          "unchecked-result-access",
+      "status-path-drop",    "use-after-move",
+      "span-leak",           "unordered-taint",
+      "missing-nodiscard"};
   return kRules;
 }
 
-namespace {
-
-bool Suppressed(const SourceFile& file, int line, const std::string& rule) {
+bool IsSuppressed(const SourceFile& file, int line, const std::string& rule) {
   for (int l : {line, line - 1}) {
     auto it = file.allows.find(l);
     if (it != file.allows.end() && it->second.count(rule) > 0) return true;
@@ -208,10 +213,18 @@ bool Suppressed(const SourceFile& file, int line, const std::string& rule) {
   return false;
 }
 
+void EmitDiagnostic(const SourceFile& file, int line, const std::string& rule,
+                    std::string message, std::vector<Diagnostic>* out) {
+  if (IsSuppressed(file, line, rule)) return;
+  out->push_back(Diagnostic{file.path, line, rule, std::move(message)});
+}
+
+namespace {
+
+// Local alias so the pre-existing rule bodies keep reading naturally.
 void Emit(const SourceFile& file, int line, const std::string& rule,
           std::string message, std::vector<Diagnostic>* out) {
-  if (Suppressed(file, line, rule)) return;
-  out->push_back(Diagnostic{file.path, line, rule, std::move(message)});
+  EmitDiagnostic(file, line, rule, std::move(message), out);
 }
 
 }  // namespace
@@ -249,6 +262,7 @@ void Checker::CollectFallibleNames(const SourceFile& file) {
       }
       if (!name.empty() && p < line.size() && line[p] == '(') {
         (is_void ? &void_names_ : &fallible_names_)->insert(name);
+        if (tok == "Result") result_names_.insert(name);
       }
       i = after - 1;
     }
@@ -650,6 +664,9 @@ void Checker::CheckFile(const SourceFile& file,
   CheckUnorderedIteration(file, out);
   CheckHeaderHygiene(file, out);
   CheckChunkCopy(file, out);
+  const FlowContext ctx{&result_names_, &fallible_names_, &void_names_};
+  CheckFlowRules(file, ctx, out);
+  CheckMissingNodiscard(file, out);
 }
 
 std::vector<Diagnostic> Checker::CheckSources(
@@ -666,8 +683,8 @@ std::vector<Diagnostic> Checker::CheckSources(
   return diags;
 }
 
-std::vector<Diagnostic> CheckTree(const std::string& root,
-                                  const std::vector<std::string>& dirs) {
+std::vector<TreeFile> LoadTree(const std::string& root,
+                               const std::vector<std::string>& dirs) {
   namespace fs = std::filesystem;
   std::vector<std::string> paths;
   for (const std::string& dir : dirs) {
@@ -688,7 +705,8 @@ std::vector<Diagnostic> CheckTree(const std::string& root,
   }
   std::sort(paths.begin(), paths.end());
 
-  std::vector<std::pair<std::string, std::string>> sources;
+  std::vector<TreeFile> files;
+  files.reserve(paths.size());
   for (const std::string& p : paths) {
     std::ifstream in(p);
     std::stringstream buf;
@@ -696,7 +714,16 @@ std::vector<Diagnostic> CheckTree(const std::string& root,
     std::string rel = p;
     const std::string prefix = (fs::path(root) / "").string();
     if (rel.rfind(prefix, 0) == 0) rel = rel.substr(prefix.size());
-    sources.emplace_back(rel, buf.str());
+    files.push_back(TreeFile{rel, p, buf.str()});
+  }
+  return files;
+}
+
+std::vector<Diagnostic> CheckTree(const std::string& root,
+                                  const std::vector<std::string>& dirs) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (TreeFile& f : LoadTree(root, dirs)) {
+    sources.emplace_back(std::move(f.rel), std::move(f.contents));
   }
   Checker checker;
   return checker.CheckSources(sources);

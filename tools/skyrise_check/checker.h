@@ -32,6 +32,29 @@
 ///                       `data::Chunk&&` instead (sinks that must own their
 ///                       input take &&), or suppress with an allow comment
 ///
+/// Flow-sensitive rules (v2, built on the lexer → CFG → dataflow stack in
+/// lexer.h / cfg.h / dataflow.h — see those headers for the machinery):
+///   unchecked-result-access  `.value()` / `*r` / `r->` on a Result<T> local
+///                            on a path with no dominating ok()/has_value()
+///                            check (polarity-aware: early `if (!r.ok())
+///                            return` narrows the fall-through path)
+///   status-path-drop         a Status/Result bound from a fallible call and
+///                            never consumed on some path out of its scope
+///   use-after-move           a moved-from Chunk/Status/Result local is used
+///                            before reinitialization (capture-init moves in
+///                            lambda intros count as moves)
+///   span-leak                an obs::Tracer span begun but not ended on some
+///                            path; `if (tracer_)`-style guards around Begin
+///                            and End are correlated by condition text
+///   unordered-taint          a collector filled while iterating an unordered
+///                            container flows into an ordered sink without an
+///                            intervening std::sort (collect-then-sort stays
+///                            silent; std::map/std::set collectors never
+///                            taint)
+///   missing-nodiscard        Status/Result-returning declaration in a src/
+///                            header without [[nodiscard]] (see nodiscard.h;
+///                            mechanically fixable with --fix)
+///
 /// A suppression comment `// skyrise-check: allow(rule-a, rule-b)` silences
 /// the named rules on its own line and the following line, so intent stays
 /// visible next to the code it blesses.
@@ -68,6 +91,16 @@ struct SourceFile {
 /// comments/literals and records suppression comments.
 SourceFile Preprocess(const std::string& path, const std::string& contents);
 
+/// True when `rule` is suppressed on `line` (the allow comment may sit on the
+/// line itself or the line above).
+bool IsSuppressed(const SourceFile& file, int line, const std::string& rule);
+
+/// Appends a diagnostic unless suppressed. All rule passes (including the
+/// flow-sensitive ones in dataflow.cc and nodiscard.cc) emit through this so
+/// suppression semantics stay uniform.
+void EmitDiagnostic(const SourceFile& file, int line, const std::string& rule,
+                    std::string message, std::vector<Diagnostic>* out);
+
 class Checker {
  public:
   /// Names of functions returning Status/Result<T>, harvested from
@@ -88,6 +121,10 @@ class Checker {
   const std::set<std::string>& fallible_names() const {
     return fallible_names_;
   }
+
+  /// Subset of fallible_names() declared as returning Result<T>; the
+  /// dataflow pass uses this to type `auto r = Foo(...)` locals.
+  const std::set<std::string>& result_names() const { return result_names_; }
 
   static const std::vector<std::string>& RuleIds();
 
@@ -111,7 +148,21 @@ class Checker {
   /// Names that also appear in a `void name(...)` declaration; ambiguous at
   /// token level, so discarded-status skips them (the compiler backstops).
   std::set<std::string> void_names_;
+  /// Names declared as returning Result<T> somewhere in the tree.
+  std::set<std::string> result_names_;
 };
+
+/// One file loaded from disk for tree-wide linting.
+struct TreeFile {
+  std::string rel;       ///< Path as reported in diagnostics (root-relative).
+  std::string abs;       ///< Path on disk, for --fix write-back.
+  std::string contents;  ///< Original text.
+};
+
+/// Collects every lintable file under `dirs` (recursively, deterministic
+/// lexicographic order, `/fixtures/` excluded).
+std::vector<TreeFile> LoadTree(const std::string& root,
+                               const std::vector<std::string>& dirs);
 
 /// Walks `dirs` (recursively, deterministic lexicographic order), lints every
 /// .h/.hpp/.cc/.cpp file, and returns sorted diagnostics. Paths in

@@ -1,0 +1,121 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace skyrise::check {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators the flow passes care about, longest first so
+/// maximal munch works with a simple prefix scan.
+const char* const kPuncts[] = {
+    "<=>", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++",
+    "--",  ".*",
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const SourceFile& file) {
+  std::vector<Token> toks;
+  bool in_directive = false;
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    const int lineno = static_cast<int>(li) + 1;
+    size_t i = line.find_first_not_of(" \t");
+    if (!in_directive && i != std::string::npos && line[i] == '#') {
+      // Preprocessor directive: macro bodies are not reachable code for the
+      // dataflow engine (expansion sites are), so skip the directive and any
+      // backslash-continued lines.
+      in_directive = true;
+    }
+    if (in_directive) {
+      const size_t last = line.find_last_not_of(" \t");
+      in_directive = last != std::string::npos && line[last] == '\\';
+      continue;
+    }
+    if (i == std::string::npos) continue;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        size_t e = i;
+        while (e < line.size() && IsIdentChar(line[e])) ++e;
+        toks.push_back(Token{Token::Kind::kIdent, line.substr(i, e - i),
+                             lineno, static_cast<int>(i)});
+        i = e;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        size_t e = i;
+        while (e < line.size() &&
+               (IsIdentChar(line[e]) || line[e] == '.' ||
+                ((line[e] == '+' || line[e] == '-') && e > i &&
+                 (line[e - 1] == 'e' || line[e - 1] == 'E')))) {
+          ++e;
+        }
+        toks.push_back(Token{Token::Kind::kNumber, line.substr(i, e - i),
+                             lineno, static_cast<int>(i)});
+        i = e;
+        continue;
+      }
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const size_t n = std::char_traits<char>::length(p);
+        if (line.compare(i, n, p) == 0) {
+          toks.push_back(
+              Token{Token::Kind::kPunct, p, lineno, static_cast<int>(i)});
+          i += n;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      toks.push_back(Token{Token::Kind::kPunct, std::string(1, c), lineno,
+                           static_cast<int>(i)});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+BracketMap PairBrackets(const std::vector<Token>& toks) {
+  BracketMap map;
+  map.match.assign(toks.size(), BracketMap::kUnmatched);
+  std::vector<size_t> parens, squares, braces;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") {
+      parens.push_back(i);
+    } else if (t == "[") {
+      squares.push_back(i);
+    } else if (t == "{") {
+      braces.push_back(i);
+    } else if (t == ")" && !parens.empty()) {
+      map.match[i] = parens.back();
+      map.match[parens.back()] = i;
+      parens.pop_back();
+    } else if (t == "]" && !squares.empty()) {
+      map.match[i] = squares.back();
+      map.match[squares.back()] = i;
+      squares.pop_back();
+    } else if (t == "}" && !braces.empty()) {
+      map.match[i] = braces.back();
+      map.match[braces.back()] = i;
+      braces.pop_back();
+    }
+  }
+  return map;
+}
+
+}  // namespace skyrise::check

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker.h"
+
+/// \file lexer.h
+/// Token stream for the flow-sensitive half of skyrise_check. Lexes the
+/// comment/literal-blanked `SourceFile::code` lines (so tokens never come
+/// from strings or comments) into identifiers, numbers, and punctuators with
+/// line/column positions, skipping preprocessor directives (including
+/// backslash continuations). This is deliberately not a C++ parser: the CFG
+/// builder and dataflow engine on top only need statement/brace structure
+/// and identifier adjacency, which a token stream captures exactly.
+
+namespace skyrise::check {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based source line.
+  int col = 0;   ///< 0-based column in the raw line.
+
+  bool Is(const char* s) const { return text == s; }
+  bool IsIdent() const { return kind == Kind::kIdent; }
+};
+
+/// Lexes a preprocessed file into tokens. Never fails: unknown bytes are
+/// emitted as single-character punctuators.
+std::vector<Token> Lex(const SourceFile& file);
+
+/// Bracket pairing over a token stream: for every `(`/`[`/`{` token, the
+/// index of its matching closer, and vice versa. Unbalanced brackets map to
+/// `kUnmatched` so downstream passes can bail gracefully instead of walking
+/// out of range.
+struct BracketMap {
+  static constexpr size_t kUnmatched = static_cast<size_t>(-1);
+  std::vector<size_t> match;  ///< match[i] = index of partner, or kUnmatched.
+
+  size_t MatchOf(size_t i) const {
+    return i < match.size() ? match[i] : kUnmatched;
+  }
+};
+
+BracketMap PairBrackets(const std::vector<Token>& toks);
+
+}  // namespace skyrise::check

@@ -1,43 +1,70 @@
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "baseline.h"
 #include "checker.h"
+#include "nodiscard.h"
 
 /// CLI for the skyrise static-analysis pass.
 ///
-///   skyrise_check [--root DIR] [--quiet] [dirs...]
+///   skyrise_check [--root DIR] [--quiet] [--fix]
+///                 [--baseline FILE] [--write-baseline FILE] [dirs...]
 ///
-/// With no dirs, lints the default simulation-facing trees: src, examples,
-/// bench, tests. Exits 0 when clean, 1 on violations, 2 on usage errors.
+/// With no dirs, lints the default trees: src, examples, bench, tests,
+/// tools (the checker lints its own sources). `--fix` applies mechanical
+/// rewrites (missing-nodiscard, pragma-once) in place before reporting;
+/// `--baseline` suppresses findings recorded in FILE so CI fails only on new
+/// ones; `--write-baseline` records the current findings and exits 0.
+/// Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
 
 namespace {
 
 void PrintUsage() {
-  std::fprintf(stderr,
-               "usage: skyrise_check [--root DIR] [--quiet] [--list-rules] "
-               "[dirs...]\n"
-               "Lints .h/.hpp/.cc/.cpp files for skyrise determinism and "
-               "error-handling invariants.\n"
-               "Default dirs: src examples bench tests\n");
+  std::fprintf(
+      stderr,
+      "usage: skyrise_check [--root DIR] [--quiet] [--list-rules] [--fix]\n"
+      "                     [--baseline FILE] [--write-baseline FILE] "
+      "[dirs...]\n"
+      "Lints .h/.hpp/.cc/.cpp files for skyrise determinism and "
+      "error-handling invariants.\n"
+      "  --fix             apply mechanical fixes (missing-nodiscard, "
+      "pragma-once) in place\n"
+      "  --baseline FILE   report only findings not recorded in FILE\n"
+      "  --write-baseline FILE\n"
+      "                    record current findings as the new baseline\n"
+      "Default dirs: src examples bench tests tools\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> dirs;
   bool quiet = false;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root") {
+    if (arg == "--root" || arg == "--baseline" || arg == "--write-baseline") {
       if (i + 1 >= argc) {
         PrintUsage();
         return 2;
       }
-      root = argv[++i];
+      const std::string value = argv[++i];
+      if (arg == "--root") {
+        root = value;
+      } else if (arg == "--baseline") {
+        baseline_path = value;
+      } else {
+        write_baseline_path = value;
+      }
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg == "--list-rules") {
       for (const std::string& rule : skyrise::check::Checker::RuleIds()) {
         std::printf("%s\n", rule.c_str());
@@ -54,10 +81,66 @@ int main(int argc, char** argv) {
       dirs.push_back(arg);
     }
   }
-  if (dirs.empty()) dirs = {"src", "examples", "bench", "tests"};
+  if (dirs.empty()) dirs = {"src", "examples", "bench", "tests", "tools"};
 
-  const std::vector<skyrise::check::Diagnostic> diags =
+  if (fix) {
+    size_t fixed = 0;
+    for (const skyrise::check::TreeFile& f :
+         skyrise::check::LoadTree(root, dirs)) {
+      const skyrise::check::SourceFile sf =
+          skyrise::check::Preprocess(f.rel, f.contents);
+      const std::string rewritten =
+          skyrise::check::ApplyMechanicalFixes(sf, f.contents);
+      if (rewritten == f.contents) continue;
+      std::ofstream out(f.abs, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "skyrise_check: cannot write %s\n",
+                     f.abs.c_str());
+        return 2;
+      }
+      out << rewritten;
+      ++fixed;
+      if (!quiet) std::fprintf(stderr, "fixed: %s\n", f.rel.c_str());
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "skyrise_check: rewrote %zu file(s)\n", fixed);
+    }
+  }
+
+  std::vector<skyrise::check::Diagnostic> diags =
       skyrise::check::CheckTree(root, dirs);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "skyrise_check: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << skyrise::check::RenderBaseline(diags);
+    if (!quiet) {
+      std::fprintf(stderr, "skyrise_check: wrote %zu finding(s) to %s\n",
+                   diags.size(), write_baseline_path.c_str());
+    }
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::set<std::string> baseline;
+    if (!skyrise::check::LoadBaselineFile(baseline_path, &baseline)) {
+      std::fprintf(stderr, "skyrise_check: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    const size_t total = diags.size();
+    diags = skyrise::check::FilterBaseline(diags, baseline);
+    if (!quiet && total != diags.size()) {
+      std::fprintf(stderr,
+                   "skyrise_check: %zu finding(s) covered by baseline\n",
+                   total - diags.size());
+    }
+  }
+
   for (const auto& d : diags) {
     std::printf("%s\n", skyrise::check::FormatDiagnostic(d).c_str());
   }

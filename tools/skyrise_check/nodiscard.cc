@@ -1,0 +1,184 @@
+#include "nodiscard.h"
+
+#include <algorithm>
+
+#include "lexer.h"
+
+namespace skyrise::check {
+namespace {
+
+/// The rule covers library headers: everything under src/, plus
+/// bare-filename headers so fixtures can exercise it. Implementation files
+/// inherit the contract from the declaration, so they are out of scope.
+bool NodiscardScoped(const SourceFile& file) {
+  if (!file.is_header) return false;
+  const std::string& p = file.path;
+  if (p.find('/') == std::string::npos) return true;
+  return p.rfind("src/", 0) == 0 || p.find("/src/") != std::string::npos;
+}
+
+bool IsSpecifier(const Token& t) {
+  return t.Is("virtual") || t.Is("static") || t.Is("inline") ||
+         t.Is("constexpr") || t.Is("explicit");
+}
+
+struct Finding {
+  int line = 0;  ///< Line to insert/report at (declaration start).
+  int col = 0;   ///< Column of the declaration's first token.
+};
+
+/// Token-level matcher for a template argument list; `>>` closes two.
+size_t MatchAngle(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size() && i < open + 256; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    if (t == ">") --depth;
+    if (t == ">>") depth -= 2;
+    if (depth <= 0) return i;
+    if (t == ";") break;
+  }
+  return static_cast<size_t>(-1);
+}
+
+/// Declarations shaped `Status name(` / `Result<...> name(` whose
+/// declaration start (after walking back over specifiers and attributes)
+/// sits at a statement boundary and carries no `[[nodiscard]]`.
+std::vector<Finding> FindMissing(const SourceFile& file) {
+  std::vector<Finding> findings;
+  if (!NodiscardScoped(file)) return findings;
+  const std::vector<Token> toks = Lex(file);
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const bool is_status = toks[i].Is("Status");
+    const bool is_result =
+        toks[i].Is("Result") && i + 1 < toks.size() && toks[i + 1].Is("<");
+    if (!is_status && !is_result) continue;
+
+    // Walk back over decl-specifiers and attributes to the declaration
+    // start; remember whether any attribute named nodiscard.
+    size_t j = i;
+    bool saw_nodiscard = false;
+    bool friend_decl = false;
+    while (j > 0) {
+      const Token& p = toks[j - 1];
+      if (IsSpecifier(p)) {
+        --j;
+        continue;
+      }
+      if (p.Is("friend")) {
+        friend_decl = true;
+        --j;
+        continue;
+      }
+      if (p.Is("]") && j >= 2 && toks[j - 2].Is("]")) {
+        // Attribute `[[ ... ]]`: scan back for the double `[[`.
+        size_t k = j - 2;
+        bool closed = false;
+        while (k > 0) {
+          --k;
+          if (toks[k].Is("nodiscard")) saw_nodiscard = true;
+          if (toks[k].Is("[") && k > 0 && toks[k - 1].Is("[")) {
+            j = k - 1;
+            closed = true;
+            break;
+          }
+        }
+        if (!closed) break;
+        continue;
+      }
+      break;
+    }
+    if (saw_nodiscard || friend_decl) continue;
+    // Declaration start must sit at a statement/member boundary. Anything
+    // else (`<`, `,`, `(`, `->`, `return`, `::`, `>`, `=`) is a use of the
+    // type, not a function declaration we can annotate.
+    if (j > 0) {
+      const Token& b = toks[j - 1];
+      if (!b.Is(";") && !b.Is("{") && !b.Is("}") && !b.Is(":")) continue;
+    }
+
+    // Forward: the full return type, then `name (`.
+    size_t t = i;
+    if (is_result) {
+      const size_t close = MatchAngle(toks, i + 1);
+      if (close == static_cast<size_t>(-1)) continue;
+      t = close;
+    }
+    if (t + 2 >= toks.size()) continue;
+    const Token& ret_mod = toks[t + 1];
+    if (ret_mod.Is("*") || ret_mod.Is("&") || ret_mod.Is("&&")) continue;
+    if (!ret_mod.IsIdent()) continue;  // Constructor / conversion / macro.
+    if (!toks[t + 2].Is("(")) continue;  // Variable, or qualified name.
+    findings.push_back(Finding{toks[j].line, toks[j].col});
+  }
+  return findings;
+}
+
+bool HasPragmaOnce(const SourceFile& file) {
+  for (const std::string& line : file.raw) {
+    const size_t b = line.find_first_not_of(" \t");
+    if (b != std::string::npos && line.compare(b, 12, "#pragma once") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckMissingNodiscard(const SourceFile& file,
+                           std::vector<Diagnostic>* out) {
+  for (const Finding& f : FindMissing(file)) {
+    EmitDiagnostic(file, f.line, "missing-nodiscard",
+                   "Status/Result-returning function lacks [[nodiscard]]; "
+                   "callers can silently drop the error (fixable with --fix)",
+                   out);
+  }
+}
+
+std::string ApplyMechanicalFixes(const SourceFile& file,
+                                 const std::string& contents) {
+  struct Insertion {
+    int line;
+    int col;
+    std::string text;
+  };
+  std::vector<Insertion> insertions;
+  for (const Finding& f : FindMissing(file)) {
+    if (IsSuppressed(file, f.line, "missing-nodiscard")) continue;
+    insertions.push_back(Insertion{f.line, f.col, "[[nodiscard]] "});
+  }
+  const bool add_pragma = file.is_header && !HasPragmaOnce(file) &&
+                          !IsSuppressed(file, 1, "pragma-once");
+  if (insertions.empty() && !add_pragma) return contents;
+
+  std::vector<std::string> lines = file.raw;
+  // Bottom-up so earlier insertions don't shift later columns.
+  std::sort(insertions.begin(), insertions.end(),
+            [](const Insertion& a, const Insertion& b) {
+              if (a.line != b.line) return a.line > b.line;
+              return a.col > b.col;
+            });
+  for (const Insertion& ins : insertions) {
+    const size_t idx = static_cast<size_t>(ins.line) - 1;
+    if (idx >= lines.size()) continue;
+    if (static_cast<size_t>(ins.col) <= lines[idx].size()) {
+      lines[idx].insert(static_cast<size_t>(ins.col), ins.text);
+    }
+  }
+  if (add_pragma) {
+    lines.insert(lines.begin(), {"#pragma once", ""});
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  // Preserve a missing trailing newline so --fix never churns on that alone.
+  if (!contents.empty() && contents.back() != '\n' && !out.empty()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace skyrise::check

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker.h"
+
+/// \file nodiscard.h
+/// Interprocedural `[[nodiscard]]` inference plus the `--fix` rewriter.
+///
+/// Every function that returns `Status` or `Result<T>` hands an error to its
+/// caller; the class-level `[[nodiscard]]` on Status/Result already makes
+/// discards warn, but the attribute on the *function* keeps the contract
+/// visible at the declaration and survives `auto&&` laundering. The
+/// missing-nodiscard rule flags Status/Result-returning declarations in src/
+/// headers that lack the attribute.
+///
+/// The same detection drives `skyrise_check --fix`: insertions are computed
+/// from token positions, applied bottom-up, and are idempotent (fixing a
+/// fixed file changes nothing). Only mechanical rules are fixable:
+/// missing-nodiscard (`[[nodiscard]] ` before the declaration) and
+/// pragma-once (`#pragma once` as the first line).
+
+namespace skyrise::check {
+
+/// Emits missing-nodiscard diagnostics for `file` (suppression-aware).
+/// Scope: headers under src/ (bare-filename headers stay in scope so lint
+/// fixtures exercise the rule).
+void CheckMissingNodiscard(const SourceFile& file,
+                           std::vector<Diagnostic>* out);
+
+/// Applies every mechanical fix to `contents` (the original text of `file`)
+/// and returns the rewritten text; returns `contents` unchanged when there is
+/// nothing to fix. Suppressed findings are not fixed. Pure function of its
+/// inputs so the idempotence property is testable without a filesystem.
+std::string ApplyMechanicalFixes(const SourceFile& file,
+                                 const std::string& contents);
+
+}  // namespace skyrise::check
