@@ -1,5 +1,8 @@
 #pragma once
 
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+#include "common/retry_budget.h"
 #include "engine/executor.h"
 #include "faas/function.h"
 #include "format/cof.h"
@@ -69,6 +72,42 @@ struct EngineContext {
   SimDuration speculation_after = Seconds(10);
   /// Cadence of the coordinator's per-stage straggler sweep.
   SimDuration speculation_interval = Seconds(2);
+
+  // Overload-robustness policy (all disabled by default; see DESIGN.md
+  // "Overload & degradation model").
+  /// End-to-end wall budget per query. QueryEngine::Run stamps the absolute
+  /// expiry into the coordinator payload as "deadline_us"; the coordinator
+  /// propagates it to every worker/invoker payload (where the platforms
+  /// clamp execution timeouts against it) and into every storage
+  /// ClientContext (where RetryClient clamps attempt timeouts and backoff).
+  /// <= 0: unbounded.
+  SimDuration query_deadline = 0;
+  /// Per-query retry-token pool: every retry across layers (storage
+  /// re-request, worker re-invocation, speculative duplicate) draws one
+  /// token; storage successes refund `retry_budget_refund` tokens each.
+  /// <= 0: disabled (per-call max_attempts arithmetic alone, as before).
+  double retry_budget_tokens = 0;
+  double retry_budget_refund = 0.15;
+  /// Per-service circuit breakers, owned by the testbed/harness (optional).
+  /// `storage_breaker` is carried in worker/coordinator storage contexts;
+  /// `invoke_breaker` gates the coordinator's worker-invocation path and is
+  /// fed by worker-attempt outcomes.
+  CircuitBreaker* storage_breaker = nullptr;
+  CircuitBreaker* invoke_breaker = nullptr;
+  /// Graceful degradation: when the live retry budget has drained below
+  /// this fraction of its initial size at stage start, the coordinator
+  /// sheds load by scaling partitions-per-worker up by
+  /// `degrade_fanout_factor` (fewer, larger fragments — less invoke and
+  /// shuffle pressure at the cost of per-stage latency).
+  double degrade_budget_fraction = 0.25;
+  int degrade_fanout_factor = 2;
+
+  // Live per-query state published by the coordinator (one query runs at a
+  // time per context, so workers executing inside the same simulated
+  // deployment read the coordinator-granted budget/deadline from here —
+  // the simulator's stand-in for a budget grant travelling in-band).
+  RetryBudget* active_retry_budget = nullptr;
+  Deadline active_deadline;
 
   EngineContext() {
     // Straggler re-triggering: generous size-based allowance so congested

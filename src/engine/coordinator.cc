@@ -47,6 +47,36 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
       return;
     }
     plan_ = std::move(plan).ValueUnsafe();
+
+    // Overload-robustness setup: resolve the query deadline (propagated as
+    // an absolute "deadline_us", or derived from policy when invoked
+    // without one), mint the per-query retry-token pool, and publish both
+    // on the context for the workers this query is about to launch.
+    deadline_ = Deadline::At(payload.GetInt("deadline_us", 0));
+    if (!deadline_.bounded() && ec_->query_deadline > 0) {
+      deadline_ = Deadline::After(Now(), ec_->query_deadline);
+    }
+    if (ec_->retry_budget_tokens > 0) {
+      RetryBudget::Options budget_options;
+      budget_options.initial_tokens = ec_->retry_budget_tokens;
+      budget_options.refund_per_success = ec_->retry_budget_refund;
+      budget_ = std::make_unique<RetryBudget>(budget_options);
+    }
+    ec_->active_retry_budget = budget_.get();
+    ec_->active_deadline = deadline_;
+    InstallBreakerObserver(ec_->storage_breaker);
+    InstallBreakerObserver(ec_->invoke_breaker);
+    if (deadline_.bounded()) {
+      // Fires one tick before the platform's clamped execution timeout
+      // would kill this coordinator, so the query fails typed with spans
+      // closed instead of being torn down mid-flight.
+      const SimDuration lead =
+          std::max<SimDuration>(0, deadline_.Remaining(Now()) - 1);
+      auto self = shared_from_this();
+      deadline_event_ =
+          ec_->env->Schedule(lead, [self] { self->OnDeadline(); });
+    }
+
     client_ = std::make_unique<storage::RetryClient>(
         ec_->env, ec_->table_store, ec_->retry, 0x7777);
     storage_ctx_.nic = fctx_->nic();
@@ -55,6 +85,9 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     storage_ctx_.tracer = tracer_;
     storage_ctx_.span = plan_span_;
     storage_ctx_.metrics = metrics_;
+    storage_ctx_.deadline = deadline_;
+    storage_ctx_.retry_budget = budget_.get();
+    storage_ctx_.breaker = ec_->storage_breaker;
 
     // Collect referenced tables.
     for (const auto& pipeline : plan_.pipelines) {
@@ -73,11 +106,78 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
   void Fail(Status status) {
     if (done_) return;
     done_ = true;
+    Cleanup();
     if (tracer_ != nullptr) {
       tracer_->EndWith(plan_span_, "error");
       tracer_->EndWith(query_span_, "error");
     }
     fctx_->FinishError(std::move(status));
+  }
+
+  /// Emits breaker state transitions as obs instants/counters for the
+  /// duration of this query (detached again in Cleanup so a later query
+  /// re-installs with its own parent span).
+  void InstallBreakerObserver(CircuitBreaker* breaker) {
+    if (breaker == nullptr) return;
+    obs::Tracer* tracer = tracer_;
+    obs::MetricsRegistry* metrics = metrics_;
+    const obs::SpanId parent = query_span_;
+    const std::string name = breaker->options().name;
+    breaker->set_on_transition(
+        [tracer, metrics, parent, name](CircuitBreaker::State from,
+                                        CircuitBreaker::State to, SimTime) {
+          if (tracer != nullptr) {
+            tracer->Instant("breaker",
+                            name + " " + CircuitBreaker::StateName(from) +
+                                " -> " + CircuitBreaker::StateName(to),
+                            "engine", parent);
+          }
+          if (metrics != nullptr) {
+            metrics->Add("breaker." + name + "." +
+                         CircuitBreaker::StateName(to));
+          }
+        });
+  }
+
+  /// Tears down per-query robustness state exactly once: the deadline
+  /// timer, the published budget/deadline (workers must not read a dead
+  /// query's pool), breaker observers, and — on abnormal exits — the still
+  /// open stage span and its speculation timer.
+  void Cleanup() {
+    ec_->env->Cancel(deadline_event_);
+    deadline_event_ = sim::kInvalidEventId;
+    ec_->active_retry_budget = nullptr;
+    ec_->active_deadline = Deadline();
+    if (ec_->storage_breaker != nullptr) {
+      ec_->storage_breaker->set_on_transition(nullptr);
+    }
+    if (ec_->invoke_breaker != nullptr) {
+      ec_->invoke_breaker->set_on_transition(nullptr);
+    }
+    if (current_stage_ != nullptr && !current_stage_->failed) {
+      ec_->env->Cancel(current_stage_->spec_timer);
+      if (tracer_ != nullptr) {
+        tracer_->EndWith(current_stage_->span, "error");
+      }
+      current_stage_->failed = true;
+    }
+    current_stage_ = nullptr;
+  }
+
+  /// The query's end-to-end deadline expired with work still in flight:
+  /// fail typed (the late workers' attempt spans close as their outcomes
+  /// drain; the platforms kill their executions at the same clamped time).
+  void OnDeadline() {
+    if (done_) return;
+    if (tracer_ != nullptr) {
+      tracer_->Instant("coordinator", "query.deadline_exceeded", "engine",
+                       query_span_);
+    }
+    if (metrics_ != nullptr) metrics_->Add("coord.deadline_failures");
+    Fail(Status::DeadlineExceeded(
+        "query " + query_id_ + " exceeded its deadline after " +
+        std::to_string(static_cast<long long>(ToMillis(Now() - start_))) +
+        " ms"));
   }
 
   void FetchNextManifest(std::set<std::string>::iterator it) {
@@ -157,6 +257,10 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     const int files = static_cast<int>(it->second.partitions.size());
     int ppw = partitions_per_worker_;
     if (ppw <= 0) ppw = MemoryAwarePartitionsPerWorker(it->second);
+    // Degraded scan stages pack more partitions per worker: less invoke and
+    // retry pressure at the cost of per-stage latency. Shuffle-consuming
+    // stages are pinned to the upstream partition count and cannot shrink.
+    if (degrade_) ppw *= std::max(1, ec_->degrade_fanout_factor);
     return std::max(1, (files + ppw - 1) / ppw);
   }
 
@@ -211,6 +315,10 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     }
     Json payload = WorkerPayload(query_id_, pipeline, fragment, assignments);
     payload["barrier_participants"] = fragments;
+    // Workers inherit the query deadline; the platform clamps their
+    // execution timeout against it and their storage clients stop retrying
+    // past it.
+    if (deadline_.bounded()) payload["deadline_us"] = deadline_.at_or_zero();
     return payload;
   }
 
@@ -249,6 +357,7 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     int worker_errors = 0;  ///< Failed attempts observed (all causes).
     int64_t peak_memory = 0;  ///< Max resident bytes over the stage's workers.
     int64_t batches = 0;      ///< Morsels processed across the stage.
+    bool degraded = false;  ///< Scheduled with degraded (reduced) fan-out.
     sim::EventId spec_timer = sim::kInvalidEventId;
     obs::SpanId span = obs::kNoSpan;  ///< "stage p<id>" span.
   };
@@ -259,6 +368,23 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
       return;
     }
     const PipelineSpec& pipeline = *stages_[stage_index];
+    // Invoke-path breaker: with the worker-invocation service open,
+    // launching a stage's fan-out would only pile on load. Shed typed with
+    // a retry-after hint instead of hanging the query.
+    if (ec_->invoke_breaker != nullptr &&
+        !ec_->invoke_breaker->Allow(Now())) {
+      if (metrics_ != nullptr) metrics_->Add("coord.breaker_sheds");
+      Fail(Status::ResourceExhausted(StrFormat(
+          "invoke circuit open at stage p%d; retry after %lld us",
+          pipeline.id,
+          static_cast<long long>(ec_->invoke_breaker->RetryAfter(Now())))));
+      return;
+    }
+    // Graceful degradation: a drained retry pool means the fault storm is
+    // winning — trade stage latency for pressure before the pool empties.
+    degrade_ = budget_ != nullptr &&
+               budget_->tokens() < ec_->degrade_budget_fraction *
+                                       budget_->options().initial_tokens;
     const int fragments = FragmentsFor(pipeline);
     fragments_of_[pipeline.id] = fragments;
     auto state = std::make_shared<StageState>();
@@ -266,6 +392,17 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     state->pipeline = &pipeline;
     state->fragments = fragments;
     state->start = Now();
+    state->degraded = degrade_;
+    if (degrade_) {
+      ++degraded_stages_;
+      if (metrics_ != nullptr) metrics_->Add("coord.degraded_stages");
+      if (tracer_ != nullptr) {
+        tracer_->Instant("coordinator",
+                         StrFormat("stage p%d degraded fan-out", pipeline.id),
+                         "engine", query_span_);
+      }
+    }
+    current_stage_ = state;
     if (tracer_ != nullptr) {
       state->span = tracer_->Begin(
           "coordinator", StrFormat("stage p%d", pipeline.id), "engine",
@@ -374,6 +511,9 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
         payloads.Append(std::move(payload));
       }
       batch["payloads"] = std::move(payloads);
+      if (self->deadline_.bounded()) {
+        batch["deadline_us"] = self->deadline_.at_or_zero();
+      }
       if (self->tracer_ != nullptr) batch["trace_parent"] = state->span;
       self->ec_->worker_platform->Invoke(
           kInvokerFunction, std::move(batch),
@@ -413,6 +553,15 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     if (tracer_ != nullptr) {
       tracer_->EndWith(attempt_span, ok ? "ok" : "error");
     }
+    // Worker-attempt outcomes are the invoke path's health signal; feed the
+    // breaker even for late/post-failure arrivals (service-level state).
+    if (ec_->invoke_breaker != nullptr) {
+      if (ok) {
+        ec_->invoke_breaker->RecordSuccess(Now());
+      } else {
+        ec_->invoke_breaker->RecordFailure(Now());
+      }
+    }
     if (state->failed || done_) return;
     if (ok) {
       if (!frag.completed) {
@@ -451,6 +600,22 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
               " attempts: " + frag.last_error));
           return;
         }
+        // Every re-invocation draws from the query's shared retry pool; an
+        // empty pool means retries across all layers have hit their cap, so
+        // shed typed rather than amplify the fault storm.
+        if (budget_ != nullptr && !budget_->TryAcquire()) {
+          state->failed = true;
+          ec_->env->Cancel(state->spec_timer);
+          if (tracer_ != nullptr) tracer_->EndWith(state->span, "error");
+          if (metrics_ != nullptr) metrics_->Add("coord.budget_sheds");
+          Fail(Status::ResourceExhausted(
+              "retry budget exhausted; pipeline " +
+              std::to_string(state->pipeline->id) + " fragment " +
+              std::to_string(f) + " failed after " +
+              std::to_string(frag.attempts) +
+              " attempts: " + frag.last_error));
+          return;
+        }
         ++state->retries;
         auto self = shared_from_this();
         const SimDuration backoff =
@@ -458,6 +623,24 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
         ec_->env->Schedule(backoff, [self, state, f] {
           if (state->failed || self->done_) return;
           if (state->frags[static_cast<size_t>(f)].completed) return;
+          // The breaker may have opened while this retry waited out its
+          // backoff; re-check at dispatch time.
+          CircuitBreaker* breaker = self->ec_->invoke_breaker;
+          if (breaker != nullptr && !breaker->Allow(self->Now())) {
+            state->failed = true;
+            self->ec_->env->Cancel(state->spec_timer);
+            if (self->tracer_ != nullptr) {
+              self->tracer_->EndWith(state->span, "error");
+            }
+            if (self->metrics_ != nullptr) {
+              self->metrics_->Add("coord.breaker_sheds");
+            }
+            self->Fail(Status::ResourceExhausted(StrFormat(
+                "invoke circuit open on retry of fragment %d; retry after "
+                "%lld us",
+                f, static_cast<long long>(breaker->RetryAfter(self->Now())))));
+            return;
+          }
           self->InvokeFragment(state, f);
         });
       }
@@ -490,6 +673,10 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
       if (frag.completed || frag.outstanding != 1) continue;
       if (frag.attempts >= ec_->worker_max_attempts) continue;
       if (Now() - frag.last_dispatch < ec_->speculation_after) continue;
+      // Speculative duplicates are discretionary retries: they draw from
+      // the same pool, and an empty pool just skips speculation (the
+      // original attempt is still in flight — nothing to fail).
+      if (budget_ != nullptr && !budget_->TryAcquire()) break;
       ++state->speculative;
       InvokeFragment(state, f);
     }
@@ -513,6 +700,7 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     summary["worker_errors"] = state->worker_errors;
     summary["peak_memory_bytes"] = state->peak_memory;
     summary["batches"] = state->batches;
+    summary["degraded"] = state->degraded;
     if (tracer_ != nullptr) {
       tracer_->SetArg(state->span, "fragments", Json(state->fragments));
       tracer_->SetArg(state->span, "retries", Json(state->retries));
@@ -541,12 +729,16 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     worker_errors_ += state->worker_errors;
     peak_worker_memory_ = std::max(peak_worker_memory_, state->peak_memory);
     total_batches_ += state->batches;
+    // The stage's span is closed and its timer cancelled; detach it before
+    // Cleanup could mistake it for an in-flight stage.
+    current_stage_ = nullptr;
     RunStage(state->index + 1);
   }
 
   void Finish() {
     if (done_) return;
     done_ = true;
+    Cleanup();
     Json response = Json::Object();
     response["query"] = plan_.query_name;
     response["query_id"] = query_id_;
@@ -561,6 +753,16 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     response["worker_errors"] = worker_errors_;
     response["peak_worker_memory_bytes"] = peak_worker_memory_;
     response["total_batches"] = total_batches_;
+    response["degraded_stages"] = degraded_stages_;
+    if (budget_ != nullptr) {
+      Json budget = Json::Object();
+      budget["initial_tokens"] = budget_->options().initial_tokens;
+      budget["remaining_tokens"] = budget_->tokens();
+      budget["acquired"] = budget_->stats().acquired;
+      budget["denied"] = budget_->stats().denied;
+      budget["refunded"] = budget_->stats().refunded;
+      response["retry_budget"] = std::move(budget);
+    }
     // Memory-config advice: the smallest Lambda size whose allocation covers
     // the observed peak resident bytes (Section 5 economics — memory is the
     // Lambda price dimension, so the peak directly sets the bill).
@@ -600,6 +802,17 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
   int64_t total_batches_ = 0;
   SimTime start_ = 0;
   bool done_ = false;
+
+  // Overload-robustness state (see DESIGN.md "Overload & degradation
+  // model"). `deadline_` / `budget_` are minted in Run() and published on
+  // the context for this query's workers; `current_stage_` tracks the one
+  // in-flight stage so abnormal exits close its span.
+  Deadline deadline_;
+  std::unique_ptr<RetryBudget> budget_;
+  sim::EventId deadline_event_ = sim::kInvalidEventId;
+  std::shared_ptr<StageState> current_stage_;
+  int degraded_stages_ = 0;
+  bool degrade_ = false;
 };
 
 class InvokerTask : public std::enable_shared_from_this<InvokerTask> {

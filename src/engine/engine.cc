@@ -20,6 +20,14 @@ QueryResponse QueryResponse::FromJson(const Json& json) {
   response.total_batches = json.GetInt("total_batches");
   response.recommended_memory_mib =
       static_cast<int>(json.GetInt("recommended_memory_mib"));
+  response.degraded_stages = static_cast<int>(json.GetInt("degraded_stages"));
+  if (json.Has("retry_budget")) {
+    const Json budget = json.Get("retry_budget");
+    response.retry_budget_initial = budget.GetDouble("initial_tokens");
+    response.retry_budget_remaining = budget.GetDouble("remaining_tokens");
+    response.retry_budget_acquired = budget.GetInt("acquired");
+    response.retry_budget_denied = budget.GetInt("denied");
+  }
   response.raw = json;
   return response;
 }
@@ -57,6 +65,12 @@ void QueryEngine::Run(faas::ComputePlatform* platform, const QueryPlan& plan,
                       int partitions_per_worker) {
   context_.worker_platform = platform;
   Json payload = CoordinatorPayload(plan, query_id, partitions_per_worker);
+  if (context_.query_deadline > 0) {
+    // Absolute expiry; every layer below (platform timeouts, storage
+    // retries) clamps against it. The coordinator fails the query typed at
+    // this time instead of hanging to a driver horizon.
+    payload["deadline_us"] = context_.env->now() + context_.query_deadline;
+  }
   platform->Invoke(kCoordinatorFunction, std::move(payload),
                    [callback = std::move(callback)](Result<Json> result) {
                      if (!result.ok()) {

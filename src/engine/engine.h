@@ -32,6 +32,13 @@ struct QueryResponse {
   int64_t peak_worker_memory_bytes = 0;
   int64_t total_batches = 0;
   int recommended_memory_mib = 0;
+  // Overload-robustness counters (zero / absent unless a deadline or retry
+  // budget was configured; see EngineContext).
+  int degraded_stages = 0;        ///< Stages scheduled with reduced fan-out.
+  double retry_budget_initial = 0;    ///< Pool size at query start.
+  double retry_budget_remaining = 0;  ///< Tokens left at query end.
+  int64_t retry_budget_acquired = 0;  ///< Retries granted across all layers.
+  int64_t retry_budget_denied = 0;    ///< Retries refused (pool empty).
   Json raw;
 
   static QueryResponse FromJson(const Json& json);

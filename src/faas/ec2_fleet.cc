@@ -1,5 +1,9 @@
 #include "faas/ec2_fleet.h"
 
+#include <algorithm>
+
+#include "common/deadline.h"
+
 namespace skyrise::faas {
 
 Ec2Fleet::Ec2Fleet(sim::SimEnvironment* env, net::FabricDriver* fabric,
@@ -108,6 +112,10 @@ void Ec2Fleet::Dispatch(Pending pending) {
                                pending = std::move(pending)]() mutable {
     ++stats_.invocations;
     if (metrics_ != nullptr) metrics_->Add("ec2.invocations");
+    // See LambdaPlatform::Execute: a propagated "deadline_us" clamps the
+    // configured timeout to the query's remaining lifetime.
+    const Deadline deadline =
+        Deadline::At(pending.payload.GetInt("deadline_us", 0));
     auto ctx = std::make_shared<FunctionContext>(
         env_, nics_[static_cast<size_t>(instance)].get(), fabric_,
         std::move(pending.payload), /*cold_start=*/false, entry.config);
@@ -155,9 +163,20 @@ void Ec2Fleet::Dispatch(Pending pending) {
       (*callback)(std::move(status));
     });
     const std::string function = entry.config.name;
-    if (entry.config.timeout > 0) {
+    SimDuration timeout = entry.config.timeout;
+    bool deadline_clamped = false;
+    if (deadline.bounded()) {
+      const SimDuration remaining =
+          std::max<SimDuration>(1, deadline.Remaining(env_->now()));
+      if (timeout <= 0 || remaining < timeout) {
+        timeout = remaining;
+        deadline_clamped = true;
+      }
+    }
+    if (timeout > 0) {
       gate->timeout_event = env_->Schedule(
-          entry.config.timeout, [this, gate, settle, callback, function] {
+          timeout,
+          [this, gate, settle, callback, function, deadline_clamped] {
             if (gate->settled) return;
             gate->settled = true;
             ++stats_.timeouts;
@@ -165,10 +184,13 @@ void Ec2Fleet::Dispatch(Pending pending) {
             if (metrics_ != nullptr) {
               metrics_->Add("ec2.timeouts");
               metrics_->Add("ec2.errors");
+              if (deadline_clamped) metrics_->Add("ec2.deadline_kills");
             }
             settle("timeout");
-            (*callback)(
-                Status::DeadlineExceeded("Task timed out: " + function));
+            (*callback)(Status::DeadlineExceeded(
+                (deadline_clamped ? "Query deadline exceeded in: "
+                                  : "Task timed out: ") +
+                function));
           });
     }
     if (fault_injector_ != nullptr) {

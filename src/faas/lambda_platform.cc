@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/deadline.h"
+
 namespace skyrise::faas {
 
 LambdaPlatform::Options::Options() {
@@ -196,6 +198,10 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
                              std::shared_ptr<Sandbox> sandbox, Json payload,
                              bool cold, obs::SpanId invoke_span,
                              ResponseCallback callback) {
+  // End-to-end deadline: a propagated "deadline_us" (absolute sim time)
+  // clamps the configured function timeout to the query's remaining
+  // lifetime, so an execution never outlives the query that invoked it.
+  const Deadline deadline = Deadline::At(payload.GetInt("deadline_us", 0));
   auto ctx = std::make_shared<FunctionContext>(
       env_, sandbox->nic.get(), fabric_, std::move(payload), cold,
       entry.config);
@@ -258,9 +264,20 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
         settle(/*keep_sandbox=*/true, "error");
         callback(std::move(status));
       });
-  if (entry.config.timeout > 0) {
+  SimDuration timeout = entry.config.timeout;
+  bool deadline_clamped = false;
+  if (deadline.bounded()) {
+    const SimDuration remaining =
+        std::max<SimDuration>(1, deadline.Remaining(env_->now()));
+    if (timeout <= 0 || remaining < timeout) {
+      timeout = remaining;
+      deadline_clamped = true;
+    }
+  }
+  if (timeout > 0) {
     gate->timeout_event = env_->Schedule(
-        entry.config.timeout, [this, gate, settle, callback, function] {
+        timeout,
+        [this, gate, settle, callback, function, deadline_clamped] {
           if (gate->settled) return;
           gate->settled = true;
           ++stats_.timeouts;
@@ -268,10 +285,13 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
           if (metrics_ != nullptr) {
             metrics_->Add("lambda.timeouts");
             metrics_->Add("lambda.errors");
+            if (deadline_clamped) metrics_->Add("lambda.deadline_kills");
           }
           settle(/*keep_sandbox=*/false, "timeout");
           callback(Status::DeadlineExceeded(
-              "Task timed out: " + function));
+              (deadline_clamped ? "Query deadline exceeded in: "
+                                : "Task timed out: ") +
+              function));
         });
   }
   if (fault_injector_ != nullptr) {

@@ -146,6 +146,11 @@ StorageIoResult RunStorageIo(sim::SimEnvironment* env,
       ctx.nic = nic.get();
       ctx.fabric = fabric;
     }
+    // Requests in flight at the measurement deadline may drain through
+    // retries for at most `drain_grace`; the retry client then fails them
+    // typed instead of backing off past the driver's horizon.
+    ctx.deadline =
+        Deadline::At(env->now() + config.duration + config.drain_grace);
     state->contexts.push_back(ctx);
     state->nics.push_back(std::move(nic));
   }
@@ -161,11 +166,14 @@ StorageIoResult RunStorageIo(sim::SimEnvironment* env,
       IssueNext(state, c);
     }
   }
-  // Drive the simulation until all threads observed the deadline; bound the
-  // tail (stragglers deep in backoff) to 10 minutes past the deadline.
-  while (!finished && env->now() < state->deadline + Minutes(10)) {
+  // Drive the simulation until all threads observed the deadline. The
+  // per-request deadlines above bound the drain; the loop guard is a
+  // backstop against a wedged service, and leaving it with threads still
+  // active is reported as a typed outcome rather than silently dropped.
+  while (!finished && env->now() < state->deadline + config.drain_grace) {
     if (!env->Step()) break;
   }
+  if (!finished) state->result.abandoned_threads = state->active_threads;
   state->result.elapsed = config.duration;
   return std::move(state->result);
 }

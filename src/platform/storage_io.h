@@ -38,6 +38,11 @@ struct StorageIoConfig {
   SimDuration sample_interval = Seconds(1);
   /// Cap on request issue rate per client (0 = closed-loop unbounded).
   double max_rps_per_client = 0;
+  /// How long past the measurement window in-flight requests may drain
+  /// (stragglers deep in retry backoff). The drain bound is enforced as a
+  /// per-request deadline, so late requests fail typed (DeadlineExceeded)
+  /// instead of the driver silently abandoning the simulation loop.
+  SimDuration drain_grace = Minutes(10);
   uint64_t rng_stream = 0xB000;
 };
 
@@ -46,6 +51,9 @@ struct StorageIoResult {
   int64_t successes = 0;
   int64_t failures = 0;       ///< Throttled or timed out (after retries).
   int64_t bytes_moved = 0;    ///< Successful payload bytes.
+  /// Threads whose last request had not completed when the drain grace ran
+  /// out (0 unless the service wedged; a typed outcome, not a hang).
+  int abandoned_threads = 0;
   SimDuration elapsed = 0;
   Histogram latency_ms;       ///< Successful request latencies.
   std::vector<double> success_iops_series;  ///< Per sample interval.

@@ -62,13 +62,19 @@ struct EngineTestbed {
     context.catalog = &catalog;
     context.queue = &queue;
     context.meter = &meter;
+    // The testbed's 2-hour horizon is enforced as a real query deadline:
+    // a query that outlives it fails typed (DeadlineExceeded, spans closed)
+    // through the coordinator instead of the drive loop silently bailing.
+    context.query_deadline = Hours(2);
     engine = std::make_unique<engine::QueryEngine>(std::move(context));
     SKYRISE_CHECK_OK(engine->Deploy(&registry));
   }
 
-  /// Runs a plan on a platform until the response arrives (or a 2-hour
-  /// virtual horizon). Stops at completion so warm sandbox/bucket state is
-  /// preserved for back-to-back runs.
+  /// Runs a plan on a platform until the response arrives. The engine
+  /// context's 2-hour query deadline bounds the run; the drive loop's
+  /// slightly longer horizon is only a backstop against a wedged simulation.
+  /// Stops at completion so warm sandbox/bucket state is preserved for
+  /// back-to-back runs.
   [[nodiscard]] Result<engine::QueryResponse> RunOn(faas::ComputePlatform* platform,
                                       const engine::QueryPlan& plan,
                                       const std::string& query_id,
@@ -82,7 +88,7 @@ struct EngineTestbed {
                   done = true;
                 },
                 partitions_per_worker);
-    const SimTime horizon = base.env.now() + Hours(2);
+    const SimTime horizon = base.env.now() + Hours(2) + Minutes(5);
     while (!done && base.env.now() < horizon) {
       if (!base.env.Step()) break;
     }

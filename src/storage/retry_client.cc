@@ -56,6 +56,41 @@ std::string RetryClient::MetricPrefix() const {
   return "storage." + service_->service_name();
 }
 
+Status RetryClient::AdmitAttempt(const ClientContext& ctx, int attempt,
+                                 obs::SpanId req_span) {
+  const SimTime now = env_->now();
+  if (ctx.breaker != nullptr && !ctx.breaker->Allow(now)) {
+    ++stats_.breaker_rejections;
+    ++stats_.permanent_failures;
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->Add(MetricPrefix() + ".breaker_rejections");
+      ctx.metrics->Add(MetricPrefix() + ".permanent_failures");
+    }
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->SetArg(req_span, "shed", Json("breaker_open"));
+      ctx.tracer->SetArg(req_span, "attempts", Json(attempt));
+    }
+    return Status::ResourceExhausted(StrFormat(
+        "%s circuit open; retry after %lld us",
+        ctx.breaker->options().name.c_str(),
+        static_cast<long long>(ctx.breaker->RetryAfter(now))));
+  }
+  if (ctx.deadline.Expired(now)) {
+    ++stats_.deadline_rejections;
+    ++stats_.permanent_failures;
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->Add(MetricPrefix() + ".deadline_rejections");
+      ctx.metrics->Add(MetricPrefix() + ".permanent_failures");
+    }
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->SetArg(req_span, "shed", Json("deadline"));
+      ctx.tracer->SetArg(req_span, "attempts", Json(attempt));
+    }
+    return Status::DeadlineExceeded("deadline expired before storage attempt");
+  }
+  return Status::OK();
+}
+
 void RetryClient::Get(const std::string& key, const ClientContext& ctx,
                       GetCallback callback) {
   GetRange(key, 0, -1, ctx, std::move(callback));
@@ -92,6 +127,13 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
                              int64_t length, const ClientContext& ctx,
                              int attempt, obs::SpanId req_span,
                              GetCallback callback) {
+  if (Status admit = AdmitAttempt(ctx, attempt, req_span); !admit.ok()) {
+    // Shed before any work is issued; delivered asynchronously so callers
+    // see the same callback discipline as a served request.
+    auto cb = std::make_shared<GetCallback>(std::move(callback));
+    env_->Schedule(0, [cb, admit] { (*cb)(admit); });
+    return;
+  }
   ++stats_.attempts;
   if (ctx.metrics != nullptr) ctx.metrics->Add(MetricPrefix() + ".attempts");
   auto gate = std::make_shared<AttemptGate>();
@@ -115,7 +157,7 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
 
   auto retry_or_fail = [this, key, offset, length, ctx, attempt, req_span,
                         shared_cb](Status error) {
-    if (attempt + 1 >= opt_.max_attempts) {
+    auto give_up = [this, &ctx, attempt, req_span, &shared_cb](Status fin) {
       ++stats_.permanent_failures;
       if (ctx.metrics != nullptr) {
         ctx.metrics->Add(MetricPrefix() + ".permanent_failures");
@@ -123,7 +165,32 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
       if (ctx.tracer != nullptr) {
         ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
       }
-      (*shared_cb)(std::move(error));
+      (*shared_cb)(std::move(fin));
+    };
+    if (attempt + 1 >= opt_.max_attempts) {
+      give_up(std::move(error));
+      return;
+    }
+    const SimTime now = env_->now();
+    if (ctx.deadline.Expired(now)) {
+      ++stats_.deadline_rejections;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Add(MetricPrefix() + ".deadline_rejections");
+      }
+      give_up(Status::DeadlineExceeded(
+          StrFormat("deadline exhausted after %d attempts: ", attempt + 1) +
+          error.message()));
+      return;
+    }
+    if (ctx.retry_budget != nullptr && !ctx.retry_budget->TryAcquire()) {
+      ++stats_.budget_denials;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Add(MetricPrefix() + ".budget_denials");
+      }
+      give_up(Status::ResourceExhausted(
+          StrFormat("retry budget exhausted after %d attempts: ",
+                    attempt + 1) +
+          error.message()));
       return;
     }
     if (ctx.metrics != nullptr) ctx.metrics->Add(MetricPrefix() + ".retries");
@@ -131,18 +198,20 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
     if (ctx.tracer != nullptr) {
       backoff = ctx.tracer->Begin(Track(), "backoff", "storage", req_span);
     }
-    env_->Schedule(BackoffDelay(attempt), [this, key, offset, length, ctx,
-                                           attempt, req_span, backoff,
-                                           shared_cb] {
+    const SimDuration wait = ctx.deadline.Clamp(now, BackoffDelay(attempt));
+    env_->Schedule(wait, [this, key, offset, length, ctx, attempt, req_span,
+                          backoff, shared_cb] {
       if (ctx.tracer != nullptr) ctx.tracer->End(backoff);
       AttemptGet(key, offset, length, ctx, attempt + 1, req_span,
                  std::move(*shared_cb));
     });
   };
 
-  const SimDuration timeout = static_cast<SimDuration>(
-      static_cast<double>(TimeoutFor(length >= 0 ? length : 0)) *
-      std::pow(opt_.timeout_growth, attempt));
+  const SimDuration timeout = ctx.deadline.Clamp(
+      env_->now(),
+      static_cast<SimDuration>(
+          static_cast<double>(TimeoutFor(length >= 0 ? length : 0)) *
+          std::pow(opt_.timeout_growth, attempt)));
   const sim::EventId timeout_event = env_->Schedule(
       timeout, [this, ctx, gate, settle_attempt, retry_or_fail]() mutable {
         if (!gate->Claim()) return;
@@ -150,6 +219,7 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
         if (ctx.metrics != nullptr) {
           ctx.metrics->Add(MetricPrefix() + ".timeouts");
         }
+        if (ctx.breaker != nullptr) ctx.breaker->RecordFailure(env_->now());
         settle_attempt("timeout");
         retry_or_fail(Status::DeadlineExceeded("request timed out"));
       });
@@ -165,6 +235,8 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
           if (ctx.metrics != nullptr) {
             ctx.metrics->Add(MetricPrefix() + ".successes");
           }
+          if (ctx.breaker != nullptr) ctx.breaker->RecordSuccess(env_->now());
+          if (ctx.retry_budget != nullptr) ctx.retry_budget->RecordSuccess();
           settle_attempt("ok");
           if (ctx.tracer != nullptr) {
             ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
@@ -182,6 +254,7 @@ void RetryClient::AttemptGet(const std::string& key, int64_t offset,
         if (st.IsRetriable()) {
           // Throttles (503 SlowDown), timeouts, and transient I/O errors
           // (500 InternalError) are worth another attempt.
+          if (ctx.breaker != nullptr) ctx.breaker->RecordFailure(env_->now());
           settle_attempt(st.IsResourceExhausted() ? "throttle" : "error");
           retry_or_fail(std::move(st));
         } else {
@@ -230,6 +303,11 @@ void RetryClient::Put(const std::string& key, Blob data,
 void RetryClient::AttemptPut(const std::string& key, Blob data,
                              const ClientContext& ctx, int attempt,
                              obs::SpanId req_span, PutCallback callback) {
+  if (Status admit = AdmitAttempt(ctx, attempt, req_span); !admit.ok()) {
+    auto cb = std::make_shared<PutCallback>(std::move(callback));
+    env_->Schedule(0, [cb, admit] { (*cb)(admit); });
+    return;
+  }
   ++stats_.attempts;
   if (ctx.metrics != nullptr) ctx.metrics->Add(MetricPrefix() + ".attempts");
   auto gate = std::make_shared<AttemptGate>();
@@ -253,7 +331,7 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
 
   auto retry_or_fail = [this, key, data, ctx, attempt, req_span,
                         shared_cb](Status error) {
-    if (attempt + 1 >= opt_.max_attempts) {
+    auto give_up = [this, &ctx, attempt, req_span, &shared_cb](Status fin) {
       ++stats_.permanent_failures;
       if (ctx.metrics != nullptr) {
         ctx.metrics->Add(MetricPrefix() + ".permanent_failures");
@@ -261,7 +339,32 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
       if (ctx.tracer != nullptr) {
         ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
       }
-      (*shared_cb)(std::move(error));
+      (*shared_cb)(std::move(fin));
+    };
+    if (attempt + 1 >= opt_.max_attempts) {
+      give_up(std::move(error));
+      return;
+    }
+    const SimTime now = env_->now();
+    if (ctx.deadline.Expired(now)) {
+      ++stats_.deadline_rejections;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Add(MetricPrefix() + ".deadline_rejections");
+      }
+      give_up(Status::DeadlineExceeded(
+          StrFormat("deadline exhausted after %d attempts: ", attempt + 1) +
+          error.message()));
+      return;
+    }
+    if (ctx.retry_budget != nullptr && !ctx.retry_budget->TryAcquire()) {
+      ++stats_.budget_denials;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->Add(MetricPrefix() + ".budget_denials");
+      }
+      give_up(Status::ResourceExhausted(
+          StrFormat("retry budget exhausted after %d attempts: ",
+                    attempt + 1) +
+          error.message()));
       return;
     }
     if (ctx.metrics != nullptr) ctx.metrics->Add(MetricPrefix() + ".retries");
@@ -269,7 +372,8 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
     if (ctx.tracer != nullptr) {
       backoff = ctx.tracer->Begin(Track(), "backoff", "storage", req_span);
     }
-    env_->Schedule(BackoffDelay(attempt),
+    const SimDuration wait = ctx.deadline.Clamp(now, BackoffDelay(attempt));
+    env_->Schedule(wait,
                    [this, key, data, ctx, attempt, req_span, backoff,
                     shared_cb] {
                      if (ctx.tracer != nullptr) ctx.tracer->End(backoff);
@@ -278,9 +382,10 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
                    });
   };
 
-  const SimDuration timeout = static_cast<SimDuration>(
-      static_cast<double>(TimeoutFor(data.size())) *
-      std::pow(opt_.timeout_growth, attempt));
+  const SimDuration timeout = ctx.deadline.Clamp(
+      env_->now(), static_cast<SimDuration>(
+                       static_cast<double>(TimeoutFor(data.size())) *
+                       std::pow(opt_.timeout_growth, attempt)));
   const sim::EventId timeout_event = env_->Schedule(
       timeout, [this, ctx, gate, settle_attempt, retry_or_fail]() mutable {
         if (!gate->Claim()) return;
@@ -288,6 +393,7 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
         if (ctx.metrics != nullptr) {
           ctx.metrics->Add(MetricPrefix() + ".timeouts");
         }
+        if (ctx.breaker != nullptr) ctx.breaker->RecordFailure(env_->now());
         settle_attempt("timeout");
         retry_or_fail(Status::DeadlineExceeded("request timed out"));
       });
@@ -303,6 +409,8 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
           if (ctx.metrics != nullptr) {
             ctx.metrics->Add(MetricPrefix() + ".successes");
           }
+          if (ctx.breaker != nullptr) ctx.breaker->RecordSuccess(env_->now());
+          if (ctx.retry_budget != nullptr) ctx.retry_budget->RecordSuccess();
           settle_attempt("ok");
           if (ctx.tracer != nullptr) {
             ctx.tracer->SetArg(req_span, "attempts", Json(attempt + 1));
@@ -317,6 +425,7 @@ void RetryClient::AttemptPut(const std::string& key, Blob data,
           }
         }
         if (status.IsRetriable()) {
+          if (ctx.breaker != nullptr) ctx.breaker->RecordFailure(env_->now());
           settle_attempt(status.IsResourceExhausted() ? "throttle" : "error");
           retry_or_fail(std::move(status));
         } else {

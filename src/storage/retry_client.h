@@ -10,6 +10,14 @@
 /// with full jitter (the Fig. 11 client configuration: "eager but not
 /// aggressive"). Requests that repeatedly fail back off exponentially — the
 /// mechanism behind the straggler-induced IOPS drops in Section 4.4.1.
+///
+/// Overload robustness (all opt-in via ClientContext): per-attempt timeouts
+/// and backoff waits are clamped to the remaining `ctx.deadline` and the
+/// request fails fast with DeadlineExceeded once it expires (cumulative
+/// backoff can no longer outlive the caller); every retry draws a token
+/// from `ctx.retry_budget` when one is attached (successes refund a
+/// fraction); and an open `ctx.breaker` sheds attempts with a typed
+/// ResourceExhausted carrying the retry-after hint.
 
 namespace skyrise::storage {
 
@@ -39,6 +47,13 @@ class RetryClient {
     /// surfaced immediately without consuming the retry budget. Also
     /// counted in `permanent_failures`.
     int64_t fail_fasts = 0;
+    /// Requests abandoned because the propagated deadline expired (before
+    /// an attempt or between attempts). Counted in `permanent_failures`.
+    int64_t deadline_rejections = 0;
+    /// Retries refused because the shared per-query RetryBudget was empty.
+    int64_t budget_denials = 0;
+    /// Attempts shed by an open circuit breaker.
+    int64_t breaker_rejections = 0;
   };
 
   RetryClient(sim::SimEnvironment* env, StorageService* service,
@@ -66,6 +81,12 @@ class RetryClient {
   SimDuration BackoffDelay(int attempt);
   std::string Track() const;
   std::string MetricPrefix() const;
+
+  /// Pre-attempt admission: OK to proceed, or the typed shed error (open
+  /// breaker -> ResourceExhausted with a retry-after hint, expired deadline
+  /// -> DeadlineExceeded). Stats/metrics for the shed are recorded here.
+  [[nodiscard]] Status AdmitAttempt(const ClientContext& ctx, int attempt,
+                                    obs::SpanId req_span);
 
   void AttemptGet(const std::string& key, int64_t offset, int64_t length,
                   const ClientContext& ctx, int attempt, obs::SpanId req_span,

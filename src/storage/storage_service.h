@@ -4,7 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
 #include "common/result.h"
+#include "common/retry_budget.h"
 #include "common/units.h"
 #include "net/fabric_driver.h"
 #include "net/nic.h"
@@ -33,6 +36,15 @@ struct ClientContext {
   obs::Tracer* tracer = nullptr;        ///< Span sink (optional).
   obs::SpanId span = obs::kNoSpan;      ///< Parent span for request spans.
   obs::MetricsRegistry* metrics = nullptr;  ///< Counter sink (optional).
+
+  // --- Overload-robustness plumbing (all optional; defaults change
+  // nothing). The retrying client clamps per-attempt timeouts and backoff
+  // waits against `deadline`, draws every retry from `retry_budget`, and
+  // sheds through `breaker` — so a query's storage traffic is bounded by
+  // what the query has left, not by per-call max_attempts arithmetic.
+  Deadline deadline;                    ///< End-to-end request deadline.
+  RetryBudget* retry_budget = nullptr;  ///< Shared per-query retry tokens.
+  CircuitBreaker* breaker = nullptr;    ///< Per-service breaker (shared).
 };
 
 using GetCallback = std::function<void(Result<Blob>)>;

@@ -1,0 +1,63 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace skyrise {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnbounded) {
+  const Deadline d;
+  EXPECT_FALSE(d.bounded());
+  EXPECT_EQ(d.at_or_zero(), 0);
+  EXPECT_FALSE(d.Expired(Hours(1000)));
+  // Unbounded deadlines never clamp a proposed wait.
+  EXPECT_EQ(d.Clamp(Seconds(1), Minutes(10)), Minutes(10));
+}
+
+TEST(DeadlineTest, AtNonPositiveIsUnbounded) {
+  EXPECT_FALSE(Deadline::At(0).bounded());
+  EXPECT_FALSE(Deadline::At(-5).bounded());
+  EXPECT_EQ(Deadline::At(0), Deadline());
+}
+
+TEST(DeadlineTest, ExpiresExactlyAtInstant) {
+  const Deadline d = Deadline::At(100);
+  EXPECT_TRUE(d.bounded());
+  EXPECT_EQ(d.at_or_zero(), 100);
+  EXPECT_FALSE(d.Expired(99));
+  EXPECT_TRUE(d.Expired(100));
+  EXPECT_TRUE(d.Expired(101));
+}
+
+TEST(DeadlineTest, RemainingNeverNegative) {
+  const Deadline d = Deadline::At(100);
+  EXPECT_EQ(d.Remaining(60), 40);
+  EXPECT_EQ(d.Remaining(100), 0);
+  EXPECT_EQ(d.Remaining(500), 0);
+}
+
+TEST(DeadlineTest, ClampBoundsProposedWait) {
+  const Deadline d = Deadline::At(Seconds(10));
+  EXPECT_EQ(d.Clamp(0, Seconds(3)), Seconds(3));
+  EXPECT_EQ(d.Clamp(Seconds(8), Seconds(3)), Seconds(2));
+  EXPECT_EQ(d.Clamp(Seconds(12), Seconds(3)), 0);
+}
+
+TEST(DeadlineTest, AfterBuildsRelativeDeadline) {
+  const Deadline d = Deadline::After(Seconds(5), Seconds(2));
+  EXPECT_EQ(d.at_or_zero(), Seconds(7));
+  EXPECT_FALSE(Deadline::After(Seconds(5), 0).bounded());
+  EXPECT_FALSE(Deadline::After(Seconds(5), -1).bounded());
+}
+
+TEST(DeadlineTest, EarliestPicksTighterBound) {
+  const Deadline early = Deadline::At(50);
+  const Deadline late = Deadline::At(200);
+  EXPECT_EQ(early.Earliest(late), early);
+  EXPECT_EQ(late.Earliest(early), early);
+  EXPECT_EQ(early.Earliest(Deadline()), early);
+  EXPECT_EQ(Deadline().Earliest(late), late);
+}
+
+}  // namespace
+}  // namespace skyrise

@@ -1,0 +1,88 @@
+#include "common/retry_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace skyrise {
+namespace {
+
+TEST(RetryBudgetTest, InitialTokensGrantRetriesThenDeny) {
+  RetryBudget::Options opt;
+  opt.initial_tokens = 3;
+  opt.refund_per_success = 0.15;
+  RetryBudget budget(opt);
+
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());
+
+  EXPECT_EQ(budget.stats().acquired, 3);
+  EXPECT_EQ(budget.stats().denied, 2);
+  EXPECT_EQ(budget.tokens(), 0.0);
+}
+
+TEST(RetryBudgetTest, FractionalRemainderDoesNotGrantARetry) {
+  RetryBudget::Options opt;
+  opt.initial_tokens = 1;
+  opt.refund_per_success = 0.5;
+  RetryBudget budget(opt);
+
+  EXPECT_TRUE(budget.TryAcquire());
+  budget.RecordSuccess();  // 0.5 tokens: less than a whole retry.
+  EXPECT_FALSE(budget.TryAcquire());
+  budget.RecordSuccess();  // 1.0 tokens: a retry again.
+  EXPECT_TRUE(budget.TryAcquire());
+}
+
+TEST(RetryBudgetTest, RefundSaturatesAtInitialTokens) {
+  RetryBudget::Options opt;
+  opt.initial_tokens = 2;
+  opt.refund_per_success = 0.5;
+  RetryBudget budget(opt);
+
+  // A long healthy run cannot bank retry capacity beyond the initial pool.
+  for (int i = 0; i < 100; ++i) budget.RecordSuccess();
+  EXPECT_EQ(budget.tokens(), 2.0);
+  EXPECT_EQ(budget.stats().refunded, 0.0);
+
+  ASSERT_TRUE(budget.TryAcquire());
+  budget.RecordSuccess();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 1.5);
+  EXPECT_DOUBLE_EQ(budget.stats().refunded, 0.5);
+
+  budget.RecordSuccess();  // headroom 0.5 -> refund 0.5, saturated again
+  budget.RecordSuccess();  // no headroom -> no refund
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+  EXPECT_DOUBLE_EQ(budget.stats().refunded, 1.0);
+}
+
+TEST(RetryBudgetTest, ConservationInvariantHoldsUnderMixedLoad) {
+  RetryBudget::Options opt;
+  opt.initial_tokens = 8;
+  opt.refund_per_success = 0.15;
+  RetryBudget budget(opt);
+
+  // Deterministic mixed sequence: bursts of retries between successes.
+  int64_t granted = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int r = 0; r < (round % 3) + 1; ++r) {
+      if (budget.TryAcquire()) ++granted;
+    }
+    if (round % 2 == 0) budget.RecordSuccess();
+  }
+
+  const RetryBudget::Stats& stats = budget.stats();
+  EXPECT_EQ(stats.acquired, granted);
+  // Total grants can never exceed the initial pool plus refunds...
+  EXPECT_LE(static_cast<double>(stats.acquired),
+            opt.initial_tokens + stats.refunded);
+  // ...and the pool balances: initial + refunded - acquired = left (up to
+  // accumulated floating-point rounding across ~150 operations).
+  EXPECT_NEAR(opt.initial_tokens + stats.refunded -
+                  static_cast<double>(stats.acquired),
+              budget.tokens(), 1e-9);
+}
+
+}  // namespace
+}  // namespace skyrise

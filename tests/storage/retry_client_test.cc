@@ -288,5 +288,120 @@ TEST_F(RetryClientTest, FailFastStatsCountNonRetriableErrors) {
   EXPECT_EQ(reader.stats().permanent_failures, 1);
 }
 
+TEST_F(RetryClientTest, DeadlineCutsOffBackoffLadder) {
+  // A never-admitting store with a 100 ms deadline: timeouts and backoff
+  // waits are clamped to the remaining lifetime, so the request fails typed
+  // shortly after expiry instead of walking the full 775 ms+ backoff ladder
+  // (compare BackoffDelaysGrowExponentially).
+  auto opt = ObjectStore::StandardOptions();
+  opt.read_burst_tokens = 0;
+  opt.partition_read_iops = 0;
+  ObjectStore s3(&env_, opt);
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
+  RetryClient client(&env_, &s3, FastOptions());
+  ClientContext ctx;
+  ctx.deadline = Deadline::At(Millis(100));
+  Status status;
+  SimTime done_at = 0;
+  client.Get("k", ctx, [&](Result<Blob> r) {
+    status = r.status();
+    done_at = env_.now();
+  });
+  env_.Run();
+  EXPECT_TRUE(status.IsDeadlineExceeded());
+  EXPECT_LE(done_at, Millis(100) + FastOptions().request_timeout);
+  EXPECT_GE(client.stats().deadline_rejections, 1);
+  EXPECT_EQ(client.stats().permanent_failures, 1);
+}
+
+TEST_F(RetryClientTest, ExpiredDeadlineRejectsBeforeFirstAttempt) {
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  ASSERT_TRUE(s3.Insert("k", Blob::FromString("v")).ok());
+  RetryClient client(&env_, &s3, FastOptions());
+  ClientContext ctx;
+  ctx.deadline = Deadline::At(1);
+  env_.Schedule(Millis(5), [&] {
+    client.Get("k", ctx, [&](Result<Blob> r) {
+      EXPECT_TRUE(r.status().IsDeadlineExceeded());
+    });
+  });
+  env_.Run();
+  EXPECT_EQ(client.stats().attempts, 0);
+  EXPECT_EQ(client.stats().deadline_rejections, 1);
+}
+
+TEST_F(RetryClientTest, RetryBudgetBoundsRetriesAcrossRequests) {
+  // Two tokens shared by the query: first attempts are free, but only two
+  // retries are granted in total before further requests fail typed.
+  auto opt = ObjectStore::StandardOptions();
+  opt.read_burst_tokens = 0;
+  opt.partition_read_iops = 0;
+  ObjectStore s3(&env_, opt);
+  ASSERT_TRUE(s3.Insert("k", Blob::Synthetic(kKiB)).ok());
+  RetryClient client(&env_, &s3, FastOptions());
+  RetryBudget::Options bopt;
+  bopt.initial_tokens = 2;
+  RetryBudget budget(bopt);
+  ClientContext ctx;
+  ctx.retry_budget = &budget;
+  Status status;
+  client.Get("k", ctx, [&](Result<Blob> r) { status = r.status(); });
+  env_.Run();
+  EXPECT_TRUE(status.IsResourceExhausted());
+  // 1 free attempt + 2 budgeted retries, then the denial ends the request
+  // well short of max_attempts = 8.
+  EXPECT_EQ(client.stats().attempts, 3);
+  EXPECT_EQ(client.stats().budget_denials, 1);
+  EXPECT_EQ(budget.stats().acquired, 2);
+  EXPECT_EQ(budget.stats().denied, 1);
+}
+
+TEST_F(RetryClientTest, OpenBreakerShedsWithoutAnAttempt) {
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  ASSERT_TRUE(s3.Insert("k", Blob::FromString("v")).ok());
+  RetryClient client(&env_, &s3, FastOptions());
+  CircuitBreaker::Options bopt;
+  bopt.name = "storage";
+  bopt.min_samples = 2;
+  bopt.window = 4;
+  CircuitBreaker breaker(bopt);
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  ClientContext ctx;
+  ctx.breaker = &breaker;
+  Status status;
+  client.Get("k", ctx, [&](Result<Blob> r) { status = r.status(); });
+  env_.Run();
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(client.stats().attempts, 0);
+  EXPECT_EQ(client.stats().breaker_rejections, 1);
+}
+
+TEST_F(RetryClientTest, OutcomesFeedBreakerAndRefundBudget) {
+  ObjectStore s3(&env_, ObjectStore::StandardOptions());
+  ASSERT_TRUE(s3.Insert("k", Blob::FromString("v")).ok());
+  RetryClient client(&env_, &s3, FastOptions());
+  CircuitBreaker breaker;
+  RetryBudget::Options bopt;
+  bopt.initial_tokens = 4;
+  bopt.refund_per_success = 0.25;
+  RetryBudget budget(bopt);
+  ASSERT_TRUE(budget.TryAcquire());  // Pool below initial: refunds visible.
+  ClientContext ctx;
+  ctx.breaker = &breaker;
+  ctx.retry_budget = &budget;
+  int ok = 0;
+  for (int i = 0; i < 3; ++i) {
+    client.Get("k", ctx, [&](Result<Blob> r) { ok += r.ok() ? 1 : 0; });
+  }
+  env_.Run();
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(breaker.stats().successes, 3);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_DOUBLE_EQ(budget.stats().refunded, 0.75);
+  EXPECT_DOUBLE_EQ(budget.tokens(), 3.75);
+}
+
 }  // namespace
 }  // namespace skyrise::storage

@@ -1,0 +1,46 @@
+// Fixture: bounded retry loops — a max-attempts cap, a deadline clamp, or a
+// retry budget anywhere in the function keeps the rule silent, as does
+// scheduled work that is not retry-ish at all.
+namespace skyrise::fixture {
+
+struct Env {
+  template <typename F>
+  void Schedule(long delay, F fn) {}
+};
+
+class Bounded {
+ public:
+  void RetryWithCap(int attempt) {
+    if (attempt >= max_attempts_) return;
+    env_.Schedule(backoff_, [this, attempt] { RetryWithCap(attempt + 1); });
+  }
+
+  void RetryUntilDeadline(long elapsed) {
+    if (elapsed >= deadline_) return;
+    env_.Schedule(backoff_, [this, elapsed] {
+      RetryUntilDeadline(elapsed + backoff_);
+    });
+  }
+
+  void RetryFromBudget() {
+    if (!TakeBudgetToken()) return;
+    env_.Schedule(backoff_, [this] { RetryFromBudget(); });
+  }
+
+  bool TakeBudgetToken() { return budget_tokens_-- > 0; }
+
+  void PollOnce() {
+    env_.Schedule(1000, [this] { Tick(); });
+  }
+
+  void Tick() {}
+
+ private:
+  Env env_;
+  int max_attempts_ = 4;
+  long deadline_ = 0;
+  long backoff_ = 100;
+  int budget_tokens_ = 8;
+};
+
+}  // namespace skyrise::fixture

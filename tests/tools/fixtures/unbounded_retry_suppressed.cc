@@ -1,0 +1,21 @@
+// Fixture: an intentionally unbounded rearm with a justified suppression.
+namespace skyrise::fixture {
+
+struct Env {
+  template <typename F>
+  void Schedule(long delay, F fn) {}
+};
+
+class Heartbeat {
+ public:
+  void Rearm() {
+    // skyrise-check: allow(unbounded-retry) — heartbeats retry forever by design.
+    env_.Schedule(retry_gap_, [this] { Rearm(); });
+  }
+
+ private:
+  Env env_;
+  long retry_gap_ = 1000;
+};
+
+}  // namespace skyrise::fixture

@@ -1,0 +1,25 @@
+// Fixture: retry work re-armed with no deadline, budget, or attempt cap.
+namespace skyrise::fixture {
+
+struct Env {
+  template <typename F>
+  void Schedule(long delay, F fn) {}
+};
+
+class Poller {
+ public:
+  void RetryForever() {
+    env_.Schedule(backoff_, [this] { RetryForever(); });
+  }
+
+ private:
+  Env env_;
+  long backoff_ = 100;
+};
+
+inline void RearmAttempt(Env* env, int attempt) {
+  env->Schedule(100 * attempt,
+                [env, attempt] { RearmAttempt(env, attempt + 1); });
+}
+
+}  // namespace skyrise::fixture

@@ -104,6 +104,42 @@ TEST(SkyriseCheckGolden, ChunkCopyScopedToEngine) {
       checker.CheckSources({{"tests/engine/some_test.cc", src}}).empty());
 }
 
+TEST(SkyriseCheckGolden, UnboundedRetryFires) {
+  EXPECT_EQ(LintFixture("unbounded_retry_violation.cc"),
+            ReadFile(kFixtureDir +
+                     std::string("unbounded_retry_violation.expected")));
+}
+
+TEST(SkyriseCheckGolden, UnboundedRetryAllowed) {
+  EXPECT_EQ(LintFixture("unbounded_retry_allowed.cc"), "");
+}
+
+TEST(SkyriseCheckGolden, UnboundedRetrySuppressed) {
+  EXPECT_EQ(LintFixture("unbounded_retry_suppressed.cc"), "");
+}
+
+TEST(SkyriseCheckGolden, UnboundedRetryScopedToSrc) {
+  // The rule polices production scheduling code under src/; tests and tools
+  // re-arm work freely (fake clocks, fixtures) and are not flagged.
+  const std::string src =
+      "struct Env {\n"
+      "  template <typename F>\n"
+      "  void Schedule(long delay, F fn) {}\n"
+      "};\n"
+      "void Rearm(Env* env, long backoff) {\n"
+      "  env->Schedule(backoff, [env, backoff] { Rearm(env, backoff * 2); "
+      "});\n"
+      "}\n";
+  Checker checker;
+  const auto in_src = checker.CheckSources({{"src/faas/rearm.cc", src}});
+  ASSERT_EQ(in_src.size(), 1u);
+  EXPECT_EQ(in_src[0].rule, "unbounded-retry");
+  EXPECT_TRUE(
+      checker.CheckSources({{"tests/faas/rearm_test.cc", src}}).empty());
+  EXPECT_TRUE(
+      checker.CheckSources({{"tools/bench/rearm.cc", src}}).empty());
+}
+
 // --- v2 flow-sensitive rules -----------------------------------------------
 
 struct RuleFixture {

@@ -43,6 +43,30 @@ bool EngineScoped(const std::string& path) {
          path.find("/src/engine/") != std::string::npos;
 }
 
+/// True for files under src/ (plus bare fixture names), where retry loops
+/// must be bounded by the overload-robustness plumbing. Tests and tools may
+/// schedule retry-ish work freely (they drive the simulation by hand).
+bool RetryScoped(const std::string& path) {
+  if (path.find('/') == std::string::npos) return true;
+  return path.rfind("src/", 0) == 0 ||
+         path.find("/src/") != std::string::npos;
+}
+
+/// Case-insensitive substring search over identifier text.
+bool ContainsCi(const std::string& haystack, const std::string& needle) {
+  if (needle.size() > haystack.size()) return false;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    size_t j = 0;
+    while (j < needle.size() &&
+           std::tolower(static_cast<unsigned char>(haystack[i + j])) ==
+               std::tolower(static_cast<unsigned char>(needle[j]))) {
+      ++j;
+    }
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
 /// Parses rule ids out of a suppression comment body, e.g.
 /// "skyrise-check: allow(banned-api, raw-stdout)".
 void ParseAllows(const std::string& comment, int line,
@@ -198,7 +222,8 @@ const std::vector<std::string>& Checker::RuleIds() {
       "banned-api",          "discarded-status",
       "unordered-iteration", "pragma-once",
       "using-namespace",     "raw-stdout",
-      "chunk-copy",          "unchecked-result-access",
+      "chunk-copy",          "unbounded-retry",
+      "unchecked-result-access",
       "status-path-drop",    "use-after-move",
       "span-leak",           "unordered-taint",
       "missing-nodiscard"};
@@ -657,6 +682,57 @@ void Checker::CheckChunkCopy(const SourceFile& file,
   }
 }
 
+void Checker::CheckUnboundedRetry(const SourceFile& file,
+                                  std::vector<Diagnostic>* out) const {
+  if (!RetryScoped(file.path)) return;
+  const std::vector<Token> toks = Lex(file);
+  const BracketMap brackets = PairBrackets(toks);
+  for (const FunctionScope& fn : ExtractFunctions(toks, brackets)) {
+    // Lambdas are scanned as part of their enclosing function, whose scope
+    // is where the bound (a max-attempts cap, deadline, or budget) lives.
+    if (fn.is_lambda) continue;
+    const size_t scan_begin =
+        fn.params_begin != FunctionScope::kNone ? fn.params_begin
+                                                : fn.body_begin;
+    // Trigger: a Schedule(...) call whose argument tokens (including any
+    // lambda body inside the call) mention retry-ish work.
+    int trigger_line = 0;
+    for (size_t i = fn.body_begin + 1; i < fn.body_end && trigger_line == 0;
+         ++i) {
+      if (!toks[i].IsIdent() || !toks[i].Is("Schedule")) continue;
+      if (i + 1 >= toks.size() || !toks[i + 1].Is("(")) continue;
+      const size_t close = brackets.MatchOf(i + 1);
+      if (close == BracketMap::kUnmatched) continue;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (toks[j].IsIdent() && (ContainsCi(toks[j].text, "retry") ||
+                                  ContainsCi(toks[j].text, "backoff") ||
+                                  ContainsCi(toks[j].text, "attempt"))) {
+          trigger_line = toks[i].line;
+          break;
+        }
+      }
+    }
+    if (trigger_line == 0) continue;
+    // Bound: any identifier in the function mentioning a budget, a
+    // deadline, or a max-attempts cap shows the retry loop is clamped.
+    bool bounded = false;
+    for (size_t i = scan_begin; i <= fn.body_end && !bounded; ++i) {
+      if (!toks[i].IsIdent()) continue;
+      bounded = ContainsCi(toks[i].text, "budget") ||
+                ContainsCi(toks[i].text, "deadline") ||
+                (ContainsCi(toks[i].text, "max") &&
+                 ContainsCi(toks[i].text, "attempt"));
+    }
+    if (bounded) continue;
+    Emit(file, trigger_line, "unbounded-retry",
+         "`" + (fn.name.empty() ? std::string("<function>") : fn.name) +
+             "` schedules retry work with no visible bound (no deadline, "
+             "retry budget, or max-attempts cap in scope); unbounded "
+             "retries amplify overload",
+         out);
+  }
+}
+
 void Checker::CheckFile(const SourceFile& file,
                         std::vector<Diagnostic>* out) const {
   CheckBannedApis(file, out);
@@ -664,6 +740,7 @@ void Checker::CheckFile(const SourceFile& file,
   CheckUnorderedIteration(file, out);
   CheckHeaderHygiene(file, out);
   CheckChunkCopy(file, out);
+  CheckUnboundedRetry(file, out);
   const FlowContext ctx{&result_names_, &fallible_names_, &void_names_};
   CheckFlowRules(file, ctx, out);
   CheckMissingNodiscard(file, out);

@@ -31,6 +31,13 @@
 ///                       morsel hot path; take `const data::Chunk&` or
 ///                       `data::Chunk&&` instead (sinks that must own their
 ///                       input take &&), or suppress with an allow comment
+///   unbounded-retry     a src/ function that schedules retry work (a
+///                       Schedule() call mentioning retry/backoff/attempt)
+///                       with no visible bound — no identifier naming a
+///                       deadline, a retry budget, or a max-attempts cap
+///                       anywhere in the function. Unbounded retry loops
+///                       amplify overload; clamp with the Deadline /
+///                       RetryBudget plumbing or cap attempts
 ///
 /// Flow-sensitive rules (v2, built on the lexer → CFG → dataflow stack in
 /// lexer.h / cfg.h / dataflow.h — see those headers for the machinery):
@@ -139,6 +146,8 @@ class Checker {
                           std::vector<Diagnostic>* out) const;
   void CheckChunkCopy(const SourceFile& file,
                       std::vector<Diagnostic>* out) const;
+  void CheckUnboundedRetry(const SourceFile& file,
+                           std::vector<Diagnostic>* out) const;
 
   std::set<std::string> fallible_names_ = {
       "OK",        "InvalidArgument", "NotFound",    "AlreadyExists",
