@@ -453,6 +453,10 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
     auto self = shared_from_this();
     Json payload = state->frags[static_cast<size_t>(f)].payload;
     const obs::SpanId attempt_span = BeginAttempt(state, f, &payload);
+    // `attempt_span` is a tracing id, not retry state, and the invocation is
+    // bounded end to end by the propagated "deadline_us" in the payload (the
+    // platform clamps execution lifetime to it — see faas/ec2_fleet.cc /
+    // lambda_platform.cc). skyrise-check: allow(unbounded-retry-wrapper)
     ec_->worker_platform->Invoke(
         kWorkerFunction, std::move(payload),
         [self, state, f, attempt_span](Result<Json> r) {

@@ -1,0 +1,13 @@
+// Fixture: const-init tables and sim-owned registries are confined.
+namespace engine {
+
+constexpr int kMaxWaves = 4;
+const char* const kStageNames[] = {"scan", "shuffle"};
+
+}  // namespace engine
+
+namespace sim {
+
+int g_active_runs = 0;
+
+}  // namespace sim

@@ -1,0 +1,8 @@
+// Fixture: audited mutable state carries an inline justification.
+namespace engine {
+
+// Process-wide diagnostics counter; never read by simulation logic.
+// skyrise-check: allow(shared-mutable-state)
+int g_debug_hooks = 0;
+
+}  // namespace engine

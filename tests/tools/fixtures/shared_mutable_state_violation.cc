@@ -1,0 +1,13 @@
+// Fixture: mutable statics with no sim:: owner, in all three storages.
+namespace engine {
+
+int g_inflight = 0;
+
+class Pool {
+ public:
+  static long next_id_;
+};
+
+void Bump() { static int calls = 0; ++calls; }
+
+}  // namespace engine

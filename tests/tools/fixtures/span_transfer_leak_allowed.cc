@@ -1,0 +1,20 @@
+// Fixture: transferred spans are ended on every path or handed onward.
+#include "obs/trace.h"
+
+obs::SpanId BeginStage(obs::Tracer* tracer) {
+  return tracer->Begin("worker", "stage", "engine");
+}
+
+void EndsTransfer(obs::Tracer* tracer, bool fail) {
+  obs::SpanId s = BeginStage(tracer);
+  if (fail) {
+    tracer->EndWith(s, "error");
+    return;
+  }
+  tracer->End(s);
+}
+
+obs::SpanId HandsOff(obs::Tracer* tracer) {
+  obs::SpanId s = BeginStage(tracer);
+  return s;  // ownership moves to the caller with the End obligation
+}

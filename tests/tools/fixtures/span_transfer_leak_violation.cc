@@ -1,0 +1,14 @@
+// Fixture: a helper returns an open span; the caller drops it on a path.
+#include "obs/trace.h"
+
+obs::SpanId BeginStage(obs::Tracer* tracer) {
+  return tracer->Begin("worker", "stage", "engine");
+}
+
+void DropsTransfer(obs::Tracer* tracer, bool fail) {
+  obs::SpanId s = BeginStage(tracer);
+  if (fail) {
+    return;  // fires: the transferred span is still open here
+  }
+  tracer->End(s);
+}

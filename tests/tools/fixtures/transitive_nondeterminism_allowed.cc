@@ -1,0 +1,13 @@
+// Fixture: virtual time flows through sim::Environment; callers stay clean.
+namespace sim {
+
+struct Environment {
+  long now() const { return now_us_; }
+  long now_us_ = 0;
+};
+
+}  // namespace sim
+
+long NowUs(const sim::Environment& env) { return env.now(); }
+
+long NextBackoff(const sim::Environment& env) { return NowUs(env) + 100; }

@@ -1,0 +1,17 @@
+// Fixture: both blessing modes — a sanctioned source (the allow on the
+// banned line covers taint too) and a blessed call edge at the wrapper.
+#include <cstdlib>
+
+// Fuzz-seed helper; simulation results never depend on it.
+// skyrise-check: allow(banned-api, transitive-nondeterminism)
+long FuzzSeed() { return std::rand(); }
+
+long SeedCorpus() { return FuzzSeed() + 1; }
+
+// skyrise-check: allow(banned-api)
+long RawJitter() { return std::rand(); }
+
+long Retry() {
+  // Cosmetic jitter only. skyrise-check: allow(transitive-nondeterminism)
+  return RawJitter() % 7;
+}

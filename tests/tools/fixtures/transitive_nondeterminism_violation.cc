@@ -1,0 +1,8 @@
+// Fixture: a banned RNG source taints its transitive callers.
+#include <cstdlib>
+
+long RawTicks() { return std::rand(); }
+
+long Jitter() { return RawTicks() % 7; }
+
+long NextBackoff() { return Jitter() + 100; }

@@ -1,0 +1,21 @@
+// Fixture: the wrapper threads a deadline, so the chain is bounded.
+namespace skyrise::fixture {
+
+struct Env {
+  template <typename F>
+  void Schedule(long delay, F fn) {}
+};
+
+struct Deadline {
+  long at_us = 0;
+};
+
+inline void RunLater(Env* env, long delay, Deadline deadline) {
+  if (deadline.at_us > 0) env->Schedule(delay, [] {});
+}
+
+inline void Rearm(Env* env, long backoff, Deadline deadline) {
+  RunLater(env, backoff * 2, deadline);
+}
+
+}  // namespace skyrise::fixture

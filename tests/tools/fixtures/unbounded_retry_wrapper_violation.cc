@@ -1,0 +1,17 @@
+// Fixture: retry work funneled through a helper that schedules unbounded.
+namespace skyrise::fixture {
+
+struct Env {
+  template <typename F>
+  void Schedule(long delay, F fn) {}
+};
+
+inline void RunLater(Env* env, long delay) {
+  env->Schedule(delay, [] {});
+}
+
+inline void Rearm(Env* env, long backoff) {
+  RunLater(env, backoff * 2);
+}
+
+}  // namespace skyrise::fixture

@@ -1,0 +1,219 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace skyrise::check {
+namespace {
+
+constexpr size_t kNoSym = static_cast<size_t>(-1);
+
+std::string LastSegment(const std::string& name) {
+  const size_t pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+bool EndsWithQualified(const std::string& qualified, const std::string& name) {
+  if (qualified == name) return true;
+  if (qualified.size() <= name.size() + 2) return false;
+  return qualified.compare(qualified.size() - name.size(), name.size(),
+                           name) == 0 &&
+         qualified.compare(qualified.size() - name.size() - 2, 2, "::") == 0;
+}
+
+/// Name-based definition lookup: last segment keyed, qualified calls must
+/// suffix-match (so `std::max` does not resolve to an unrelated `max`).
+struct Resolver {
+  explicit Resolver(const std::vector<FunctionSym>& fns) : fns_(fns) {
+    for (size_t i = 0; i < fns.size(); ++i) {
+      by_last_[fns[i].name].push_back(i);
+    }
+  }
+
+  std::vector<size_t> Resolve(const std::string& call_name) const {
+    auto it = by_last_.find(LastSegment(call_name));
+    if (it == by_last_.end()) return {};
+    if (LastSegment(call_name) == call_name) return it->second;
+    std::vector<size_t> matched;
+    for (size_t i : it->second) {
+      if (EndsWithQualified(fns_[i].qualified, call_name)) matched.push_back(i);
+    }
+    return matched;  // Empty on qualifier mismatch: unknown callee.
+  }
+
+  const std::vector<FunctionSym>& fns_;
+  std::map<std::string, std::vector<size_t>> by_last_;
+};
+
+std::string ChainString(const std::vector<FunctionSym>& fns, size_t start,
+                        const std::vector<size_t>& next) {
+  std::string chain = fns[start].qualified;
+  size_t cur = start;
+  int guard = 0;
+  while (next[cur] != kNoSym && next[cur] != cur && ++guard < 64) {
+    cur = next[cur];
+    chain += " -> " + fns[cur].qualified;
+  }
+  return chain;
+}
+
+const SourceFile* Lookup(const FileMap& files, const std::string& path) {
+  auto it = files.find(path);
+  return it == files.end() ? nullptr : it->second;
+}
+
+}  // namespace
+
+CallGraph BuildCallGraph(const SymbolIndex& index) {
+  const std::vector<FunctionSym>& fns = index.functions();
+  const Resolver resolver(fns);
+  CallGraph graph;
+  graph.callees.resize(fns.size());
+  graph.callers.resize(fns.size());
+  for (size_t i = 0; i < fns.size(); ++i) {
+    for (const CallSite& call : fns[i].calls) {
+      const std::vector<size_t> targets = resolver.Resolve(call.name);
+      if (targets.empty()) {
+        ++graph.unresolved_calls;
+        continue;
+      }
+      for (size_t t : targets) {
+        graph.callees[i].push_back(t);
+        auto key = std::make_pair(i, t);
+        if (graph.edge_line.count(key) == 0) graph.edge_line[key] = call.line;
+      }
+    }
+    auto& edges = graph.callees[i];
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    for (size_t t : edges) graph.callers[t].push_back(i);
+  }
+  for (auto& callers : graph.callers) {
+    std::sort(callers.begin(), callers.end());
+    callers.erase(std::unique(callers.begin(), callers.end()), callers.end());
+  }
+  return graph;
+}
+
+void CheckTransitiveNondeterminism(const SymbolIndex& index,
+                                   const CallGraph& graph,
+                                   const FileMap& files,
+                                   std::vector<Diagnostic>* out) {
+  const std::vector<FunctionSym>& fns = index.functions();
+  std::vector<size_t> next(fns.size(), kNoSym);   // Next hop toward the root.
+  std::vector<size_t> root(fns.size(), kNoSym);
+  std::vector<const BannedUse*> use(fns.size(), nullptr);
+  std::vector<int> call_line(fns.size(), 0);
+  std::vector<char> tainted(fns.size(), 0);
+
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < fns.size(); ++i) {
+    for (const BannedUse& b : fns[i].banned) {
+      if (b.sanctioned_source) continue;
+      tainted[i] = 1;
+      root[i] = i;
+      use[i] = &b;
+      queue.push_back(i);
+      break;
+    }
+  }
+  while (!queue.empty()) {
+    const size_t f = queue.front();
+    queue.pop_front();
+    for (size_t c : graph.callers[f]) {
+      if (tainted[c] || c == f) continue;
+      auto lit = graph.edge_line.find(std::make_pair(c, f));
+      const int line = lit != graph.edge_line.end() ? lit->second : 0;
+      // An allow(transitive-nondeterminism) on the call site blesses the
+      // edge: this caller accepts the callee's nondeterminism knowingly, and
+      // functions above it are not tainted through this path.
+      const SourceFile* file = Lookup(files, fns[c].file);
+      if (file != nullptr && line > 0 &&
+          IsSuppressed(*file, line, "transitive-nondeterminism")) {
+        continue;
+      }
+      tainted[c] = 1;
+      next[c] = f;
+      root[c] = root[f];
+      use[c] = use[f];
+      call_line[c] = line;
+      queue.push_back(c);
+    }
+  }
+
+  for (size_t i = 0; i < fns.size(); ++i) {
+    // Roots carry the direct banned-api diagnostic already; the transitive
+    // rule flags callers, and only in the src/ scope the ban polices.
+    if (!tainted[i] || next[i] == kNoSym || !SrcScoped(fns[i].file)) continue;
+    const SourceFile* file = Lookup(files, fns[i].file);
+    if (file == nullptr || call_line[i] <= 0) continue;
+    const FunctionSym& r = fns[root[i]];
+    EmitDiagnostic(
+        *file, call_line[i], "transitive-nondeterminism",
+        "`" + fns[i].qualified + "` reaches banned API `" + use[i]->api +
+            "` through " + ChainString(fns, i, next) + " (" + r.file + ":" +
+            std::to_string(use[i]->line) +
+            "); route through sim::Environment or bless the source/call "
+            "with allow(transitive-nondeterminism)",
+        out);
+  }
+}
+
+void CheckRetryWrappers(const SymbolIndex& index, const CallGraph& graph,
+                        const FileMap& files, std::vector<Diagnostic>* out) {
+  const std::vector<FunctionSym>& fns = index.functions();
+  const Resolver resolver(fns);
+
+  // A function exports the unbounded-retry obligation when it (or anything
+  // it calls) Schedule()s work and no function on the way down clamps with
+  // a deadline/budget/max-attempts bound.
+  std::vector<char> exported(fns.size(), 0);
+  std::vector<size_t> next(fns.size(), kNoSym);
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < fns.size(); ++i) {
+    if (fns[i].calls_scheduler && !fns[i].has_bound) {
+      exported[i] = 1;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const size_t f = queue.front();
+    queue.pop_front();
+    for (size_t c : graph.callers[f]) {
+      if (exported[c] || c == f || fns[c].has_bound) continue;
+      exported[c] = 1;
+      next[c] = f;
+      queue.push_back(c);
+    }
+  }
+
+  for (size_t i = 0; i < fns.size(); ++i) {
+    const FunctionSym& fn = fns[i];
+    if (!SrcScoped(fn.file) || fn.has_bound) continue;
+    // The intraprocedural unbounded-retry rule already covers a direct
+    // Schedule(retry...) here; this rule closes the wrapper loophole.
+    if (fn.direct_retry_schedule) continue;
+    const SourceFile* file = Lookup(files, fn.file);
+    if (file == nullptr) continue;
+    for (const CallSite& call : fn.calls) {
+      if (!call.retry_args) continue;
+      bool flagged = false;
+      for (size_t t : resolver.Resolve(call.name)) {
+        if (t == i || !exported[t]) continue;
+        EmitDiagnostic(
+            *file, call.line, "unbounded-retry-wrapper",
+            "`" + fn.qualified + "` passes retry work into `" +
+                fns[t].qualified + "` (" + ChainString(fns, t, next) +
+                " schedules with no deadline, retry budget, or max-attempts "
+                "cap on the chain); thread a Deadline or RetryBudget "
+                "through the wrapper",
+            out);
+        flagged = true;
+        break;
+      }
+      if (flagged) break;  // One witness per function keeps output readable.
+    }
+  }
+}
+
+}  // namespace skyrise::check

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checker.h"
+#include "symbols.h"
+
+/// \file callgraph.h
+/// Cross-TU call graph over a SymbolIndex plus the two interprocedural rule
+/// drivers that need reachability:
+///
+///   transitive-nondeterminism  a src/ function whose call chain reaches a
+///                              direct banned-API use in some other function
+///                              (any TU). The diagnostic carries the full
+///                              witness chain (`F -> G -> H reaches
+///                              steady_clock at file:line`) so a spurious
+///                              edge from best-effort overload resolution is
+///                              visible and suppressible at the call site.
+///                              `allow(banned-api)` on the source line keeps
+///                              sanctioning the *direct* use but the wrapper
+///                              still taints its callers; only
+///                              `allow(transitive-nondeterminism)` on the
+///                              source line (blessed source) or on a call
+///                              site (blessed edge) stops propagation.
+///
+///   unbounded-retry-wrapper    closes the unbounded-retry rule's wrapper
+///                              loophole: a helper that Schedule()s work and
+///                              exposes no deadline/budget/max-attempts bound
+///                              exports that obligation to its callers; a
+///                              src/ caller passing retry-ish arguments into
+///                              such a helper without a visible bound of its
+///                              own is flagged. Propagation stops at any
+///                              function that has a bound (the clamp is
+///                              visible there).
+///
+/// Edge resolution is best-effort by name: exact qualified-suffix match
+/// first, then every same-named definition. Calls that resolve to nothing
+/// (std::, externs) are counted as unknown callees and create no edges — the
+/// degrade-to-silence direction.
+
+namespace skyrise::check {
+
+struct CallGraph {
+  /// callees[i] / callers[i] index into SymbolIndex::functions(). Edges are
+  /// deduplicated and sorted; self-edges (recursion) are kept.
+  std::vector<std::vector<size_t>> callees;
+  std::vector<std::vector<size_t>> callers;
+  /// First call-site line for each (caller, callee) edge, for diagnostics.
+  std::map<std::pair<size_t, size_t>, int> edge_line;
+  /// Call sites whose name matched no indexed definition (std::, externs,
+  /// member calls on opaque objects). Unknown callees contribute no edges.
+  size_t unresolved_calls = 0;
+};
+
+CallGraph BuildCallGraph(const SymbolIndex& index);
+
+/// Files by diagnostic path, for suppression lookup during emission.
+using FileMap = std::map<std::string, const SourceFile*>;
+
+void CheckTransitiveNondeterminism(const SymbolIndex& index,
+                                   const CallGraph& graph,
+                                   const FileMap& files,
+                                   std::vector<Diagnostic>* out);
+
+void CheckRetryWrappers(const SymbolIndex& index, const CallGraph& graph,
+                        const FileMap& files, std::vector<Diagnostic>* out);
+
+}  // namespace skyrise::check

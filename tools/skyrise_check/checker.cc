@@ -6,8 +6,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "callgraph.h"
 #include "dataflow.h"
 #include "nodiscard.h"
+#include "state_audit.h"
+#include "symbols.h"
 
 namespace skyrise::check {
 namespace {
@@ -41,15 +44,6 @@ bool EngineScoped(const std::string& path) {
   if (path.find('/') == std::string::npos) return true;
   return path.rfind("src/engine/", 0) == 0 ||
          path.find("/src/engine/") != std::string::npos;
-}
-
-/// True for files under src/ (plus bare fixture names), where retry loops
-/// must be bounded by the overload-robustness plumbing. Tests and tools may
-/// schedule retry-ish work freely (they drive the simulation by hand).
-bool RetryScoped(const std::string& path) {
-  if (path.find('/') == std::string::npos) return true;
-  return path.rfind("src/", 0) == 0 ||
-         path.find("/src/") != std::string::npos;
 }
 
 /// Case-insensitive substring search over identifier text.
@@ -226,7 +220,11 @@ const std::vector<std::string>& Checker::RuleIds() {
       "unchecked-result-access",
       "status-path-drop",    "use-after-move",
       "span-leak",           "unordered-taint",
-      "missing-nodiscard"};
+      "missing-nodiscard",
+      "transitive-nondeterminism",
+      "shared-mutable-state",
+      "unbounded-retry-wrapper",
+      "span-transfer-leak"};
   return kRules;
 }
 
@@ -296,26 +294,9 @@ void Checker::CollectFallibleNames(const SourceFile& file) {
 
 void Checker::CheckBannedApis(const SourceFile& file,
                               std::vector<Diagnostic>* out) const {
-  struct Banned {
-    const char* token;
-    const char* why;
-  };
-  static const Banned kBanned[] = {
-      {"system_clock", "wall clock; use sim::SimEnvironment::now()"},
-      {"steady_clock", "host clock; use sim::SimEnvironment::now()"},
-      {"high_resolution_clock", "host clock; use sim::SimEnvironment::now()"},
-      {"random_device", "nondeterministic seed; use Rng::Fork / env seed"},
-      {"mt19937", "ambient RNG; use skyrise::Rng streams"},
-      {"mt19937_64", "ambient RNG; use skyrise::Rng streams"},
-      {"default_random_engine", "ambient RNG; use skyrise::Rng streams"},
-      {"srand", "global RNG; use skyrise::Rng streams"},
-      {"getenv", "environment lookup makes runs host-dependent"},
-      {"gettimeofday", "wall clock; use sim::SimEnvironment::now()"},
-      {"clock_gettime", "wall clock; use sim::SimEnvironment::now()"},
-      {"localtime", "wall-clock formatting; derive from virtual time"},
-      {"gmtime", "wall-clock formatting; derive from virtual time"},
-      {"this_thread", "thread identity/sleep leaks host scheduling"},
-  };
+  // The banned-API table lives in symbols.cc (BannedApiReason) so the
+  // direct rule here and the transitive taint roots in the symbol index can
+  // never drift apart.
   for (size_t li = 0; li < file.code.size(); ++li) {
     const std::string& line = file.code[li];
     const int lineno = static_cast<int>(li) + 1;
@@ -329,11 +310,8 @@ void Checker::CheckBannedApis(const SourceFile& file,
       const bool member_access =
           (i >= 1 && line[i - 1] == '.') ||
           (i >= 2 && line[i - 2] == '-' && line[i - 1] == '>');
-      for (const Banned& b : kBanned) {
-        if (tok == b.token) {
-          Emit(file, lineno, "banned-api",
-               std::string(b.token) + ": " + b.why, out);
-        }
+      if (const char* why = BannedApiReason(tok)) {
+        Emit(file, lineno, "banned-api", tok + ": " + why, out);
       }
       if (!member_access && follow == '(' && (tok == "rand" || tok == "time")) {
         Emit(file, lineno, "banned-api",
@@ -684,7 +662,7 @@ void Checker::CheckChunkCopy(const SourceFile& file,
 
 void Checker::CheckUnboundedRetry(const SourceFile& file,
                                   std::vector<Diagnostic>* out) const {
-  if (!RetryScoped(file.path)) return;
+  if (!SrcScoped(file.path)) return;
   const std::vector<Token> toks = Lex(file);
   const BracketMap brackets = PairBrackets(toks);
   for (const FunctionScope& fn : ExtractFunctions(toks, brackets)) {
@@ -741,7 +719,8 @@ void Checker::CheckFile(const SourceFile& file,
   CheckHeaderHygiene(file, out);
   CheckChunkCopy(file, out);
   CheckUnboundedRetry(file, out);
-  const FlowContext ctx{&result_names_, &fallible_names_, &void_names_};
+  const FlowContext ctx{&result_names_, &fallible_names_, &void_names_,
+                        &span_source_names_};
   CheckFlowRules(file, ctx, out);
   CheckMissingNodiscard(file, out);
 }
@@ -754,8 +733,23 @@ std::vector<Diagnostic> Checker::CheckSources(
     files.push_back(Preprocess(path, contents));
   }
   for (const SourceFile& f : files) CollectFallibleNames(f);
+
+  // Whole-program layer: index every file, so span sources, taint roots,
+  // and retry obligations cross TU boundaries.
+  SymbolIndex index;
+  for (const SourceFile& f : files) index.AddFile(f);
+  span_source_names_ = index.SpanSourceNames();
+
   std::vector<Diagnostic> diags;
   for (const SourceFile& f : files) CheckFile(f, &diags);
+
+  const CallGraph graph = BuildCallGraph(index);
+  FileMap file_map;
+  for (const SourceFile& f : files) file_map[f.path] = &f;
+  CheckTransitiveNondeterminism(index, graph, file_map, &diags);
+  CheckRetryWrappers(index, graph, file_map, &diags);
+  CheckSharedMutableState(index, file_map, &diags);
+
   std::sort(diags.begin(), diags.end());
   return diags;
 }

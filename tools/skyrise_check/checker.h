@@ -62,6 +62,36 @@
 ///                            header without [[nodiscard]] (see nodiscard.h;
 ///                            mechanically fixable with --fix)
 ///
+/// Interprocedural rules (v3, built on the cross-TU symbol index and call
+/// graph in symbols.h / callgraph.h — whole-program passes that run when
+/// files are checked together via CheckSources/CheckTree):
+///   transitive-nondeterminism  a src/ function whose call chain (across
+///                              TUs, through wrappers and named lambdas)
+///                              reaches a direct banned-API use; the
+///                              diagnostic carries the witness chain.
+///                              allow(banned-api) keeps sanctioning the
+///                              direct use but the wrapper still taints
+///                              callers; allow(transitive-nondeterminism)
+///                              on the source line or a call site blesses
+///                              that source/edge and stops propagation
+///   shared-mutable-state       a non-const static-storage variable in src/
+///                              (namespace-scope, static-local, or static
+///                              member) that is neither const-init nor
+///                              confined under a sim:: owner — the audit
+///                              gating parallel simulation (see
+///                              state_audit.h and state_inventory.json)
+///   unbounded-retry-wrapper    closes unbounded-retry's wrapper loophole: a
+///                              src/ function passing retry-ish arguments
+///                              into a helper that (transitively)
+///                              Schedule()s work with no deadline / retry
+///                              budget / max-attempts bound on the chain
+///   span-transfer-leak         a span received open from a span-returning
+///                              helper (SpanId return type + Begin in body,
+///                              harvested cross-TU) is not ended on some
+///                              path — the interprocedural extension of
+///                              span-leak (End obligation transfers at the
+///                              call site)
+///
 /// A suppression comment `// skyrise-check: allow(rule-a, rule-b)` silences
 /// the named rules on its own line and the following line, so intent stays
 /// visible next to the code it blesses.
@@ -116,12 +146,16 @@ class Checker {
   /// (`Status::IoError("x");`) are caught even when status.h is not scanned.
   void CollectFallibleNames(const SourceFile& file);
 
-  /// Runs every rule over one file and appends diagnostics (suppressions
-  /// already applied). Call CollectFallibleNames() for all files first so
-  /// discarded-status sees cross-file declarations.
+  /// Runs every per-file rule over one file and appends diagnostics
+  /// (suppressions already applied). Call CollectFallibleNames() for all
+  /// files first so discarded-status sees cross-file declarations. The
+  /// interprocedural rules need the whole program — use CheckSources.
   void CheckFile(const SourceFile& file, std::vector<Diagnostic>* out) const;
 
-  /// Convenience: preprocess + collect + check a set of in-memory files.
+  /// Preprocess + collect + check a set of in-memory files, then run the
+  /// whole-program passes (cross-TU symbol index, call graph, transitive
+  /// taint, retry-wrapper obligations, shared-mutable-state audit) over the
+  /// set as one program.
   std::vector<Diagnostic> CheckSources(
       const std::vector<std::pair<std::string, std::string>>& path_contents);
 
@@ -159,6 +193,10 @@ class Checker {
   std::set<std::string> void_names_;
   /// Names declared as returning Result<T> somewhere in the tree.
   std::set<std::string> result_names_;
+  /// Functions returning an open span (SpanId return + Begin in body),
+  /// harvested by the symbol index in CheckSources; the dataflow pass
+  /// treats calls to these like Tracer::Begin (span-transfer-leak).
+  std::set<std::string> span_source_names_;
 };
 
 /// One file loaded from disk for tree-wide linting.

@@ -24,13 +24,14 @@ struct VarState {
   bool tainted = false;  ///< Holds unordered-iteration-ordered contents.
   bool call_origin = false;   ///< Bound from a fallible (non-OK) call.
   bool ordered_type = false;  ///< Collector is std::map/std::set — safe.
+  bool transfer = false;  ///< Span received from a span-returning helper.
   int decl_line = 0;
   int origin_line = 0;  ///< Begin / move / taint site for the diagnostic.
   std::string guard;    ///< Condition text the span was opened under.
 
   auto Key() const {
     return std::tie(kind, checked, moved, used, open, escaped, tainted,
-                    call_origin, ordered_type, guard);
+                    call_origin, ordered_type, transfer, guard);
   }
   bool operator==(const VarState& o) const { return Key() == o.Key(); }
 };
@@ -160,10 +161,19 @@ class FunctionAnalyzer {
                      int exit_line) {
     if (st.escaped) return;
     if (st.kind == VarKind::kSpan && st.open) {
-      Emit(st.origin_line, "span-leak", name,
-           "span `" + name + "` opened here is not ended on the path "
-           "leaving scope at line " + std::to_string(exit_line) +
-           "; every path must End()/EndWith() it (or hand it off)");
+      if (st.transfer) {
+        Emit(st.origin_line, "span-transfer-leak", name,
+             "span `" + name + "` received open from a span-returning "
+             "helper here is not ended on the path leaving scope at line " +
+             std::to_string(exit_line) + "; the call transferred the End "
+             "obligation — End()/EndWith() it on every path (or hand it "
+             "off)");
+      } else {
+        Emit(st.origin_line, "span-leak", name,
+             "span `" + name + "` opened here is not ended on the path "
+             "leaving scope at line " + std::to_string(exit_line) +
+             "; every path must End()/EndWith() it (or hand it off)");
+      }
     }
     if ((st.kind == VarKind::kStatus || st.kind == VarKind::kResult) &&
         st.call_origin && !st.used) {
@@ -287,7 +297,14 @@ class FunctionAnalyzer {
   }
 
   struct RhsInfo {
-    enum class Origin { kNone, kResultCall, kStatusCall, kSpanBegin, kNoSpan };
+    enum class Origin {
+      kNone,
+      kResultCall,
+      kStatusCall,
+      kSpanBegin,
+      kSpanTransfer,  ///< Call to a helper that returns an open span.
+      kNoSpan,
+    };
     Origin origin = Origin::kNone;
     int line = 0;
   };
@@ -311,6 +328,11 @@ class FunctionAnalyzer {
       info.line = t.line;
       if (callee == "Begin") {
         info.origin = RhsInfo::Origin::kSpanBegin;
+        return info;
+      }
+      if (ctx_.span_source_names != nullptr &&
+          ctx_.span_source_names->count(callee) > 0) {
+        info.origin = RhsInfo::Origin::kSpanTransfer;
         return info;
       }
       // A chained call (`F(...).status()`, `F(...).ValueUnsafe()`) no longer
@@ -594,8 +616,10 @@ class FunctionAnalyzer {
       st.checked = CheckState::kUnknown;
       switch (st.kind) {
         case VarKind::kSpan:
-          if (rhs.origin == RhsInfo::Origin::kSpanBegin) {
+          if (rhs.origin == RhsInfo::Origin::kSpanBegin ||
+              rhs.origin == RhsInfo::Origin::kSpanTransfer) {
             st.open = true;
+            st.transfer = rhs.origin == RhsInfo::Origin::kSpanTransfer;
             st.origin_line = rhs.line;
             st.guard.clear();
           } else if (rhs.origin == RhsInfo::Origin::kNoSpan) {
@@ -917,6 +941,7 @@ class FunctionAnalyzer {
               st.kind = VarKind::kStatus;
               break;
             case RhsInfo::Origin::kSpanBegin:
+            case RhsInfo::Origin::kSpanTransfer:
               st.kind = VarKind::kSpan;
               break;
             default:
@@ -925,8 +950,10 @@ class FunctionAnalyzer {
         }
         switch (rhs.origin) {
           case RhsInfo::Origin::kSpanBegin:
+          case RhsInfo::Origin::kSpanTransfer:
             if (st.kind == VarKind::kSpan) {
               st.open = true;
+              st.transfer = rhs.origin == RhsInfo::Origin::kSpanTransfer;
               st.origin_line = rhs.line;
             }
             break;

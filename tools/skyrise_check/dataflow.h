@@ -40,6 +40,11 @@ struct FlowContext {
   const std::set<std::string>* result_names = nullptr;  ///< return Result<T>
   const std::set<std::string>* status_names = nullptr;  ///< return Status
   const std::set<std::string>* void_names = nullptr;    ///< void overloads
+  /// Functions (by last name segment, harvested cross-TU by the symbol
+  /// index) that return an *open* span: `SpanId` return type and a Begin()
+  /// in the body. Binding one transfers the End obligation to the caller —
+  /// a leak there is span-transfer-leak rather than span-leak.
+  const std::set<std::string>* span_source_names = nullptr;
 };
 
 /// Runs every flow-sensitive rule over one file. Suppressions

@@ -6,17 +6,23 @@
 #include "baseline.h"
 #include "checker.h"
 #include "nodiscard.h"
+#include "sarif.h"
+#include "state_audit.h"
 
 /// CLI for the skyrise static-analysis pass.
 ///
 ///   skyrise_check [--root DIR] [--quiet] [--fix]
-///                 [--baseline FILE] [--write-baseline FILE] [dirs...]
+///                 [--baseline FILE] [--write-baseline FILE]
+///                 [--sarif FILE] [--state-inventory FILE] [dirs...]
 ///
 /// With no dirs, lints the default trees: src, examples, bench, tests,
 /// tools (the checker lints its own sources). `--fix` applies mechanical
 /// rewrites (missing-nodiscard, pragma-once) in place before reporting;
 /// `--baseline` suppresses findings recorded in FILE so CI fails only on new
 /// ones; `--write-baseline` records the current findings and exits 0.
+/// `--sarif` writes the post-baseline findings as SARIF 2.1.0 for GitHub
+/// code-scanning upload; `--state-inventory` writes the shared-mutable-state
+/// audit of src/ as JSON (see state_audit.h) and exits 0.
 /// Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
 
 namespace {
@@ -25,7 +31,8 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: skyrise_check [--root DIR] [--quiet] [--list-rules] [--fix]\n"
-      "                     [--baseline FILE] [--write-baseline FILE] "
+      "                     [--baseline FILE] [--write-baseline FILE]\n"
+      "                     [--sarif FILE] [--state-inventory FILE] "
       "[dirs...]\n"
       "Lints .h/.hpp/.cc/.cpp files for skyrise determinism and "
       "error-handling invariants.\n"
@@ -34,6 +41,11 @@ void PrintUsage() {
       "  --baseline FILE   report only findings not recorded in FILE\n"
       "  --write-baseline FILE\n"
       "                    record current findings as the new baseline\n"
+      "  --sarif FILE      also write findings (after baseline filtering)\n"
+      "                    as SARIF 2.1.0 for code-scanning upload\n"
+      "  --state-inventory FILE\n"
+      "                    write the src/ static-state audit as JSON and "
+      "exit\n"
       "Default dirs: src examples bench tests tools\n");
 }
 
@@ -43,12 +55,15 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string sarif_path;
+  std::string inventory_path;
   std::vector<std::string> dirs;
   bool quiet = false;
   bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root" || arg == "--baseline" || arg == "--write-baseline") {
+    if (arg == "--root" || arg == "--baseline" || arg == "--write-baseline" ||
+        arg == "--sarif" || arg == "--state-inventory") {
       if (i + 1 >= argc) {
         PrintUsage();
         return 2;
@@ -58,6 +73,10 @@ int main(int argc, char** argv) {
         root = value;
       } else if (arg == "--baseline") {
         baseline_path = value;
+      } else if (arg == "--sarif") {
+        sarif_path = value;
+      } else if (arg == "--state-inventory") {
+        inventory_path = value;
       } else {
         write_baseline_path = value;
       }
@@ -82,6 +101,21 @@ int main(int argc, char** argv) {
     }
   }
   if (dirs.empty()) dirs = {"src", "examples", "bench", "tests", "tools"};
+
+  if (!inventory_path.empty()) {
+    std::ofstream out(inventory_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "skyrise_check: cannot write %s\n",
+                   inventory_path.c_str());
+      return 2;
+    }
+    out << skyrise::check::RenderStateInventoryForTree(root);
+    if (!quiet) {
+      std::fprintf(stderr, "skyrise_check: wrote state inventory to %s\n",
+                   inventory_path.c_str());
+    }
+    return 0;
+  }
 
   if (fix) {
     size_t fixed = 0;
@@ -138,6 +172,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "skyrise_check: %zu finding(s) covered by baseline\n",
                    total - diags.size());
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "skyrise_check: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << skyrise::check::RenderSarif(diags);
+    if (!quiet) {
+      std::fprintf(stderr, "skyrise_check: wrote SARIF to %s\n",
+                   sarif_path.c_str());
     }
   }
 

@@ -1,0 +1,103 @@
+#include "sarif.h"
+
+#include <cstdio>
+#include <set>
+
+namespace skyrise::check {
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string RenderSarif(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> rule_ids;
+  for (const Diagnostic& d : diags) rule_ids.insert(d.rule);
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"skyrise_check\",\n"
+      "          \"informationUri\": "
+      "\"https://github.com/skyrise-sim/skyrise-sim\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const std::string& id : rule_ids) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": ";
+    AppendJsonString(id, &out);
+    out += "}";
+  }
+  if (!first) out += "\n";
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  first = true;
+  for (const Diagnostic& d : diags) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "        {\n          \"ruleId\": ";
+    AppendJsonString(d.rule, &out);
+    out += ",\n          \"level\": \"error\",\n          \"message\": {";
+    out += "\"text\": ";
+    AppendJsonString(d.message, &out);
+    out +=
+        "},\n          \"locations\": [\n            {\n"
+        "              \"physicalLocation\": {\n"
+        "                \"artifactLocation\": {\"uri\": ";
+    AppendJsonString(d.file, &out);
+    out += "},\n                \"region\": {\"startLine\": " +
+           std::to_string(d.line > 0 ? d.line : 1) + "}\n";
+    out +=
+        "              }\n"
+        "            }\n"
+        "          ]\n"
+        "        }";
+  }
+  if (!first) out += "\n";
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace skyrise::check

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker.h"
+
+/// \file sarif.h
+/// SARIF 2.1.0 rendering of skyrise_check diagnostics, so CI can upload the
+/// run to GitHub code scanning and findings annotate PR diffs inline. One
+/// run, one tool (`skyrise_check`), one rule entry per rule id that fired;
+/// results reference rules by id, locations use repo-relative URIs. Output
+/// is deterministic (diagnostics are already sorted by the checker).
+
+namespace skyrise::check {
+
+std::string RenderSarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace skyrise::check

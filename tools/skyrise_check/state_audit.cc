@@ -1,0 +1,116 @@
+#include "state_audit.h"
+
+#include <cstdio>
+
+namespace skyrise::check {
+namespace {
+
+/// True when the qualified name contains a `sim` segment (`sim::Foo::x`,
+/// `skyrise::sim::registry`).
+bool SimOwned(const std::string& qualified) {
+  size_t pos = 0;
+  while (pos <= qualified.size()) {
+    size_t end = qualified.find("::", pos);
+    if (end == std::string::npos) end = qualified.size();
+    if (qualified.compare(pos, end - pos, "sim") == 0) return true;
+    if (end == qualified.size()) break;
+    pos = end + 2;
+  }
+  return false;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* ClassifyStatic(const StaticVar& var) {
+  if (var.is_const) return "const-init";
+  if (SimOwned(var.qualified)) return "sim-confined";
+  if (var.suppressed) return "suppressed";
+  return "unconfined";
+}
+
+void CheckSharedMutableState(const SymbolIndex& index, const FileMap& files,
+                             std::vector<Diagnostic>* out) {
+  for (const StaticVar& var : index.statics()) {
+    if (!SrcScoped(var.file)) continue;
+    if (std::string(ClassifyStatic(var)) != "unconfined") continue;
+    auto it = files.find(var.file);
+    if (it == files.end()) continue;
+    EmitDiagnostic(
+        *it->second, var.line, "shared-mutable-state",
+        "mutable " + std::string(StorageName(var.storage)) + " `" +
+            var.qualified +
+            "` is not confined (not const-init, not sim-owned); parallel "
+            "simulation requires shared state behind sim:: owners — make it "
+            "const, move it under sim::, or justify with "
+            "allow(shared-mutable-state)",
+        out);
+  }
+}
+
+std::string RenderStateInventory(const SymbolIndex& index) {
+  std::string out = "{\n  \"statics\": [\n";
+  bool first = true;
+  for (const StaticVar& var : index.statics()) {
+    if (!SrcScoped(var.file)) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\n      \"qualified\": ";
+    AppendJsonString(var.qualified, &out);
+    out += ",\n      \"file\": ";
+    AppendJsonString(var.file, &out);
+    out += ",\n      \"line\": " + std::to_string(var.line);
+    out += ",\n      \"storage\": ";
+    AppendJsonString(StorageName(var.storage), &out);
+    out += ",\n      \"type\": ";
+    AppendJsonString(var.type_text, &out);
+    out += ",\n      \"const\": ";
+    out += var.is_const ? "true" : "false";
+    out += ",\n      \"thread_local\": ";
+    out += var.thread_local_ ? "true" : "false";
+    out += ",\n      \"classification\": ";
+    AppendJsonString(ClassifyStatic(var), &out);
+    out += "\n    }";
+  }
+  if (!first) out += "\n";
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string RenderStateInventoryForTree(const std::string& root) {
+  SymbolIndex index;
+  for (const TreeFile& f : LoadTree(root, {"src"})) {
+    index.AddFile(Preprocess(f.rel, f.contents));
+  }
+  return RenderStateInventory(index);
+}
+
+}  // namespace skyrise::check

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "checker.h"
+#include "symbols.h"
+
+/// \file state_audit.h
+/// Shared-mutable-state confinement audit — the inventory ROADMAP item 3
+/// (deterministic parallel simulation) needs before the DES can shard.
+/// Every static-storage variable in src/ is classified:
+///
+///   const-init    const/constexpr/constinit declaration — an immutable
+///                 lookup table; safe to read from any shard.
+///   sim-confined  lives under a `sim` namespace/class segment — owned by
+///                 the simulation environment, which is per-run state the
+///                 sharding layer already partitions.
+///   suppressed    carries `allow(shared-mutable-state)` with an inline
+///                 justification — audited by a human, the registry is
+///                 reached through a handle the caller owns.
+///   unconfined    none of the above: mutable state reachable from sim
+///                 callbacks with no owner — flagged by the
+///                 shared-mutable-state rule, and a CI ratchet fails when a
+///                 new one appears in `state_inventory.json`.
+
+namespace skyrise::check {
+
+/// One of "const-init", "sim-confined", "suppressed", "unconfined".
+const char* ClassifyStatic(const StaticVar& var);
+
+/// Flags every unconfined src-scoped static (suppressions applied through
+/// EmitDiagnostic as usual).
+void CheckSharedMutableState(const SymbolIndex& index, const FileMap& files,
+                             std::vector<Diagnostic>* out);
+
+/// Renders the machine-readable inventory of every src-scoped static as
+/// deterministic pretty-printed JSON (sorted by file/line; trailing
+/// newline). CI regenerates this and diffs against the committed baseline.
+std::string RenderStateInventory(const SymbolIndex& index);
+
+/// Convenience for the CLI and CI ratchet: indexes `root`/src from disk and
+/// renders the inventory.
+std::string RenderStateInventoryForTree(const std::string& root);
+
+}  // namespace skyrise::check
