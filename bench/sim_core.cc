@@ -1,0 +1,453 @@
+/// Simulator-core microbenchmark: measures the hot event-kernel paths that
+/// every experiment in this repo sits on and emits BENCH_sim_core.json.
+///
+///   - events/sec through sim::SimEnvironment (calendar queue + pooled
+///     events + small-buffer callbacks) vs. the seed event loop (binary-heap
+///     std::priority_queue of std::function events with a cancellation
+///     tombstone set), reproduced here verbatim as the baseline;
+///   - allocations/event for both loops (global operator new counting);
+///   - invocations/sec for a FaaS-style arrival/completion/timeout pattern
+///     where nearly every timeout is cancelled — the simulator's dominant
+///     cancellation workload;
+///   - bytes decoded/sec through format::DecodeColumnInto with reused
+///     column buffers, over all four column encodings;
+///   - peak RSS of the whole run.
+///
+/// With --check-baseline <file>, the measured numbers are gated against the
+/// machine-independent ratios in bench/sim_core_baseline.json (speedup and
+/// allocs/event contrasts) plus generous absolute floors, and the process
+/// exits non-zero on regression. CI runs this next to the query-regression
+/// smoke.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <new>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "data/chunk.h"
+#include "format/encoding.h"
+#include "platform/report.h"
+#include "sim/environment.h"
+
+namespace {
+/// Global allocation counter; bumped by the replaced operator new below.
+uint64_t g_allocations = 0;
+}  // namespace
+
+// Replace the global allocator to count allocations exactly. Deallocation
+// stays on the default path; this is a counting shim, not an allocator.
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace skyrise;
+
+namespace {
+
+/// Wall-clock seconds for throughput measurement. The simulator itself never
+/// reads host time; this benchmark measures the host cost of advancing
+/// virtual time, which is exactly the one place wall clocks belong.
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             // skyrise-check: allow(banned-api, transitive-nondeterminism) — measuring host throughput.
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// The seed repo's event loop, reproduced as the baseline: a binary-heap
+/// priority_queue of events whose callbacks are heap-allocating
+/// std::function objects, with an unordered_set of cancelled ids consulted
+/// (and leaked for already-fired events) on pop.
+class HeapEventLoop {
+ public:
+  uint64_t Schedule(int64_t delay, std::function<void()> fn) {
+    const uint64_t id = next_id_++;
+    queue_.push(Event{now_ + delay, next_sequence_++, id, std::move(fn)});
+    return id;
+  }
+
+  void Cancel(uint64_t id) { cancelled_.insert(id); }
+
+  bool Step() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      auto it = cancelled_.find(ev.id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      now_ = ev.time;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  int64_t now() const { return now_; }
+
+ private:
+  struct Event {
+    int64_t time;
+    uint64_t sequence;
+    uint64_t id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  int64_t now_ = 0;
+  uint64_t next_sequence_ = 1;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+/// Capture payload sized like a typical simulator callback (request context,
+/// ids, deadlines): 40 bytes, pushing std::function to the heap while still
+/// fitting sim::EventCallback's inline buffer alongside a pointer.
+struct Payload {
+  uint64_t a, b, c, d, e;
+};
+
+struct ChurnResult {
+  int64_t events = 0;
+  double seconds = 0;
+  uint64_t allocations = 0;
+  double events_per_sec() const { return events / seconds; }
+  double allocs_per_event() const {
+    return static_cast<double>(allocations) / static_cast<double>(events);
+  }
+};
+
+/// Self-perpetuating schedule/fire/cancel churn, identical for both engines:
+/// `chains` concurrent event chains; each fire reschedules its chain and
+/// adds a long-dated timeout, and the oldest outstanding timeout is
+/// cancelled once more than `max_timeouts` are pending — the retry-timeout
+/// pattern that dominates the simulator's cancellation traffic.
+template <typename Engine>
+ChurnResult RunChurn(Engine* eng, int chains, int64_t fire_target) {
+  constexpr size_t kMaxTimeouts = 512;
+  uint64_t rng = 0x5ca1ab1e0ddba11ull;
+  uint64_t sink = 0;
+  std::deque<uint64_t> timeouts;
+
+  struct Driver {
+    Engine* eng;
+    uint64_t* rng;
+    uint64_t* sink;
+    std::deque<uint64_t>* timeouts;
+
+    void ScheduleChain() {
+      const Payload p{SplitMix64(rng), SplitMix64(rng), SplitMix64(rng),
+                      SplitMix64(rng), SplitMix64(rng)};
+      const int64_t delay = static_cast<int64_t>(p.a % 1000) + 1;
+      eng->Schedule(delay, [this, p] {
+        *sink ^= p.a + p.b + p.c + p.d + p.e;
+        ScheduleChain();
+      });
+      const int64_t timeout_delay = 1000000 + static_cast<int64_t>(p.b % 1000);
+      timeouts->push_back(eng->Schedule(timeout_delay, [this] { ++*sink; }));
+      if (timeouts->size() > kMaxTimeouts) {
+        eng->Cancel(timeouts->front());
+        timeouts->pop_front();
+      }
+    }
+  };
+  Driver driver{eng, &rng, &sink, &timeouts};
+
+  ChurnResult result;
+  const uint64_t allocs_before = g_allocations;
+  const double start = NowSeconds();
+  for (int i = 0; i < chains; ++i) driver.ScheduleChain();
+  while (result.events < fire_target && eng->Step()) ++result.events;
+  result.seconds = NowSeconds() - start;
+  result.allocations = g_allocations - allocs_before;
+  (void)sink;
+  return result;
+}
+
+/// FaaS-style invocation replay on the real SimEnvironment: each invocation
+/// arrival schedules a completion and a watchdog timeout; the completion
+/// cancels the timeout. Three schedules, two fires, one cancel per
+/// invocation, with the cancel landing on a far-future event — the
+/// calendar queue's worst bucket locality and the tombstone set's worst
+/// growth in the seed loop.
+double RunInvocationReplay(int64_t invocations) {
+  sim::SimEnvironment env(/*seed=*/7);
+  uint64_t rng = 0xfaceb00cull;
+  int64_t completed = 0;
+  const double start = NowSeconds();
+  for (int64_t i = 0; i < invocations; ++i) {
+    const int64_t arrival = static_cast<int64_t>(SplitMix64(&rng) % 500000);
+    env.ScheduleAt(arrival, [&env, &rng, &completed] {
+      const int64_t service = static_cast<int64_t>(SplitMix64(&rng) % 2000) + 1;
+      const sim::EventId watchdog =
+          env.Schedule(30000000, [&completed] { completed -= 1000000; });
+      env.Schedule(service, [&env, &completed, watchdog] {
+        ++completed;
+        env.Cancel(watchdog);
+      });
+    });
+  }
+  env.Run();
+  const double seconds = NowSeconds() - start;
+  SKYRISE_CHECK(completed == invocations);
+  return static_cast<double>(invocations) / seconds;
+}
+
+struct DecodeResult {
+  double bytes_per_sec = 0;
+  double allocs_per_iter = 0;
+};
+
+/// Steady-state decode throughput over all four encodings, decoding into
+/// reused data::Column buffers (the DecodeRowGroupInto path).
+DecodeResult RunDecodeBench() {
+  constexpr int64_t kRows = 65536;
+  constexpr int kIters = 64;
+
+  data::Column ints(data::DataType::kInt64);
+  data::Column doubles(data::DataType::kDouble);
+  data::Column dict_strings(data::DataType::kString);
+  data::Column plain_strings(data::DataType::kString);
+  uint64_t rng = 0xc0ffee11ull;
+  int64_t key = 0;
+  static constexpr const char* kModes[] = {"AIR",  "RAIL",    "SHIP",
+                                           "TRUCK", "MAIL",   "REG AIR",
+                                           "FOB",   "NONE"};
+  for (int64_t i = 0; i < kRows; ++i) {
+    key += static_cast<int64_t>(SplitMix64(&rng) % 7);
+    ints.AppendInt(key);
+    doubles.AppendDouble(static_cast<double>(SplitMix64(&rng) % 100000) / 100);
+    dict_strings.AppendString(kModes[SplitMix64(&rng) % 8]);
+    plain_strings.AppendString(
+        StrFormat("cust#%09llu",
+                  static_cast<unsigned long long>(SplitMix64(&rng))));
+  }
+
+  struct Encoded {
+    data::DataType type;
+    std::string bytes;
+  };
+  std::vector<Encoded> encoded;
+  for (const data::Column* col :
+       {&ints, &doubles, &dict_strings, &plain_strings}) {
+    Encoded e;
+    e.type = col->type();
+    (void)format::EncodeColumn(*col, &e.bytes);
+    encoded.push_back(std::move(e));
+  }
+
+  std::vector<data::Column> out;
+  for (const Encoded& e : encoded) out.emplace_back(e.type);
+
+  int64_t bytes_total = 0;
+  const uint64_t allocs_before = g_allocations;
+  const double start = NowSeconds();
+  for (int iter = 0; iter < kIters; ++iter) {
+    for (size_t c = 0; c < encoded.size(); ++c) {
+      SKYRISE_CHECK_OK(format::DecodeColumnInto(encoded[c].bytes.data(),
+                                                encoded[c].bytes.size(),
+                                                encoded[c].type, kRows,
+                                                &out[c]));
+      bytes_total += static_cast<int64_t>(encoded[c].bytes.size());
+    }
+  }
+  const double seconds = NowSeconds() - start;
+  const uint64_t allocs = g_allocations - allocs_before;
+  SKYRISE_CHECK(out[0].ints().back() == key);
+
+  DecodeResult result;
+  result.bytes_per_sec = static_cast<double>(bytes_total) / seconds;
+  result.allocs_per_iter = static_cast<double>(allocs) / kIters;
+  return result;
+}
+
+int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // Linux: KiB.
+}
+
+/// Gates the measured numbers against the committed baseline's
+/// machine-independent ratios and generous absolute floors. Returns the
+/// number of failed gates.
+int CheckBaseline(const std::string& path, const Json& report) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::printf("FAIL: cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::printf("FAIL: bad baseline JSON: %s\n",
+                parsed.status().message().c_str());
+    return 1;
+  }
+  const Json baseline = std::move(parsed).ValueUnsafe();
+
+  int failures = 0;
+  auto gate_min = [&](const char* name, double measured, double floor) {
+    const bool ok = measured >= floor;
+    std::printf("  %-34s %14.3f  (min %12.3f)  %s\n", name, measured, floor,
+                ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  };
+  auto gate_max = [&](const char* name, double measured, double ceiling) {
+    const bool ok = measured <= ceiling;
+    std::printf("  %-34s %14.3f  (max %12.3f)  %s\n", name, measured, ceiling,
+                ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  };
+
+  std::printf("\nbaseline gates (%s):\n", path.c_str());
+  gate_min("speedup_events_per_sec",
+           report.GetDouble("speedup_events_per_sec"),
+           baseline.GetDouble("min_speedup_events"));
+  gate_max("calendar.allocs_per_event",
+           report.Get("calendar").GetDouble("allocs_per_event"),
+           baseline.GetDouble("max_allocs_per_event"));
+  gate_min("heap_baseline.allocs_per_event",
+           report.Get("heap_baseline").GetDouble("allocs_per_event"),
+           baseline.GetDouble("min_heap_allocs_per_event"));
+  gate_min("calendar.events_per_sec",
+           report.Get("calendar").GetDouble("events_per_sec"),
+           baseline.GetDouble("min_events_per_sec"));
+  gate_min("invocations_per_sec", report.GetDouble("invocations_per_sec"),
+           baseline.GetDouble("min_invocations_per_sec"));
+  gate_min("decode.bytes_per_sec",
+           report.Get("decode").GetDouble("bytes_per_sec"),
+           baseline.GetDouble("min_decode_bytes_per_sec"));
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  platform::PrintHeader("Simulator core",
+                        "Event-kernel and decode hot-path throughput "
+                        "(BENCH_sim_core.json)");
+
+  constexpr int kChains = 16384;
+  constexpr int64_t kFireTarget = 1000000;
+  constexpr int64_t kInvocations = 200000;
+
+  // Best of two repetitions per engine, fresh engine each time: the CI gate
+  // is a ratio of the two throughputs, so a scheduler hiccup during either
+  // run would skew it. The workload itself is deterministic across reps.
+  ChurnResult heap;
+  for (int rep = 0; rep < 2; ++rep) {
+    HeapEventLoop heap_loop;
+    const ChurnResult r = RunChurn(&heap_loop, kChains, kFireTarget);
+    if (rep == 0 || r.seconds < heap.seconds) heap = r;
+  }
+
+  ChurnResult calendar;
+  sim::EventPoolStats pool;
+  for (int rep = 0; rep < 2; ++rep) {
+    sim::SimEnvironment env(/*seed=*/7);
+    const ChurnResult r = RunChurn(&env, kChains, kFireTarget);
+    if (rep == 0 || r.seconds < calendar.seconds) calendar = r;
+    pool = env.pool_stats();  // Deterministic: identical across reps.
+  }
+
+  const double invocations_per_sec = RunInvocationReplay(kInvocations);
+  const DecodeResult decode = RunDecodeBench();
+  const int64_t peak_rss = PeakRssBytes();
+  const double speedup = calendar.events_per_sec() / heap.events_per_sec();
+
+  platform::TablePrinter table(
+      {"loop", "events/sec", "allocs/event", "events"});
+  table.AddRow({"heap baseline (seed)",
+                StrFormat("%.0f", heap.events_per_sec()),
+                StrFormat("%.3f", heap.allocs_per_event()),
+                StrFormat("%lld", static_cast<long long>(heap.events))});
+  table.AddRow({"calendar + pool",
+                StrFormat("%.0f", calendar.events_per_sec()),
+                StrFormat("%.3f", calendar.allocs_per_event()),
+                StrFormat("%lld", static_cast<long long>(calendar.events))});
+  table.Print();
+  std::printf("speedup %.2fx | invocations/sec %.0f | decode %s/s | "
+              "heap-spilled callbacks %llu | peak RSS %s\n",
+              speedup, invocations_per_sec,
+              FormatBytes(static_cast<int64_t>(decode.bytes_per_sec)).c_str(),
+              static_cast<unsigned long long>(pool.heap_callbacks),
+              FormatBytes(peak_rss).c_str());
+
+  JsonObject heap_json;
+  heap_json["events_per_sec"] = heap.events_per_sec();
+  heap_json["allocs_per_event"] = heap.allocs_per_event();
+  heap_json["events"] = heap.events;
+  JsonObject calendar_json;
+  calendar_json["events_per_sec"] = calendar.events_per_sec();
+  calendar_json["allocs_per_event"] = calendar.allocs_per_event();
+  calendar_json["events"] = calendar.events;
+  calendar_json["heap_spilled_callbacks"] =
+      static_cast<int64_t>(pool.heap_callbacks);
+  calendar_json["bucket_count"] = static_cast<int64_t>(pool.bucket_count);
+  calendar_json["calendar_resizes"] =
+      static_cast<int64_t>(pool.calendar_resizes);
+  JsonObject decode_json;
+  decode_json["bytes_per_sec"] = decode.bytes_per_sec;
+  decode_json["allocs_per_iter"] = decode.allocs_per_iter;
+
+  JsonObject doc;
+  doc["heap_baseline"] = heap_json;
+  doc["calendar"] = calendar_json;
+  doc["speedup_events_per_sec"] = speedup;
+  doc["invocations_per_sec"] = invocations_per_sec;
+  doc["decode"] = decode_json;
+  doc["peak_rss_bytes"] = peak_rss;
+  std::ofstream out("BENCH_sim_core.json");
+  SKYRISE_CHECK(out.good());
+  out << Json(doc).Dump(2) << "\n";
+  std::printf("\nwrote BENCH_sim_core.json\n");
+
+  if (argc == 3 && std::string(argv[1]) == "--check-baseline") {
+    const int failures = CheckBaseline(argv[2], Json(doc));
+    if (failures > 0) {
+      std::printf("\n%d baseline gate(s) FAILED\n", failures);
+      return 1;
+    }
+    std::printf("all baseline gates passed\n");
+  }
+  return 0;
+}

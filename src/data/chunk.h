@@ -91,9 +91,29 @@ class Column {
   /// Gathers the rows selected by `selection` into a new column.
   Column Filter(const std::vector<uint32_t>& selection) const;
 
+  /// Gathers the selected rows into `out`, overwriting its contents but
+  /// reusing its buffers (vector capacity; per-element string capacity via
+  /// assignment). `out` must have this column's type and must not alias it.
+  void FilterInto(const std::vector<uint32_t>& selection, Column* out) const;
+
   /// Copies the contiguous row range [offset, offset + count) into a new
   /// column. The range must lie within the column.
   Column Slice(size_t offset, size_t count) const;
+
+  /// Range copy into `out`, overwriting contents but reusing buffers — the
+  /// allocation-free morsel primitive. `out` must match type, no aliasing.
+  void SliceInto(size_t offset, size_t count, Column* out) const;
+
+  /// Drops all values but keeps vector capacity for refill.
+  void Clear();
+
+  /// Retypes the column and clears it (retained buffers of the old type keep
+  /// their capacity; CapacityBytes still counts them).
+  void Reset(DataType type);
+
+  /// Heap bytes currently reserved by this column's buffers, independent of
+  /// value count — the quantity a chunk pool retains across reuse.
+  int64_t CapacityBytes() const;
 
  private:
   DataType type_;
@@ -151,9 +171,25 @@ class Chunk {
   /// rows. The range must lie within the chunk.
   [[nodiscard]] Chunk Slice(int64_t offset, int64_t count) const;
 
+  /// Slice() into `out`, overwriting its contents but reusing its buffers.
+  /// `out` is reshaped to this chunk's schema and must not alias this chunk.
+  void SliceInto(int64_t offset, int64_t count, Chunk* out) const;
+
+  /// Reshapes to `schema` reusing column buffers where the positional types
+  /// match; column contents become unspecified (callers overwrite them via
+  /// the *Into APIs). Clears the synthetic flag.
+  void PrepareFor(const Schema& schema);
+
+  /// PrepareFor + Clear on every column: an empty materialized chunk of
+  /// `schema` with recycled capacity, ready for Append.
+  void ResetTo(const Schema& schema);
+
   /// Rough in-memory/in-flight byte size (used by the CPU and shuffle size
   /// models; also valid for synthetic chunks via per-type width estimates).
   int64_t ByteSize() const;
+
+  /// Heap bytes reserved across all column buffers (see Column::CapacityBytes).
+  int64_t CapacityBytes() const;
 
  private:
   Schema schema_;

@@ -127,31 +127,6 @@ Result<Chunk> ApplyFilter(const OperatorSpec& op, Chunk&& in,
   return Chunk(in.schema(), std::move(columns));
 }
 
-Result<Chunk> ApplyProject(const OperatorSpec& op, Chunk&& in,
-                           CostAccumulator* cost) {
-  Schema schema;
-  SKYRISE_ASSIGN_OR_RETURN(schema, ProjectSchema(op, in.schema()));
-  cost->AddNs(static_cast<double>(in.rows()) *
-              static_cast<double>(op.projections.size()) *
-              cost->model().project_ns_per_row_col);
-  if (in.is_synthetic()) return Chunk::Synthetic(schema, in.rows());
-  std::vector<Column> columns;
-  for (size_t i = 0; i < op.projections.size(); ++i) {
-    const auto& [name, expr] = op.projections[i];
-    if (expr->kind == Expr::Kind::kColumn) {
-      const int idx = in.schema().FieldIndex(expr->column);
-      columns.push_back(in.column(static_cast<size_t>(idx)));
-    } else {
-      std::vector<double> values;
-      SKYRISE_ASSIGN_OR_RETURN(values, EvalNumeric(*expr, in));
-      Column col(DataType::kDouble);
-      col.doubles() = std::move(values);
-      columns.push_back(std::move(col));
-    }
-  }
-  return Chunk(schema, std::move(columns));
-}
-
 Result<Chunk> ApplySort(const OperatorSpec& op, Chunk&& in,
                         CostAccumulator* cost) {
   const double n = static_cast<double>(std::max<int64_t>(in.rows(), 1));
@@ -270,34 +245,96 @@ class OperatorState {
   virtual int64_t StateBytes() const { return 0; }
 };
 
+/// Streaming filter with pooled output: the selection vector and the output
+/// chunk's column buffers are reused across morsels (the spent input goes
+/// back to the pool in WalkFrom). Selection semantics are identical to
+/// ApplyFilter, which remains the unpooled single-shot path.
 class FilterOp final : public OperatorState {
  public:
-  FilterOp(const OperatorSpec& op, CostAccumulator* cost)
-      : op_(op), cost_(cost) {}
+  FilterOp(const OperatorSpec& op, CostAccumulator* cost,
+           data::ChunkPool* pool)
+      : op_(op), cost_(cost), pool_(pool) {}
   Result<std::optional<Chunk>> Push(Chunk&& in) override {
-    Chunk out;
-    SKYRISE_ASSIGN_OR_RETURN(out, ApplyFilter(op_, std::move(in), cost_));
+    cost_->AddNs(static_cast<double>(in.rows()) *
+                 cost_->model().filter_ns_per_row);
+    if (in.is_synthetic()) {
+      return std::optional<Chunk>(
+          Chunk::Synthetic(in.schema(),
+                           static_cast<int64_t>(std::llround(
+                               static_cast<double>(in.rows()) *
+                               op_.selectivity))));
+    }
+    SKYRISE_RETURN_IF_ERROR(EvalPredicateInto(*op_.predicate, in,
+                                              &selection_));
+    Chunk out = pool_->AcquirePrepared(in.schema());
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      in.column(c).FilterInto(selection_, &out.column(c));
+    }
     return std::optional<Chunk>(std::move(out));
   }
 
  private:
   const OperatorSpec& op_;
   CostAccumulator* cost_;
+  data::ChunkPool* pool_;
+  std::vector<uint32_t> selection_;
 };
 
+/// Streaming projection that moves pass-through columns out of the input
+/// instead of copying them; only computed expressions materialize new
+/// buffers. Expressions are evaluated before any column is moved, since they
+/// may read columns the projection also passes through.
 class ProjectOp final : public OperatorState {
  public:
   ProjectOp(const OperatorSpec& op, CostAccumulator* cost)
       : op_(op), cost_(cost) {}
   Result<std::optional<Chunk>> Push(Chunk&& in) override {
-    Chunk out;
-    SKYRISE_ASSIGN_OR_RETURN(out, ApplyProject(op_, std::move(in), cost_));
-    return std::optional<Chunk>(std::move(out));
+    if (!resolved_) {
+      SKYRISE_ASSIGN_OR_RETURN(out_schema_, ProjectSchema(op_, in.schema()));
+      resolved_ = true;
+    }
+    cost_->AddNs(static_cast<double>(in.rows()) *
+                 static_cast<double>(op_.projections.size()) *
+                 cost_->model().project_ns_per_row_col);
+    if (in.is_synthetic()) {
+      return std::optional<Chunk>(Chunk::Synthetic(out_schema_, in.rows()));
+    }
+    std::vector<Column> computed;
+    for (const auto& [name, expr] : op_.projections) {
+      if (expr->kind == Expr::Kind::kColumn) continue;
+      Column col(DataType::kDouble);
+      SKYRISE_RETURN_IF_ERROR(EvalNumericInto(*expr, in, &col.doubles()));
+      computed.push_back(std::move(col));
+    }
+    std::vector<Column> columns;
+    columns.reserve(op_.projections.size());
+    moved_to_.assign(in.num_columns(), -1);
+    size_t next_computed = 0;
+    for (const auto& [name, expr] : op_.projections) {
+      if (expr->kind != Expr::Kind::kColumn) {
+        columns.push_back(std::move(computed[next_computed++]));
+        continue;
+      }
+      const size_t idx =
+          static_cast<size_t>(in.schema().FieldIndex(expr->column));
+      if (moved_to_[idx] >= 0) {
+        // Duplicate reference: copy from the already-built output column,
+        // never from the moved-from input.
+        columns.push_back(columns[static_cast<size_t>(moved_to_[idx])]);
+      } else {
+        moved_to_[idx] = static_cast<int>(columns.size());
+        columns.push_back(std::move(in.column(idx)));
+      }
+    }
+    return std::optional<Chunk>(Chunk(out_schema_, std::move(columns)));
   }
 
  private:
   const OperatorSpec& op_;
   CostAccumulator* cost_;
+  bool resolved_ = false;
+  Schema out_schema_;
+  std::vector<int> moved_to_;
 };
 
 /// Pipeline breaker: accumulates group states across morsels in row order
@@ -724,6 +761,8 @@ struct FragmentPipeline::Impl {
   CostAccumulator* cost = nullptr;
   MemoryTracker local_memory;
   MemoryTracker* memory = nullptr;
+  data::ChunkPool local_pool;
+  data::ChunkPool* pool = nullptr;
   int64_t morsel_rows = 0;
   Status init = Status::OK();
   std::vector<std::unique_ptr<OperatorState>> ops;
@@ -744,7 +783,7 @@ struct FragmentPipeline::Impl {
 Status FragmentPipeline::Impl::BuildOps() {
   for (const auto& op : spec.ops) {
     if (op.op == "filter") {
-      ops.push_back(std::make_unique<FilterOp>(op, cost));
+      ops.push_back(std::make_unique<FilterOp>(op, cost, pool));
     } else if (op.op == "project") {
       ops.push_back(std::make_unique<ProjectOp>(op, cost));
     } else if (op.op == "hash_agg") {
@@ -803,7 +842,13 @@ Status FragmentPipeline::Impl::WalkFrom(size_t start, Chunk&& chunk) {
     SyncState(i);
     memory->Release(in_bytes);
     if (!out.ok()) return out.status();
-    if (!out->has_value()) return Status::OK();
+    // Donate the spent input back to the pool. Operators that consumed it by
+    // move left an empty shell behind, which Release drops; operators that
+    // copied (or filtered) out of it leave warm buffers to recycle.
+    const bool absorbed = !out->has_value();
+    // skyrise-check: allow(use-after-move) — Release accepts moved-from chunks.
+    pool->Release(std::move(current));
+    if (absorbed) return Status::OK();
     current = std::move(**out);
   }
   // No terminal operator: collect the stream as the result.
@@ -812,6 +857,7 @@ Status FragmentPipeline::Impl::WalkFrom(size_t start, Chunk&& chunk) {
     tail.emplace(std::move(current));
   } else {
     tail->Append(current);
+    pool->Release(std::move(current));
   }
   memory->Add(bytes);
   return Status::OK();
@@ -820,12 +866,14 @@ Status FragmentPipeline::Impl::WalkFrom(size_t start, Chunk&& chunk) {
 FragmentPipeline::FragmentPipeline(const PipelineSpec& pipeline,
                                    std::vector<data::Chunk> builds,
                                    CostAccumulator* cost,
-                                   MemoryTracker* memory, int64_t morsel_rows)
+                                   MemoryTracker* memory, int64_t morsel_rows,
+                                   data::ChunkPool* pool)
     : impl_(std::make_unique<Impl>()) {
   impl_->spec = pipeline;
   impl_->builds = std::move(builds);
   impl_->cost = cost;
   impl_->memory = memory != nullptr ? memory : &impl_->local_memory;
+  impl_->pool = pool != nullptr ? pool : &impl_->local_pool;
   impl_->morsel_rows = morsel_rows;
   impl_->accumulating = morsel_rows < 0;
   for (const auto& build : impl_->builds) {
@@ -857,8 +905,11 @@ Status FragmentPipeline::Push(data::Chunk&& morsel) {
     const int64_t total = morsel.rows();
     for (int64_t offset = 0; offset < total; offset += im.morsel_rows) {
       const int64_t count = std::min(im.morsel_rows, total - offset);
-      SKYRISE_RETURN_IF_ERROR(im.WalkFrom(0, morsel.Slice(offset, count)));
+      Chunk piece = im.pool->AcquirePrepared(morsel.schema());
+      morsel.SliceInto(offset, count, &piece);
+      SKYRISE_RETURN_IF_ERROR(im.WalkFrom(0, std::move(piece)));
     }
+    im.pool->Release(std::move(morsel));
     return Status::OK();
   }
   return im.WalkFrom(0, std::move(morsel));
@@ -887,6 +938,7 @@ Result<std::vector<FragmentOutput>> FragmentPipeline::Finish() {
       SKYRISE_RETURN_IF_ERROR(im.WalkFrom(i + 1, std::move(**flushed)));
     }
   }
+  im.memory->SetPooledRetained(im.pool->stats().retained_bytes);
   if (im.sink != nullptr) return im.sink->TakeOutputs();
   std::vector<FragmentOutput> outputs;
   Chunk result = im.tail.has_value()

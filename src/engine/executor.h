@@ -8,6 +8,7 @@
 
 #include "common/units.h"
 #include "data/chunk.h"
+#include "data/chunk_pool.h"
 #include "engine/memory_tracker.h"
 #include "engine/plan.h"
 
@@ -89,11 +90,19 @@ struct FragmentOutput {
 ///   < 0  — whole-fragment mode: the entire stream is accumulated and
 ///          executed as a single batch on Finish() (the seed's materialized
 ///          semantics, also used as the reference in equivalence tests).
+///
+/// `pool` optionally supplies a data::ChunkPool for recycling morsel buffers
+/// between operator hops (spent inputs are donated back after each hop, and
+/// filter/slice outputs are acquired from it). Pass the worker's per-task
+/// pool to share capacity across pipelines; when null the pipeline uses a
+/// private pool. Pooling changes allocation behavior only — operator results
+/// are bit-identical with or without it.
 class FragmentPipeline {
  public:
   FragmentPipeline(const PipelineSpec& pipeline,
                    std::vector<data::Chunk> builds, CostAccumulator* cost,
-                   MemoryTracker* memory = nullptr, int64_t morsel_rows = 0);
+                   MemoryTracker* memory = nullptr, int64_t morsel_rows = 0,
+                   data::ChunkPool* pool = nullptr);
   ~FragmentPipeline();
   FragmentPipeline(const FragmentPipeline&) = delete;
   FragmentPipeline& operator=(const FragmentPipeline&) = delete;

@@ -318,26 +318,40 @@ Result<std::function<double(size_t)>> NumericEvaluator(
 
 }  // namespace
 
-Result<std::vector<uint32_t>> EvalPredicate(const Expr& expr,
-                                            const data::Chunk& chunk) {
+Status EvalPredicateInto(const Expr& expr, const data::Chunk& chunk,
+                         std::vector<uint32_t>* out) {
   std::function<bool(size_t)> eval;
   SKYRISE_ASSIGN_OR_RETURN(eval, BoolEvaluator(expr, chunk));
-  std::vector<uint32_t> selection;
+  out->clear();
   const size_t rows = static_cast<size_t>(chunk.rows());
   for (size_t row = 0; row < rows; ++row) {
-    if (eval(row)) selection.push_back(static_cast<uint32_t>(row));
+    if (eval(row)) out->push_back(static_cast<uint32_t>(row));
   }
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> EvalPredicate(const Expr& expr,
+                                            const data::Chunk& chunk) {
+  std::vector<uint32_t> selection;
+  SKYRISE_RETURN_IF_ERROR(EvalPredicateInto(expr, chunk, &selection));
   return selection;
+}
+
+Status EvalNumericInto(const Expr& expr, const data::Chunk& chunk,
+                       std::vector<double>* out) {
+  std::function<double(size_t)> eval;
+  SKYRISE_ASSIGN_OR_RETURN(eval, NumericEvaluator(expr, chunk));
+  out->clear();
+  const size_t rows = static_cast<size_t>(chunk.rows());
+  out->reserve(rows);
+  for (size_t row = 0; row < rows; ++row) out->push_back(eval(row));
+  return Status::OK();
 }
 
 Result<std::vector<double>> EvalNumeric(const Expr& expr,
                                         const data::Chunk& chunk) {
-  std::function<double(size_t)> eval;
-  SKYRISE_ASSIGN_OR_RETURN(eval, NumericEvaluator(expr, chunk));
   std::vector<double> out;
-  const size_t rows = static_cast<size_t>(chunk.rows());
-  out.reserve(rows);
-  for (size_t row = 0; row < rows; ++row) out.push_back(eval(row));
+  SKYRISE_RETURN_IF_ERROR(EvalNumericInto(expr, chunk, &out));
   return out;
 }
 

@@ -65,9 +65,21 @@ ExprPtr Indicator(ExprPtr condition);
 [[nodiscard]] Result<std::vector<uint32_t>> EvalPredicate(const Expr& expr,
                                             const data::Chunk& chunk);
 
+/// Eval-into variant: clears and refills `out`, reusing its capacity across
+/// morsels. The hot path under engine::FragmentPipeline's filter operator;
+/// EvalPredicate wraps it.
+[[nodiscard]] Status EvalPredicateInto(const Expr& expr,
+                                       const data::Chunk& chunk,
+                                       std::vector<uint32_t>* out);
+
 /// Evaluates a numeric expression over a chunk into a double column.
 [[nodiscard]] Result<std::vector<double>> EvalNumeric(const Expr& expr,
                                         const data::Chunk& chunk);
+
+/// Eval-into variant of EvalNumeric; clears and refills `out`.
+[[nodiscard]] Status EvalNumericInto(const Expr& expr,
+                                     const data::Chunk& chunk,
+                                     std::vector<double>* out);
 
 /// Columns referenced anywhere in the expression (deduplicated).
 void CollectColumns(const Expr& expr, std::vector<std::string>* out);

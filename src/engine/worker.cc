@@ -330,7 +330,12 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     filter.op = "filter";
     filter.predicate = spec.pushdown;
     filter.selectivity = spec.pushdown_selectivity;
-    return ApplyFilterOp(filter, std::move(chunk), &cost_);
+    Result<Chunk> out = ApplyFilterOp(filter, std::move(chunk), &cost_);
+    // ApplyFilterOp copies surviving rows out; the decoded source buffers
+    // go back to the pool for the next row group.
+    // skyrise-check: allow(use-after-move) — Release accepts moved-from chunks.
+    chunk_pool_.Release(std::move(chunk));
+    return out;
   }
 
   void ReadFileColumns(size_t index,
@@ -393,15 +398,15 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
           (void)synthetic;
           ++buffer;
         }
-        auto decoded = format::DecodeRowGroup(*meta_ptr, rg, *projection_ptr,
-                                              column_bytes);
-        if (!decoded.ok()) {
-          self->Fail(decoded.status());
+        Chunk decoded = self->chunk_pool_.AcquireRaw();
+        const Status decode_status = format::DecodeRowGroupInto(
+            *meta_ptr, rg, *projection_ptr, column_bytes, &decoded);
+        if (!decode_status.ok()) {
+          self->Fail(decode_status);
           return;
         }
-        auto filtered =
-            self->ApplyPushdown(self->pipeline_.inputs[index],
-                                std::move(decoded).ValueUnsafe());
+        auto filtered = self->ApplyPushdown(self->pipeline_.inputs[index],
+                                            std::move(decoded));
         if (!filtered.ok()) {
           self->Fail(filtered.status());
           return;
@@ -510,12 +515,15 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
               static_cast<size_t>(cm.offset), static_cast<size_t>(cm.size)));
         }
       }
-      auto decoded = format::DecodeRowGroup(meta, rg, projection, column_bytes);
-      if (!decoded.ok()) {
-        Fail(decoded.status());
+      Chunk decoded = chunk_pool_.AcquireRaw();
+      const Status decode_status =
+          format::DecodeRowGroupInto(meta, rg, projection, column_bytes,
+                                     &decoded);
+      if (!decode_status.ok()) {
+        Fail(decode_status);
         return false;
       }
-      out->push_back(std::move(decoded).ValueUnsafe());
+      out->push_back(std::move(decoded));
     }
     if (meta.row_groups.empty()) {
       out->push_back(Chunk::Empty(meta.schema));
@@ -529,6 +537,7 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
       return;
     }
     loaded_[index]->Append(chunk);
+    chunk_pool_.Release(std::move(chunk));
   }
 
   // --- Barrier, then the streamed input drives the pipeline. ---
@@ -563,7 +572,8 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
                                               : Chunk::Empty(data::Schema()));
     }
     executor_ = std::make_unique<FragmentPipeline>(
-        pipeline_, std::move(builds), &cost_, &memory_, ec_->morsel_rows);
+        pipeline_, std::move(builds), &cost_, &memory_, ec_->morsel_rows,
+        &chunk_pool_);
     if (pipeline_.inputs.empty()) {
       StreamEof();
       return;
@@ -705,15 +715,15 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
         column_bytes.push_back(
             std::move(stream_buffers_[rg_cursor_ * cols + c]));
       }
-      auto decoded =
-          format::DecodeRowGroup(*stream_meta_, stream_survivors_[rg_cursor_],
-                                 stream_projection_, column_bytes);
-      if (!decoded.ok()) {
-        Fail(decoded.status());
+      Chunk decoded = chunk_pool_.AcquireRaw();
+      const Status decode_status = format::DecodeRowGroupInto(
+          *stream_meta_, stream_survivors_[rg_cursor_], stream_projection_,
+          column_bytes, &decoded);
+      if (!decode_status.ok()) {
+        Fail(decode_status);
         return;
       }
-      auto filtered = ApplyPushdown(pipeline_.inputs[0],
-                                    std::move(decoded).ValueUnsafe());
+      auto filtered = ApplyPushdown(pipeline_.inputs[0], std::move(decoded));
       if (!filtered.ok()) {
         Fail(filtered.status());
         return;
@@ -1006,6 +1016,10 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
   std::vector<std::optional<Chunk>> loaded_;  ///< Build-side inputs.
 
   // Streaming state for input 0.
+  /// Per-task recycling pool: decoded row groups, pushdown-spent inputs, and
+  /// pipeline morsels all share one free list (single-threaded on the sim
+  /// event loop).
+  data::ChunkPool chunk_pool_;
   std::unique_ptr<FragmentPipeline> executor_;
   std::deque<Chunk> morsels_;
   int64_t morsels_seen_ = 0;

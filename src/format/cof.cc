@@ -273,10 +273,10 @@ Result<std::vector<ColumnRange>> RowGroupColumnRanges(
   return ranges;
 }
 
-Result<data::Chunk> DecodeRowGroup(
-    const FileMeta& meta, size_t row_group,
-    const std::vector<std::string>& projection,
-    const std::vector<std::string>& column_bytes) {
+Status DecodeRowGroupInto(const FileMeta& meta, size_t row_group,
+                          const std::vector<std::string>& projection,
+                          const std::vector<std::string>& column_bytes,
+                          data::Chunk* out) {
   if (row_group >= meta.row_groups.size()) {
     return Status::OutOfRange("row group index");
   }
@@ -287,16 +287,26 @@ Result<data::Chunk> DecodeRowGroup(
   data::Schema projected;
   SKYRISE_ASSIGN_OR_RETURN(projected, meta.schema.Select(projection));
   if (meta.synthetic) {
-    return data::Chunk::Synthetic(projected, rg.rows);
+    *out = data::Chunk::Synthetic(std::move(projected), rg.rows);
+    return Status::OK();
   }
-  std::vector<data::Column> columns;
+  out->PrepareFor(projected);
   for (size_t i = 0; i < projection.size(); ++i) {
-    data::Column col(projected.field(i).type);
-    SKYRISE_ASSIGN_OR_RETURN(
-        col, DecodeColumn(column_bytes[i], projected.field(i).type, rg.rows));
-    columns.push_back(std::move(col));
+    SKYRISE_RETURN_IF_ERROR(DecodeColumnInto(
+        column_bytes[i].data(), column_bytes[i].size(),
+        projected.field(i).type, rg.rows, &out->column(i)));
   }
-  return data::Chunk(projected, std::move(columns));
+  return Status::OK();
+}
+
+Result<data::Chunk> DecodeRowGroup(
+    const FileMeta& meta, size_t row_group,
+    const std::vector<std::string>& projection,
+    const std::vector<std::string>& column_bytes) {
+  data::Chunk chunk;
+  SKYRISE_RETURN_IF_ERROR(
+      DecodeRowGroupInto(meta, row_group, projection, column_bytes, &chunk));
+  return chunk;
 }
 
 }  // namespace skyrise::format

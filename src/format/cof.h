@@ -123,6 +123,16 @@ struct ColumnRange {
     const std::vector<std::string>& projection,
     const std::vector<std::string>& column_bytes);
 
+/// Decode-into variant: reshapes `out` to the projected schema and decodes
+/// each column chunk into its reused buffers (see format::DecodeColumnInto).
+/// With a pooled `out` chunk, steady-state row-group decode performs no
+/// column-vector allocations. Synthetic files reset `out` to a synthetic
+/// chunk. On error `out`'s contents are unspecified.
+[[nodiscard]] Status DecodeRowGroupInto(
+    const FileMeta& meta, size_t row_group,
+    const std::vector<std::string>& projection,
+    const std::vector<std::string>& column_bytes, data::Chunk* out);
+
 /// Registry of synthetic file footers, consulted by readers when the stored
 /// blob carries no real bytes. Keyed by the storage key.
 class SyntheticFileCatalog {

@@ -85,84 +85,140 @@ ColumnEncoding EncodeColumn(const data::Column& column, std::string* out) {
   }
 }
 
-Result<data::Column> DecodeColumn(const std::string& bytes,
-                                  data::DataType type, int64_t rows) {
+namespace {
+
+/// Pointer-walking varint decode over a contiguous span; returns the
+/// position past the varint, or nullptr on truncation/overflow. The caller
+/// handles the one-byte fast path inline, so this only runs for multi-byte
+/// values.
+inline const uint8_t* GetVarintSpan(const uint8_t* p, const uint8_t* end,
+                                    uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (p < end && shift <= 63) {
+    const uint8_t byte = *p++;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status DecodeColumnInto(const char* data, size_t size, data::DataType type,
+                        int64_t rows, data::Column* out) {
   using data::DataType;
-  if (bytes.empty()) return Status::IoError("empty column chunk");
-  const auto encoding = static_cast<ColumnEncoding>(bytes[0]);
-  size_t pos = 1;
-  data::Column column(type);
+  if (size == 0) return Status::IoError("empty column chunk");
+  if (out->type() != type) out->Reset(type);
+  const auto encoding = static_cast<ColumnEncoding>(data[0]);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data) + 1;
+  const uint8_t* const end = reinterpret_cast<const uint8_t*>(data) + size;
   switch (encoding) {
     case ColumnEncoding::kDoubleRaw: {
       if (type != DataType::kDouble) {
         return Status::IoError("encoding/type mismatch");
       }
-      if (bytes.size() - pos < static_cast<size_t>(rows) * 8) {
+      if (static_cast<size_t>(end - p) < static_cast<size_t>(rows) * 8) {
         return Status::IoError("truncated double chunk");
       }
-      column.doubles().resize(static_cast<size_t>(rows));
-      std::memcpy(column.doubles().data(), bytes.data() + pos,
-                  static_cast<size_t>(rows) * 8);
-      return column;
+      out->doubles().resize(static_cast<size_t>(rows));
+      std::memcpy(out->doubles().data(), p, static_cast<size_t>(rows) * 8);
+      return Status::OK();
     }
     case ColumnEncoding::kStringDict: {
       if (type != DataType::kString) {
         return Status::IoError("encoding/type mismatch");
       }
-      uint64_t dict_size;
-      SKYRISE_ASSIGN_OR_RETURN(dict_size, GetVarint(bytes, &pos));
-      std::vector<std::string> dict;
+      uint64_t dict_size = 0;
+      p = GetVarintSpan(p, end, &dict_size);
+      if (p == nullptr) return Status::IoError("truncated varint");
+      std::vector<std::pair<const char*, size_t>> dict;
       dict.reserve(dict_size);
       for (uint64_t i = 0; i < dict_size; ++i) {
-        uint64_t len;
-        SKYRISE_ASSIGN_OR_RETURN(len, GetVarint(bytes, &pos));
-        if (pos + len > bytes.size()) {
+        uint64_t len = 0;
+        p = GetVarintSpan(p, end, &len);
+        if (p == nullptr) return Status::IoError("truncated varint");
+        if (static_cast<size_t>(end - p) < len) {
           return Status::IoError("truncated dictionary");
         }
-        dict.push_back(bytes.substr(pos, len));
-        pos += len;
+        dict.emplace_back(reinterpret_cast<const char*>(p), len);
+        p += len;
       }
-      if (pos + static_cast<size_t>(rows) > bytes.size()) {
+      if (static_cast<size_t>(end - p) < static_cast<size_t>(rows)) {
         return Status::IoError("truncated dict indices");
       }
-      column.strings().reserve(static_cast<size_t>(rows));
+      auto& strings = out->strings();
+      strings.resize(static_cast<size_t>(rows));
       for (int64_t i = 0; i < rows; ++i) {
-        const uint8_t id = static_cast<uint8_t>(bytes[pos + static_cast<size_t>(i)]);
+        const uint8_t id = p[i];
         if (id >= dict.size()) return Status::IoError("bad dict index");
-        column.strings().push_back(dict[id]);
+        // assign into the existing element: per-string capacity is recycled
+        // across decode calls when the column buffer is pooled.
+        strings[static_cast<size_t>(i)].assign(dict[id].first,
+                                               dict[id].second);
       }
-      return column;
+      return Status::OK();
     }
     case ColumnEncoding::kStringPlain: {
       if (type != DataType::kString) {
         return Status::IoError("encoding/type mismatch");
       }
-      column.strings().reserve(static_cast<size_t>(rows));
+      auto& strings = out->strings();
+      strings.resize(static_cast<size_t>(rows));
       for (int64_t i = 0; i < rows; ++i) {
-        uint64_t len;
-        SKYRISE_ASSIGN_OR_RETURN(len, GetVarint(bytes, &pos));
-        if (pos + len > bytes.size()) return Status::IoError("truncated string");
-        column.strings().push_back(bytes.substr(pos, len));
-        pos += len;
+        uint64_t len = 0;
+        if (p < end && *p < 0x80) {
+          len = *p++;  // One-byte fast path: typical TPC string lengths.
+        } else {
+          p = GetVarintSpan(p, end, &len);
+          if (p == nullptr) return Status::IoError("truncated varint");
+        }
+        if (static_cast<size_t>(end - p) < len) {
+          return Status::IoError("truncated string");
+        }
+        strings[static_cast<size_t>(i)].assign(
+            reinterpret_cast<const char*>(p), len);
+        p += len;
       }
-      return column;
+      return Status::OK();
     }
     case ColumnEncoding::kIntDelta: {
       if (type != DataType::kInt64 && type != DataType::kDate) {
         return Status::IoError("encoding/type mismatch");
       }
-      column.ints().reserve(static_cast<size_t>(rows));
+      auto& ints = out->ints();
+      ints.resize(static_cast<size_t>(rows));
+      int64_t* dst = ints.data();
       int64_t prev = 0;
       for (int64_t i = 0; i < rows; ++i) {
-        uint64_t raw;
-        SKYRISE_ASSIGN_OR_RETURN(raw, GetVarint(bytes, &pos));
+        if (p < end && *p < 0x80) {
+          // One-byte fast path: deltas of sorted keys / small domains.
+          prev += ZigzagDecode(*p++);
+          dst[i] = prev;
+          continue;
+        }
+        uint64_t raw = 0;
+        p = GetVarintSpan(p, end, &raw);
+        if (p == nullptr) return Status::IoError("truncated varint");
         prev += ZigzagDecode(raw);
-        column.ints().push_back(prev);
+        dst[i] = prev;
       }
-      return column;
+      return Status::OK();
     }
   }
   return Status::IoError("unknown encoding");
+}
+
+Result<data::Column> DecodeColumn(const std::string& bytes,
+                                  data::DataType type, int64_t rows) {
+  data::Column column(type);
+  SKYRISE_RETURN_IF_ERROR(
+      DecodeColumnInto(bytes.data(), bytes.size(), type, rows, &column));
+  return column;
 }
 
 }  // namespace skyrise::format

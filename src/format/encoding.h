@@ -35,4 +35,15 @@ ColumnEncoding EncodeColumn(const data::Column& column, std::string* out);
 [[nodiscard]] Result<data::Column> DecodeColumn(const std::string& bytes,
                                   data::DataType type, int64_t rows);
 
+/// Decode-into-reused-buffer variant: overwrites `out` (retyping it if
+/// needed), recycling its vector capacity and — for strings — per-element
+/// buffers across calls. The decode kernels run branch-light over the
+/// contiguous input span (pointer-walked varints with a one-byte fast path)
+/// instead of per-byte bounds-checked string indexing. On error `out`'s
+/// contents are unspecified. This is the hot path under
+/// format::DecodeRowGroupInto; DecodeColumn wraps it.
+[[nodiscard]] Status DecodeColumnInto(const char* data, size_t size,
+                                      data::DataType type, int64_t rows,
+                                      data::Column* out);
+
 }  // namespace skyrise::format

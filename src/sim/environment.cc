@@ -1,43 +1,38 @@
 #include "sim/environment.h"
 
+#include <limits>
+
 namespace skyrise::sim {
 
 SimEnvironment::SimEnvironment(uint64_t seed) : seed_(seed), root_rng_(seed) {}
 
-EventId SimEnvironment::Schedule(SimDuration delay, std::function<void()> fn) {
-  SKYRISE_CHECK(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(fn));
-}
-
-EventId SimEnvironment::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventId SimEnvironment::ScheduleImpl(SimTime when, EventCallback callback) {
   SKYRISE_CHECK(when >= now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{when, next_sequence_++, id, std::move(fn)});
-  ++pending_count_;
-  return id;
+  return queue_.Push(when, std::move(callback));
 }
 
-void SimEnvironment::Cancel(EventId id) {
-  if (id != kInvalidEventId) cancelled_.insert(id);
-}
+void SimEnvironment::Cancel(EventId id) { queue_.Cancel(id); }
 
-bool SimEnvironment::Step() {
-  while (!queue_.empty()) {
-    // Copy out the event before popping: the callback may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    --pending_count_;
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
+bool SimEnvironment::FireNext(SimTime limit) {
+  SimTime time = 0;
+  bool cancelled = false;
+  while (queue_.PeekNext(&time, &cancelled)) {
+    if (time > limit) return false;
+    if (cancelled) {
+      queue_.DropNext();
       continue;
     }
-    now_ = ev.time;
+    EventCallback callback = queue_.PopNext(&time);
+    now_ = time;
     ++events_processed_;
-    ev.fn();
+    callback();
     return true;
   }
   return false;
+}
+
+bool SimEnvironment::Step() {
+  return FireNext(std::numeric_limits<SimTime>::max());
 }
 
 SimTime SimEnvironment::Run() {
@@ -48,16 +43,7 @@ SimTime SimEnvironment::Run() {
 
 void SimEnvironment::RunUntil(SimTime until) {
   SKYRISE_CHECK(until >= now_);
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.time > until) break;
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      --pending_count_;
-      continue;
-    }
-    Step();
+  while (FireNext(until)) {
   }
   now_ = until;
 }

@@ -134,5 +134,93 @@ TEST(SimEnvironmentTest, CancelledEventSkippedInRunUntil) {
   EXPECT_EQ(env.now(), Seconds(5));
 }
 
+TEST(SimEnvironmentTest, EqualTimeStormFiresInScheduleOrder) {
+  // A thousand ties at one instant: the calendar chains them in one bucket
+  // and the sequence number must settle every tie, exactly FIFO.
+  SimEnvironment env;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    env.Schedule(Seconds(2), [&order, i] { order.push_back(i); });
+  }
+  env.Run();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimEnvironmentTest, ScheduleAtNowInsideCallbackFiresSameInstant) {
+  // An event scheduled for the current instant from inside a callback must
+  // still fire (after all previously queued same-time events), not be lost
+  // behind the cursor.
+  SimEnvironment env;
+  std::vector<int> order;
+  env.Schedule(Seconds(1), [&] {
+    order.push_back(1);
+    env.ScheduleAt(env.now(), [&] { order.push_back(3); });
+  });
+  env.Schedule(Seconds(1), [&] { order.push_back(2); });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.now(), Seconds(1));
+}
+
+TEST(SimEnvironmentTest, InterleavedCancelScheduleStorm) {
+  // Cancel every third event while continuing to schedule; survivors must
+  // fire in exact (time, sequence) order with no leaks.
+  SimEnvironment env;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 300; ++i) {
+    ids.push_back(env.Schedule(Seconds(1 + i % 7),
+                               [&order, i] { order.push_back(i); }));
+    if (i % 3 == 2) env.Cancel(ids[static_cast<size_t>(i - 1)]);
+  }
+  env.Run();
+  std::vector<int> expected;
+  for (int time = 1; time <= 7; ++time) {
+    for (int i = 0; i < 300; ++i) {
+      if (1 + i % 7 == time && i % 3 != 1) expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+  EXPECT_TRUE(env.empty());
+}
+
+TEST(SimEnvironmentTest, StaleCancelAfterSlotReuseIsNoop) {
+  // Regression for the pooled queue: after an event fires, its slot is
+  // recycled. A Cancel with the old id must not kill the slot's next
+  // occupant (the generation stamp rejects it).
+  SimEnvironment env;
+  const EventId stale = env.Schedule(Seconds(1), [] {});
+  env.Run();
+  bool fired = false;
+  // With a single-slot pool this reuses the slot the stale id points at.
+  const EventId fresh = env.Schedule(Seconds(1), [&] { fired = true; });
+  EXPECT_NE(stale, fresh);
+  env.Cancel(stale);
+  env.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEnvironmentTest, CancelStormIsReclaimedWithoutFiring) {
+  // Cancel-heavy load (the retry-timeout pattern): cancelled far-future
+  // events must be purged by the calendar instead of accumulating until
+  // their nominal time, and none of them may run.
+  SimEnvironment env;
+  int fired = 0;
+  std::vector<EventId> timeouts;
+  for (int i = 0; i < 5000; ++i) {
+    env.Schedule(Seconds(2), [&fired] { ++fired; });
+    timeouts.push_back(env.Schedule(Hours(1), [&fired] { fired += 1000000; }));
+  }
+  for (const EventId id : timeouts) env.Cancel(id);
+  env.Run();
+  EXPECT_EQ(fired, 5000);
+  EXPECT_EQ(env.now(), Seconds(2));  // No cancelled timeout advanced the clock.
+  const EventPoolStats stats = env.pool_stats();
+  EXPECT_EQ(stats.cancelled_dropped, 5000u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_TRUE(env.empty());
+}
+
 }  // namespace
 }  // namespace skyrise::sim

@@ -1,0 +1,195 @@
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/environment.h"
+
+namespace skyrise::sim {
+namespace {
+
+// Reference event loop: a plain binary heap ordered by (time, sequence) plus
+// a tombstone set for cancellations. This mirrors the seed implementation the
+// calendar queue replaced, and it pins the exact FireNext contract:
+//   - the time bound is checked BEFORE the cancelled flag, so a cancelled
+//     event past the limit still stops the loop without being dropped;
+//   - dropping a cancelled head does not advance the clock;
+//   - RunUntil always leaves the clock at `until`.
+class ReferenceLoop {
+ public:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    int tag;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return other.time < time;
+      return other.seq < seq;
+    }
+  };
+
+  uint64_t Schedule(SimTime when, int tag) {
+    const uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq, tag});
+    return seq;
+  }
+
+  void Cancel(uint64_t seq) { cancelled_.insert(seq); }
+
+  bool FireNext(SimTime limit, std::vector<int>* log) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      if (top.time > limit) return false;
+      heap_.pop();
+      if (cancelled_.count(top.seq) != 0) continue;
+      now_ = top.time;
+      log->push_back(top.tag);
+      return true;
+    }
+    return false;
+  }
+
+  void Step(std::vector<int>* log) {
+    FireNext(std::numeric_limits<SimTime>::max(), log);
+  }
+
+  void Run(std::vector<int>* log) {
+    while (FireNext(std::numeric_limits<SimTime>::max(), log)) {
+    }
+  }
+
+  void RunUntil(SimTime until, std::vector<int>* log) {
+    while (FireNext(until, log)) {
+    }
+    now_ = until;
+  }
+
+  SimTime now() const { return now_; }
+
+ private:
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::set<uint64_t> cancelled_;
+  uint64_t next_seq_ = 0;
+  SimTime now_ = 0;
+};
+
+// Drives SimEnvironment and ReferenceLoop in lockstep from one shared random
+// op stream and asserts identical firing logs and clocks. Exercises ties
+// (delay 0), stale cancels of already-fired events, and RunUntil boundaries.
+void RunLockstepStorm(uint64_t seed, int ops) {
+  SimEnvironment env(seed);
+  ReferenceLoop ref;
+  Rng rng(seed * 2654435761u + 1);
+
+  std::vector<int> env_log;
+  std::vector<int> ref_log;
+  std::vector<EventId> env_ids;
+  std::vector<uint64_t> ref_ids;
+  int next_tag = 0;
+
+  for (int op = 0; op < ops; ++op) {
+    switch (rng.UniformInt(0, 5)) {
+      case 0:
+      case 1:
+      case 2: {  // Schedule; delay 0 produces same-instant ties.
+        const SimTime delay = rng.UniformInt(0, 2000);
+        const int tag = next_tag++;
+        env_ids.push_back(
+            env.Schedule(delay, [&env_log, tag] { env_log.push_back(tag); }));
+        ref_ids.push_back(ref.Schedule(env.now() + delay, tag));
+        break;
+      }
+      case 3: {  // Cancel any id ever issued, fired or not.
+        if (env_ids.empty()) break;
+        const size_t pick =
+            static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(env_ids.size()) - 1));
+        env.Cancel(env_ids[pick]);
+        ref.Cancel(ref_ids[pick]);
+        break;
+      }
+      case 4: {  // Single step.
+        env.Step();
+        ref.Step(&ref_log);
+        break;
+      }
+      case 5: {  // Bounded drain.
+        const SimTime until = env.now() + rng.UniformInt(0, 3000);
+        env.RunUntil(until);
+        ref.RunUntil(until, &ref_log);
+        break;
+      }
+    }
+    ASSERT_EQ(env.now(), ref.now()) << "clock diverged at op " << op;
+  }
+
+  env.Run();
+  ref.Run(&ref_log);
+
+  EXPECT_EQ(env_log, ref_log);
+  EXPECT_EQ(env.now(), ref.now());
+  EXPECT_TRUE(env.empty());
+}
+
+TEST(QueueEquivalenceTest, MatchesReferenceHeapSeed1) {
+  RunLockstepStorm(/*seed=*/1, /*ops=*/20000);
+}
+
+TEST(QueueEquivalenceTest, MatchesReferenceHeapSeed42) {
+  RunLockstepStorm(/*seed=*/42, /*ops=*/20000);
+}
+
+TEST(QueueEquivalenceTest, MatchesReferenceHeapSeed2026) {
+  RunLockstepStorm(/*seed=*/2026, /*ops=*/20000);
+}
+
+TEST(QueueEquivalenceTest, MatchesReferenceUnderCancelHeavyLoad) {
+  // Bias toward cancels by issuing a dedicated storm: schedule bursts of
+  // far-future timeouts, cancel almost all of them, then drain.
+  SimEnvironment env(7);
+  ReferenceLoop ref;
+  Rng rng(7777);
+
+  std::vector<int> env_log;
+  std::vector<int> ref_log;
+  int next_tag = 0;
+
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> env_ids;
+    std::vector<uint64_t> ref_ids;
+    for (int i = 0; i < 200; ++i) {
+      const SimTime delay = 1 + rng.UniformInt(0, 100);
+      const SimTime timeout = Seconds(30) + rng.UniformInt(0, 1000);
+      const int tag = next_tag++;
+      env.Schedule(delay, [&env_log, tag] { env_log.push_back(tag); });
+      ref.Schedule(env.now() + delay, tag);
+      const int ttag = next_tag++;
+      env_ids.push_back(
+          env.Schedule(timeout, [&env_log, ttag] { env_log.push_back(ttag); }));
+      ref_ids.push_back(ref.Schedule(env.now() + timeout, ttag));
+    }
+    // Cancel all but one timeout per round; the survivor fires much later.
+    const size_t keep =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(env_ids.size()) - 1));
+    for (size_t i = 0; i < env_ids.size(); ++i) {
+      if (i == keep) continue;
+      env.Cancel(env_ids[i]);
+      ref.Cancel(ref_ids[i]);
+    }
+    const SimTime until = env.now() + rng.UniformInt(200, 2000);
+    env.RunUntil(until);
+    ref.RunUntil(until, &ref_log);
+    ASSERT_EQ(env.now(), ref.now()) << "clock diverged at round " << round;
+  }
+
+  env.Run();
+  ref.Run(&ref_log);
+  EXPECT_EQ(env_log, ref_log);
+  EXPECT_EQ(env.now(), ref.now());
+}
+
+}  // namespace
+}  // namespace skyrise::sim

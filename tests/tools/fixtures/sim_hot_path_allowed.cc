@@ -1,0 +1,28 @@
+// Fixture: sanctioned patterns the sim-hot-path rule must stay silent on.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace skyrise::sim {
+
+class Kernel {
+ public:
+  // Callbacks move in; no per-call copy.
+  void Schedule(int64_t delay, std::function<void()>&& callback);
+  void At(int64_t time, const std::function<void()>& watcher);
+
+  int64_t Fire() {
+    // Member buffer reused across calls; clear() keeps capacity.
+    ready_.clear();
+    ready_.push_back(now_);
+    return static_cast<int64_t>(ready_.size());
+  }
+
+  std::vector<int64_t> Snapshot() const;  // Return type, not a local.
+
+ private:
+  int64_t now_ = 0;
+  std::vector<int64_t> ready_;
+};
+
+}  // namespace skyrise::sim

@@ -1,0 +1,25 @@
+// Fixture: intentional per-call costs with justified suppressions.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace skyrise::sim {
+
+class Kernel {
+ public:
+  void Replay(
+      // skyrise-check: allow(sim-hot-path) — test-only shim mirrors a C API.
+      std::function<void()> callback);
+
+  int64_t Rebuild() {
+    // skyrise-check: allow(sim-hot-path) — runs once per thousands of events.
+    std::vector<int64_t> order;
+    order.push_back(now_);
+    return static_cast<int64_t>(order.size());
+  }
+
+ private:
+  int64_t now_ = 0;
+};
+
+}  // namespace skyrise::sim

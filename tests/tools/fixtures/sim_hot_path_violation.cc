@@ -1,0 +1,39 @@
+// Fixture: per-call allocations on the simulator hot path.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace skyrise::sim {
+
+class Kernel {
+ public:
+  void Schedule(int64_t delay, std::function<void()> callback);
+
+  int64_t Drain(const std::function<bool(int64_t)> filter,
+                std::function<void()> on_empty);
+
+  void Fire() {
+    std::vector<int64_t> ready;
+    ready.push_back(now_);
+    std::map<int64_t, int> by_time = {};
+    by_time[now_] = 1;
+  }
+
+  // OK: references, rvalue refs, and pointers do not copy per call.
+  void Bind(std::function<void()>&& moved);
+  void Observe(const std::function<void()>& watched);
+  void Poke(std::function<void()>* slot);
+
+  // OK: constructed once, not per call.
+  int64_t Tag() {
+    static const std::vector<int64_t> kSeeds = {1, 2, 3};
+    return kSeeds[0] + now_;
+  }
+
+ private:
+  int64_t now_ = 0;
+  std::vector<int64_t> reused_;  // OK: member buffer, reused across calls.
+};
+
+}  // namespace skyrise::sim

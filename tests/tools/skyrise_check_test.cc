@@ -143,6 +143,39 @@ TEST(SkyriseCheckGolden, UnboundedRetryScopedToSrc) {
       checker.CheckSources({{"tools/bench/rearm.cc", src}}).empty());
 }
 
+TEST(SkyriseCheckGolden, SimHotPathFires) {
+  EXPECT_EQ(
+      LintFixture("sim_hot_path_violation.cc"),
+      ReadFile(kFixtureDir + std::string("sim_hot_path_violation.expected")));
+}
+
+TEST(SkyriseCheckGolden, SimHotPathAllowed) {
+  EXPECT_EQ(LintFixture("sim_hot_path_allowed.cc"), "");
+}
+
+TEST(SkyriseCheckGolden, SimHotPathSuppressed) {
+  EXPECT_EQ(LintFixture("sim_hot_path_suppressed.cc"), "");
+}
+
+TEST(SkyriseCheckGolden, SimHotPathScopedToSim) {
+  // The same per-call costs outside src/sim/ are not this rule's business:
+  // operator code allocates per morsel, tools per invocation — other rules
+  // (and reviews) own those budgets.
+  const std::string src =
+      "void Apply(std::function<void()> fn);\n"
+      "int Go() {\n"
+      "  std::vector<int> scratch;\n"
+      "  return static_cast<int>(scratch.size());\n"
+      "}\n";
+  Checker checker;
+  const auto in_sim = checker.CheckSources({{"src/sim/kernel.cc", src}});
+  ASSERT_EQ(in_sim.size(), 2u);
+  EXPECT_EQ(in_sim[0].rule, "sim-hot-path");
+  EXPECT_EQ(in_sim[1].rule, "sim-hot-path");
+  EXPECT_TRUE(checker.CheckSources({{"src/engine/kernel.cc", src}}).empty());
+  EXPECT_TRUE(checker.CheckSources({{"tests/sim/kernel_test.cc", src}}).empty());
+}
+
 // --- v2 flow-sensitive rules -----------------------------------------------
 
 struct RuleFixture {

@@ -46,6 +46,18 @@ bool EngineScoped(const std::string& path) {
          path.find("/src/engine/") != std::string::npos;
 }
 
+/// True for simulator-core files, where every event fire crosses this code
+/// and per-call allocations multiply by millions. Bare file names are in
+/// scope only when they name hot-path fixtures, so the other rule fixtures
+/// stay out of this rule's reach.
+bool SimScoped(const std::string& path) {
+  if (path.find('/') == std::string::npos) {
+    return path.find("hot_path") != std::string::npos;
+  }
+  return path.rfind("src/sim/", 0) == 0 ||
+         path.find("/src/sim/") != std::string::npos;
+}
+
 /// Case-insensitive substring search over identifier text.
 bool ContainsCi(const std::string& haystack, const std::string& needle) {
   if (needle.size() > haystack.size()) return false;
@@ -217,6 +229,7 @@ const std::vector<std::string>& Checker::RuleIds() {
       "unordered-iteration", "pragma-once",
       "using-namespace",     "raw-stdout",
       "chunk-copy",          "unbounded-retry",
+      "sim-hot-path",
       "unchecked-result-access",
       "status-path-drop",    "use-after-move",
       "span-leak",           "unordered-taint",
@@ -711,6 +724,138 @@ void Checker::CheckUnboundedRetry(const SourceFile& file,
   }
 }
 
+void Checker::CheckSimHotPath(const SourceFile& file,
+                              std::vector<Diagnostic>* out) const {
+  if (!SimScoped(file.path)) return;
+
+  // Half A: by-value std::function parameters. Same parse shape as
+  // chunk-copy — references, pointers, and rvalue refs all fail the
+  // follow-character check, and the walk-back proves parameter position.
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    size_t pos = 0;
+    while ((pos = line.find("std::function", pos)) != std::string::npos) {
+      const size_t start = pos;
+      pos += 13;
+      if (start > 0 && IsIdentChar(line[start - 1])) continue;
+      const size_t open = SkipSpaces(line, start + 13);
+      if (open >= line.size() || line[open] != '<') continue;
+      const size_t close = MatchAngle(line, open);
+      if (close == std::string::npos) continue;
+      const size_t np = SkipSpaces(line, close + 1);
+      if (np >= line.size() || !IsIdentChar(line[np])) continue;
+      const std::string param = ReadIdent(line, np);
+      const size_t fq = SkipSpaces(line, np + param.size());
+      const char follow = fq < line.size() ? line[fq] : '\0';
+      if (follow != ',' && follow != ')' && follow != '=' && follow != '\0') {
+        continue;
+      }
+      // Walk back over an optional `const`; the character before the type
+      // must open a parameter (`(` or `,`), possibly on the previous line.
+      size_t b = start;
+      while (b > 0 && std::isspace(static_cast<unsigned char>(line[b - 1]))) {
+        --b;
+      }
+      if (b >= 5 && line.compare(b - 5, 5, "const") == 0 &&
+          (b == 5 || !IsIdentChar(line[b - 6]))) {
+        b -= 5;
+        while (b > 0 &&
+               std::isspace(static_cast<unsigned char>(line[b - 1]))) {
+          --b;
+        }
+      }
+      char before = '\0';
+      if (b > 0) {
+        before = line[b - 1];
+      } else {
+        for (size_t pl = li; pl > 0; --pl) {
+          const size_t e = file.code[pl - 1].find_last_not_of(" \t");
+          if (e != std::string::npos) {
+            before = file.code[pl - 1][e];
+            break;
+          }
+        }
+      }
+      if (before != '(' && before != ',') continue;
+      Emit(file, static_cast<int>(li) + 1, "sim-hot-path",
+           "by-value std::function parameter `" + param +
+               "` heap-allocates a copy per call on the simulator hot path; "
+               "take it by rvalue reference (and move it) or use "
+               "sim::EventCallback",
+           out);
+    }
+  }
+
+  // Half B: standard containers constructed inside function bodies — one
+  // allocation (or more) per call on code that runs per event.
+  const std::vector<Token> toks = Lex(file);
+  const BracketMap brackets = PairBrackets(toks);
+  for (const FunctionScope& fn : ExtractFunctions(toks, brackets)) {
+    // Lambda bodies sit inside their enclosing function's token range, so
+    // scanning only non-lambda scopes covers them without double-reporting.
+    if (fn.is_lambda) continue;
+    for (size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+      if (!toks[i].IsIdent()) continue;
+      const bool container =
+          toks[i].Is("vector") || toks[i].Is("deque") || toks[i].Is("map") ||
+          toks[i].Is("set") || toks[i].Is("unordered_map") ||
+          toks[i].Is("unordered_set");
+      if (!container) continue;
+      if (i < 2 || !toks[i - 1].Is("::") || !toks[i - 2].Is("std")) continue;
+      // `static` / `constexpr` locals are constructed once, not per call.
+      bool once = false;
+      for (size_t j = i - 2; j > fn.body_begin; --j) {
+        const Token& q = toks[j - 1];
+        if (q.Is("const")) continue;
+        once = q.Is("static") || q.Is("constexpr");
+        break;
+      }
+      if (once) continue;
+      if (!toks[i + 1].Is("<")) continue;
+      // Match the template argument list over tokens (`>>` closes two
+      // levels); statement punctuation means this was a comparison, not a
+      // declaration.
+      int depth = 0;
+      size_t close = 0;
+      for (size_t k = i + 1; k < fn.body_end; ++k) {
+        const std::string& t = toks[k].text;
+        if (t == "<") {
+          ++depth;
+        } else if (t == ">") {
+          if (--depth == 0) {
+            close = k;
+            break;
+          }
+        } else if (t == ">>") {
+          depth -= 2;
+          if (depth <= 0) {
+            close = k;
+            break;
+          }
+        } else if (t == ";" || t == "{" || t == "}") {
+          break;
+        }
+      }
+      if (close == 0 || close + 2 >= fn.body_end) continue;
+      // A declaration reads `std::vector<T> name` followed by an
+      // initializer or `;`. Pointers, references, and nested type names
+      // (`::iterator`) all miss this shape.
+      const Token& name = toks[close + 1];
+      if (!name.IsIdent()) continue;
+      const std::string& after = toks[close + 2].text;
+      if (after != ";" && after != "(" && after != "{" && after != "=") {
+        continue;
+      }
+      Emit(file, toks[i].line, "sim-hot-path",
+           "`std::" + toks[i].text + "` local `" + name.text +
+               "` is constructed per call on the simulator hot path; hoist "
+               "it into a reused member buffer, or add an allow comment "
+               "stating why the cost is amortized",
+           out);
+    }
+  }
+}
+
 void Checker::CheckFile(const SourceFile& file,
                         std::vector<Diagnostic>* out) const {
   CheckBannedApis(file, out);
@@ -719,6 +864,7 @@ void Checker::CheckFile(const SourceFile& file,
   CheckHeaderHygiene(file, out);
   CheckChunkCopy(file, out);
   CheckUnboundedRetry(file, out);
+  CheckSimHotPath(file, out);
   const FlowContext ctx{&result_names_, &fallible_names_, &void_names_,
                         &span_source_names_};
   CheckFlowRules(file, ctx, out);

@@ -38,6 +38,15 @@
 ///                       anywhere in the function. Unbounded retry loops
 ///                       amplify overload; clamp with the Deadline /
 ///                       RetryBudget plumbing or cap attempts
+///   sim-hot-path        simulator-core hygiene (src/sim/ only): a by-value
+///                       std::function parameter (one heap allocation per
+///                       call — take it by rvalue reference or use
+///                       sim::EventCallback), or a std::vector/map/set/deque
+///                       local constructed inside a function body (one
+///                       allocation per call — hoist into a reused member
+///                       buffer). Amortized uses (e.g. a rebuild that runs
+///                       once per thousands of events) carry an allow
+///                       comment stating why
 ///
 /// Flow-sensitive rules (v2, built on the lexer → CFG → dataflow stack in
 /// lexer.h / cfg.h / dataflow.h — see those headers for the machinery):
@@ -182,6 +191,8 @@ class Checker {
                       std::vector<Diagnostic>* out) const;
   void CheckUnboundedRetry(const SourceFile& file,
                            std::vector<Diagnostic>* out) const;
+  void CheckSimHotPath(const SourceFile& file,
+                       std::vector<Diagnostic>* out) const;
 
   std::set<std::string> fallible_names_ = {
       "OK",        "InvalidArgument", "NotFound",    "AlreadyExists",
