@@ -1,0 +1,137 @@
+/// Serving demo: three tenants — an interactive app, an analytics team, and
+/// a bursty batch pipeline — share one simulated Lambda fleet for 60 sim-
+/// seconds. Each tenant has its own arrival process, query mix, concurrency
+/// quota, and fair-share weight; the serving frontend admits, queues, and
+/// fair-schedules their queries against the shared warm pool, then prints
+/// the per-tenant SLO table (throughput, p50/p99 latency, queue wait, USD
+/// per 1,000 queries) plus the fleet's concurrency timeline.
+///
+/// Everything runs in virtual time on one thread, seeded from the command
+/// line: `./serving_demo [seed]` — the same seed always prints the same
+/// table, byte for byte. See docs/OPERATIONS.md ("Run a serving scenario")
+/// for how to grow this into a full experiment.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/dataset.h"
+#include "datagen/tpch.h"
+#include "datagen/tpcxbb.h"
+#include "platform/report.h"
+#include "platform/testbed.h"
+#include "serving/frontend.h"
+
+using namespace skyrise;
+
+namespace {
+
+void UploadTables(platform::EngineTestbed* bed) {
+  datagen::TpchConfig tpch;
+  tpch.scale_factor = 0.002;
+  datagen::TpcxBbConfig bb;
+  bb.scale_factor = 0.01;
+  const int partitions = 4;
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &bed->base.s3, "lineitem", datagen::LineitemSchema(),
+                       partitions,
+                       [&](int p) {
+                         return datagen::GenerateLineitemPartition(tpch, p,
+                                                                   partitions);
+                       })
+                       .status());
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &bed->base.s3, "orders", datagen::OrdersSchema(),
+                       partitions,
+                       [&](int p) {
+                         return datagen::GenerateOrdersPartition(tpch, p,
+                                                                 partitions);
+                       })
+                       .status());
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &bed->base.s3, "clickstreams",
+                       datagen::ClickstreamsSchema(), partitions,
+                       [&](int p) {
+                         return datagen::GenerateClickstreamsPartition(
+                             bb, p, partitions);
+                       })
+                       .status());
+  SKYRISE_CHECK_OK(datagen::UploadDataset(
+                       &bed->base.s3, "item", datagen::ItemSchema(), 1,
+                       [&](int) { return datagen::GenerateItemTable(bb); })
+                       .status());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  platform::EngineTestbed bed(seed);
+  UploadTables(&bed);
+
+  // Three tenants, three personalities. The interactive tenant pays for
+  // priority with a double fair-share weight; the batch tenant's
+  // interrupted-Poisson bursts (8x for ~6 s) are what push the shared fleet
+  // through its burst-then-ramp admission path.
+  serving::TenantSpec interactive;
+  interactive.policy.name = "interactive";
+  interactive.policy.max_concurrent = 4;
+  interactive.policy.weight = 2.0;
+  interactive.arrival = serving::ArrivalSpec::Poisson(1.5);
+  interactive.mix = serving::WorkloadMix::Interactive();
+
+  serving::TenantSpec analytics;
+  analytics.policy.name = "analytics";
+  analytics.policy.max_concurrent = 3;
+  analytics.policy.weight = 1.0;
+  analytics.arrival = serving::ArrivalSpec::Poisson(0.8);
+  analytics.mix = serving::WorkloadMix::Analytics();
+
+  serving::TenantSpec batch;
+  batch.policy.name = "batch";
+  batch.policy.max_concurrent = 4;
+  batch.policy.weight = 1.0;
+  batch.arrival =
+      serving::ArrivalSpec::Bursty(0.8, 8.0, Seconds(6), Seconds(18));
+  batch.mix = serving::WorkloadMix::Uniform();
+
+  serving::ServingOptions options;
+  options.horizon = Seconds(60);
+  options.global_max_concurrent = 12;
+  options.suite.join_partitions = 4;
+  options.fleet_probe = [&bed] {
+    return static_cast<int64_t>(bed.lambda->active_executions());
+  };
+
+  serving::ServingFrontend frontend(&bed.base.env, bed.lambda.get(),
+                                    bed.engine.get(), &bed.tracer,
+                                    &bed.metrics, options,
+                                    {interactive, analytics, batch});
+  frontend.Start();
+  frontend.DriveUntil(bed.base.env.now() + Hours(2));
+
+  const serving::ServingReport report = frontend.Report();
+  std::printf("three tenants, one fleet — %.0f sim-seconds (seed %llu)\n\n",
+              report.sim_seconds, static_cast<unsigned long long>(seed));
+  std::fputs(serving::RenderSloTable(report).c_str(), stdout);
+
+  const auto& stats = bed.lambda->stats();
+  std::printf(
+      "\nshared fleet: %lld invocations, %lld cold / %lld warm starts, "
+      "%lld sandboxes for %lld queries\n",
+      static_cast<long long>(stats.invocations),
+      static_cast<long long>(stats.cold_starts),
+      static_cast<long long>(stats.warm_starts),
+      static_cast<long long>(stats.sandboxes_created),
+      static_cast<long long>(report.total_completed));
+
+  std::vector<double> series;
+  series.reserve(report.timeline.size());
+  for (const auto& sample : report.timeline) {
+    series.push_back(static_cast<double>(sample.fleet_active));
+  }
+  std::printf("\nfleet active executions, one sample per sim-second:\n");
+  std::fputs(platform::RenderAsciiSeries(series, 6, 80).c_str(), stdout);
+  return 0;
+}

@@ -4,6 +4,22 @@ namespace skyrise {
 
 CircuitBreaker::CircuitBreaker(const Options& options) : opt_(options) {}
 
+int CircuitBreaker::AddObserver(TransitionCallback callback) {
+  const int handle = next_observer_handle_++;
+  observers_[handle] = std::move(callback);
+  return handle;
+}
+
+void CircuitBreaker::RemoveObserver(int handle) { observers_.erase(handle); }
+
+void CircuitBreaker::set_on_transition(TransitionCallback callback) {
+  if (callback) {
+    observers_[0] = std::move(callback);
+  } else {
+    observers_.erase(0);
+  }
+}
+
 const char* CircuitBreaker::StateName(State state) {
   switch (state) {
     case State::kClosed:
@@ -41,7 +57,9 @@ void CircuitBreaker::TransitionTo(State next, SimTime now) {
       window_failures_ = 0;
       break;
   }
-  if (on_transition_) on_transition_(from, next, now);
+  for (const auto& [handle, callback] : observers_) {
+    if (callback) callback(from, next, now);
+  }
 }
 
 bool CircuitBreaker::Allow(SimTime now) {

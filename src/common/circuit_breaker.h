@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
 
 #include "common/units.h"
@@ -73,10 +74,25 @@ class CircuitBreaker {
   const Options& options() const { return opt_; }
   const Stats& stats() const { return stats_; }
 
-  /// Observer for state transitions (obs instants/metrics live above this
-  /// layer). Replaces any previous callback; pass nullptr to detach.
-  void set_on_transition(TransitionCallback callback) {
-    on_transition_ = std::move(callback);
+  /// Registers an observer for state transitions (obs instants/metrics live
+  /// above this layer). Multiple observers may be attached at once — each
+  /// in-flight query registers its own — and fire in registration order.
+  /// Returns a handle for RemoveObserver.
+  int AddObserver(TransitionCallback callback);
+  void RemoveObserver(int handle);
+
+  /// Legacy single-observer accessor: replaces the previous callback set
+  /// through this entry point (observers added via AddObserver are
+  /// unaffected); pass nullptr to detach.
+  void set_on_transition(TransitionCallback callback);
+
+  /// True when `handle` is the oldest live observer registered via
+  /// AddObserver (the legacy slot is excluded). Lets N per-query observers
+  /// on a shared breaker elect exactly one emitter for per-transition
+  /// counters that must not be multiplied by the in-flight query count.
+  bool IsOldestObserver(int handle) const {
+    auto it = observers_.lower_bound(1);
+    return it != observers_.end() && it->first == handle;
   }
 
   static const char* StateName(State state);
@@ -93,7 +109,11 @@ class CircuitBreaker {
   int probes_in_flight_ = 0;
   int probe_successes_ = 0;
   Stats stats_;
-  TransitionCallback on_transition_;
+  /// Observers keyed by handle; std::map so firing order is deterministic
+  /// (registration order, since handles increase monotonically). Handle 0 is
+  /// reserved for the legacy set_on_transition slot.
+  std::map<int, TransitionCallback> observers_;
+  int next_observer_handle_ = 1;
 };
 
 }  // namespace skyrise

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <map>
+#include <string>
+
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
 #include "common/retry_budget.h"
@@ -15,7 +18,9 @@
 /// Shared wiring for the engine's coordinator/worker function handlers: the
 /// simulation environment, base-table and shuffle storage, the synthetic
 /// file catalog, retry/timeout policy, and the compute platform workers are
-/// invoked on. One query runs at a time per context.
+/// invoked on. Any number of queries may be in flight concurrently on one
+/// context (interleaved on the single-threaded event loop); per-query state
+/// lives in `query_grants`, keyed by query id.
 
 namespace skyrise::engine {
 
@@ -102,12 +107,24 @@ struct EngineContext {
   double degrade_budget_fraction = 0.25;
   int degrade_fanout_factor = 2;
 
-  // Live per-query state published by the coordinator (one query runs at a
-  // time per context, so workers executing inside the same simulated
-  // deployment read the coordinator-granted budget/deadline from here —
-  // the simulator's stand-in for a budget grant travelling in-band).
-  RetryBudget* active_retry_budget = nullptr;
-  Deadline active_deadline;
+  // Live per-query state published by the coordinator, keyed by query id.
+  // Multiple queries run interleaved on one context (the serving frontend
+  // admits a whole tenant population against a shared deployment), so
+  // workers look up the coordinator-granted budget/deadline for *their*
+  // query by the query_id in their payload — the simulator's stand-in for
+  // a budget grant travelling in-band. Entries exist only while the
+  // owning coordinator task is live; a missing entry means the grant was
+  // withdrawn (query finished/failed) and workers fall back to ungoverned
+  // per-call retry arithmetic, matching zombie-execution semantics.
+  struct QueryGrants {
+    RetryBudget* retry_budget = nullptr;
+    Deadline deadline;
+  };
+  std::map<std::string, QueryGrants> query_grants;
+  const QueryGrants* FindGrants(const std::string& query_id) const {
+    auto it = query_grants.find(query_id);
+    return it == query_grants.end() ? nullptr : &it->second;
+  }
 
   EngineContext() {
     // Straggler re-triggering: generous size-based allowance so congested

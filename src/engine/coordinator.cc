@@ -62,10 +62,10 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
       budget_options.refund_per_success = ec_->retry_budget_refund;
       budget_ = std::make_unique<RetryBudget>(budget_options);
     }
-    ec_->active_retry_budget = budget_.get();
-    ec_->active_deadline = deadline_;
-    InstallBreakerObserver(ec_->storage_breaker);
-    InstallBreakerObserver(ec_->invoke_breaker);
+    ec_->query_grants[query_id_] =
+        EngineContext::QueryGrants{budget_.get(), deadline_};
+    storage_observer_ = InstallBreakerObserver(ec_->storage_breaker);
+    invoke_observer_ = InstallBreakerObserver(ec_->invoke_breaker);
     if (deadline_.bounded()) {
       // Fires one tick before the platform's clamped execution timeout
       // would kill this coordinator, so the query fails typed with spans
@@ -115,44 +115,55 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
   }
 
   /// Emits breaker state transitions as obs instants/counters for the
-  /// duration of this query (detached again in Cleanup so a later query
-  /// re-installs with its own parent span).
-  void InstallBreakerObserver(CircuitBreaker* breaker) {
-    if (breaker == nullptr) return;
+  /// duration of this query (removed again in Cleanup). Each in-flight
+  /// query registers its own observer, parented to its own query span, so
+  /// interleaved queries all see shared-breaker transitions. Returns the
+  /// observer handle, or 0 when no breaker is wired.
+  int InstallBreakerObserver(CircuitBreaker* breaker) {
+    if (breaker == nullptr) return 0;
     obs::Tracer* tracer = tracer_;
     obs::MetricsRegistry* metrics = metrics_;
     const obs::SpanId parent = query_span_;
     const std::string name = breaker->options().name;
-    breaker->set_on_transition(
-        [tracer, metrics, parent, name](CircuitBreaker::State from,
-                                        CircuitBreaker::State to, SimTime) {
+    // The handle is only known after AddObserver returns; publish it to the
+    // callback through shared state so the oldest live observer can elect
+    // itself sole counter emitter (instants stay per-query).
+    auto handle_holder = std::make_shared<int>(0);
+    const int handle = breaker->AddObserver(
+        [tracer, metrics, parent, name, breaker, handle_holder](
+            CircuitBreaker::State from, CircuitBreaker::State to, SimTime) {
           if (tracer != nullptr) {
             tracer->Instant("breaker",
                             name + " " + CircuitBreaker::StateName(from) +
                                 " -> " + CircuitBreaker::StateName(to),
                             "engine", parent);
           }
-          if (metrics != nullptr) {
+          if (metrics != nullptr &&
+              breaker->IsOldestObserver(*handle_holder)) {
             metrics->Add("breaker." + name + "." +
                          CircuitBreaker::StateName(to));
           }
         });
+    *handle_holder = handle;
+    return handle;
   }
 
   /// Tears down per-query robustness state exactly once: the deadline
-  /// timer, the published budget/deadline (workers must not read a dead
-  /// query's pool), breaker observers, and — on abnormal exits — the still
-  /// open stage span and its speculation timer.
+  /// timer, this query's published grants (workers must not read a dead
+  /// query's pool), this query's breaker observers (other in-flight
+  /// queries keep theirs), and — on abnormal exits — the still open stage
+  /// span and its speculation timer.
   void Cleanup() {
     ec_->env->Cancel(deadline_event_);
     deadline_event_ = sim::kInvalidEventId;
-    ec_->active_retry_budget = nullptr;
-    ec_->active_deadline = Deadline();
-    if (ec_->storage_breaker != nullptr) {
-      ec_->storage_breaker->set_on_transition(nullptr);
+    ec_->query_grants.erase(query_id_);
+    if (ec_->storage_breaker != nullptr && storage_observer_ != 0) {
+      ec_->storage_breaker->RemoveObserver(storage_observer_);
+      storage_observer_ = 0;
     }
-    if (ec_->invoke_breaker != nullptr) {
-      ec_->invoke_breaker->set_on_transition(nullptr);
+    if (ec_->invoke_breaker != nullptr && invoke_observer_ != 0) {
+      ec_->invoke_breaker->RemoveObserver(invoke_observer_);
+      invoke_observer_ = 0;
     }
     if (current_stage_ != nullptr && !current_stage_->failed) {
       ec_->env->Cancel(current_stage_->spec_timer);
@@ -814,6 +825,8 @@ class CoordinatorTask : public std::enable_shared_from_this<CoordinatorTask> {
   Deadline deadline_;
   std::unique_ptr<RetryBudget> budget_;
   sim::EventId deadline_event_ = sim::kInvalidEventId;
+  int storage_observer_ = 0;  ///< Breaker observer handles (0 = none).
+  int invoke_observer_ = 0;
   std::shared_ptr<StageState> current_stage_;
   int degraded_stages_ = 0;
   bool degrade_ = false;

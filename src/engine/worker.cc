@@ -185,11 +185,15 @@ class WorkerTask : public std::enable_shared_from_this<WorkerTask> {
     storage_ctx_.span = input_span_;
     storage_ctx_.metrics = metrics_;
     // Overload robustness: the query deadline rides in the payload; the
-    // retry-token pool and storage breaker are the coordinator-published
-    // per-query grants (one query at a time per context).
+    // retry-token pool is this query's coordinator-published grant, looked
+    // up by query id (queries interleave on a shared context). A missing
+    // entry means the coordinator already finished — this is a zombie
+    // attempt and runs without a pooled budget.
     storage_ctx_.deadline =
         Deadline::At(fctx_->payload().GetInt("deadline_us", 0));
-    storage_ctx_.retry_budget = ec_->active_retry_budget;
+    const auto* grants = ec_->FindGrants(query_id_);
+    storage_ctx_.retry_budget =
+        grants != nullptr ? grants->retry_budget : nullptr;
     storage_ctx_.breaker = ec_->storage_breaker;
     loaded_.resize(pipeline_.inputs.size());
     LoadBuildInput(1);

@@ -124,6 +124,10 @@ void LambdaPlatform::DoInvoke(const std::string& function, Json payload,
       return;
     }
     ++active_;
+    if (active_ > stats_.active_peak) {
+      stats_.active_peak = active_;
+      if (metrics_ != nullptr) metrics_->Max("lambda.active_peak", active_);
+    }
 
     // Assignment: look for a warm sandbox.
     auto& pool = warm_pool_[function];
@@ -155,6 +159,7 @@ void LambdaPlatform::DoInvoke(const std::string& function, Json payload,
 
     // Placement: create a new execution environment (coldstart).
     ++stats_.cold_starts;
+    ++stats_.sandboxes_created;
     if (metrics_ != nullptr) metrics_->Add("lambda.cold_starts");
     auto sandbox = std::make_shared<Sandbox>();
     sandbox->nic = std::make_unique<net::LambdaNic>();
@@ -207,6 +212,7 @@ void LambdaPlatform::Execute(const FunctionRegistry::Entry& entry,
       entry.config);
   const SimTime exec_start = env_->now();
   const std::string function = entry.config.name;
+  ++sandbox->uses;
   obs::SpanId exec_span = obs::kNoSpan;
   if (tracer_ != nullptr) {
     exec_span = tracer_->Begin("lambda", "exec " + function, "faas",
@@ -329,10 +335,17 @@ void LambdaPlatform::ReleaseSandbox(const std::string& function,
     auto& pool = warm_pool_[function];
     for (auto it = pool.begin(); it != pool.end(); ++it) {
       if ((*it)->id == id) {
+        const int64_t uses = (*it)->uses;
         pool.erase(it);
         --warm_total_;
         ++stats_.reaped_sandboxes;
-        if (metrics_ != nullptr) metrics_->Add("lambda.reaped_sandboxes");
+        if (metrics_ != nullptr) {
+          metrics_->Add("lambda.reaped_sandboxes");
+          // Reuse distribution: how many executions this environment served
+          // before going idle long enough to be reclaimed.
+          metrics_->Record("lambda.sandbox_uses",
+                           static_cast<double>(uses));
+        }
         if (tracer_ != nullptr) {
           tracer_->Instant("lambda", "sandbox.reap", "faas");
         }
@@ -342,10 +355,17 @@ void LambdaPlatform::ReleaseSandbox(const std::string& function,
   });
   warm_pool_[function].push_back(std::move(sandbox));
   ++warm_total_;
+  if (warm_total_ > stats_.warm_pool_peak) {
+    stats_.warm_pool_peak = warm_total_;
+    if (metrics_ != nullptr) {
+      metrics_->Max("lambda.warm_pool_peak", warm_total_);
+    }
+  }
 }
 
 void LambdaPlatform::Prewarm(const std::string& function, int count) {
   for (int i = 0; i < count; ++i) {
+    ++stats_.sandboxes_created;
     auto sandbox = std::make_shared<Sandbox>();
     sandbox->nic = std::make_unique<net::LambdaNic>();
     sandbox->id = next_sandbox_id_++;

@@ -71,6 +71,10 @@ class LambdaPlatform : public ComputePlatform {
     int64_t errors = 0;
     int64_t timeouts = 0;  ///< Executions killed at FunctionConfig::timeout.
     int64_t crashes = 0;   ///< Injected function crashes / sandbox kills.
+    // Fleet accounting (serving scenarios share one fleet across tenants).
+    int64_t sandboxes_created = 0;  ///< Coldstarts + prewarms.
+    int64_t active_peak = 0;        ///< Max concurrent executions observed.
+    int64_t warm_pool_peak = 0;     ///< Max idle warm sandboxes observed.
   };
 
   LambdaPlatform(sim::SimEnvironment* env, net::FabricDriver* fabric,
@@ -115,6 +119,10 @@ class LambdaPlatform : public ComputePlatform {
     std::unique_ptr<net::LambdaNic> nic;
     sim::EventId reap_event = sim::kInvalidEventId;
     uint64_t id = 0;
+    /// Executions served over this sandbox's lifetime; recorded to the
+    /// "lambda.sandbox_uses" histogram at reap time, so warm-pool reuse
+    /// across interleaved queries/tenants is measurable.
+    int64_t uses = 0;
   };
 
   void DoInvoke(const std::string& function, Json payload,

@@ -1,0 +1,180 @@
+#include "serving/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace skyrise::serving {
+namespace {
+
+using Decision = AdmissionController::Decision;
+
+TenantPolicy Policy(const std::string& name, int max_concurrent,
+                    double weight = 1.0, int max_queue = 10000) {
+  TenantPolicy policy;
+  policy.name = name;
+  policy.max_concurrent = max_concurrent;
+  policy.weight = weight;
+  policy.max_queue = max_queue;
+  return policy;
+}
+
+TEST(AdmissionControllerTest, DispatchesUpToQuotaThenQueues) {
+  AdmissionController admission({.global_max_concurrent = 100},
+                                {Policy("a", 3)});
+  EXPECT_EQ(admission.Offer(0, 1), Decision::kDispatch);
+  EXPECT_EQ(admission.Offer(0, 2), Decision::kDispatch);
+  EXPECT_EQ(admission.Offer(0, 3), Decision::kDispatch);
+  // At quota: queues, does not dispatch.
+  EXPECT_EQ(admission.Offer(0, 4), Decision::kQueue);
+  EXPECT_EQ(admission.stats(0).in_flight, 3);
+  EXPECT_EQ(admission.stats(0).queue_depth, 1);
+  EXPECT_EQ(admission.backlog(), 1);
+  // Nothing eligible while the quota is full.
+  EXPECT_FALSE(admission.TryDispatchQueued().has_value());
+  // A release frees the slot for the queued item, in FIFO order.
+  admission.Release(0);
+  const auto next = admission.TryDispatchQueued();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->first, 0);
+  EXPECT_EQ(next->second, 4);
+  EXPECT_EQ(admission.stats(0).in_flight, 3);
+  EXPECT_EQ(admission.backlog(), 0);
+}
+
+TEST(AdmissionControllerTest, FifoPerTenantEvenWithFreeSlot) {
+  AdmissionController admission({.global_max_concurrent = 100},
+                                {Policy("a", 2)});
+  EXPECT_EQ(admission.Offer(0, 1), Decision::kDispatch);
+  EXPECT_EQ(admission.Offer(0, 2), Decision::kDispatch);
+  EXPECT_EQ(admission.Offer(0, 3), Decision::kQueue);
+  admission.Release(0);
+  // Item 4 arrives while a slot is free but item 3 still waits: it must
+  // queue behind 3, not jump the line.
+  EXPECT_EQ(admission.Offer(0, 4), Decision::kQueue);
+  auto next = admission.TryDispatchQueued();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->second, 3);
+  EXPECT_FALSE(admission.TryDispatchQueued().has_value());
+}
+
+TEST(AdmissionControllerTest, GlobalCapBindsAcrossTenants) {
+  AdmissionController admission({.global_max_concurrent = 3},
+                                {Policy("a", 10), Policy("b", 10)});
+  EXPECT_EQ(admission.Offer(0, 1), Decision::kDispatch);
+  EXPECT_EQ(admission.Offer(0, 2), Decision::kDispatch);
+  EXPECT_EQ(admission.Offer(1, 3), Decision::kDispatch);
+  EXPECT_EQ(admission.global_in_flight(), 3);
+  // Neither tenant is at its own quota, but the global cap is.
+  EXPECT_EQ(admission.Offer(1, 4), Decision::kQueue);
+  EXPECT_FALSE(admission.TryDispatchQueued().has_value());
+  admission.Release(0);
+  const auto next = admission.TryDispatchQueued();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->first, 1);
+  EXPECT_EQ(admission.peak_global_in_flight(), 3);
+}
+
+TEST(AdmissionControllerTest, ShedsBeyondMaxQueue) {
+  AdmissionController admission({.global_max_concurrent = 100},
+                                {Policy("a", 1, 1.0, /*max_queue=*/2)});
+  EXPECT_EQ(admission.Offer(0, 1), Decision::kDispatch);
+  EXPECT_EQ(admission.Offer(0, 2), Decision::kQueue);
+  EXPECT_EQ(admission.Offer(0, 3), Decision::kQueue);
+  EXPECT_EQ(admission.Offer(0, 4), Decision::kShed);
+  EXPECT_EQ(admission.stats(0).shed, 1);
+  EXPECT_EQ(admission.stats(0).queue_depth, 2);
+  EXPECT_EQ(admission.stats(0).peak_queue_depth, 2);
+}
+
+TEST(AdmissionControllerTest, WeightedFairDrainHitsTwoToOne) {
+  // One shared dispatch slot, both tenants saturated: the stride scheduler
+  // must hand tenant "heavy" (weight 2) twice the dispatches of "light"
+  // (weight 1).
+  AdmissionController admission({.global_max_concurrent = 1},
+                                {Policy("heavy", 100, 2.0),
+                                 Policy("light", 100, 1.0)});
+  // Fill the slot, then build both backlogs.
+  EXPECT_EQ(admission.Offer(0, 0), Decision::kDispatch);
+  for (int64_t i = 1; i <= 300; ++i) {
+    admission.Offer(0, i);
+    admission.Offer(1, 1000 + i);
+  }
+  int64_t dispatched[2] = {0, 0};
+  admission.Release(0);
+  // Serve 300 slot grants one at a time: release, dispatch next by WFQ.
+  for (int round = 0; round < 300; ++round) {
+    const auto next = admission.TryDispatchQueued();
+    ASSERT_TRUE(next.has_value());
+    dispatched[next->first]++;
+    admission.Release(next->first);
+  }
+  EXPECT_EQ(dispatched[0] + dispatched[1], 300);
+  EXPECT_EQ(dispatched[0], 200);
+  EXPECT_EQ(dispatched[1], 100);
+}
+
+TEST(AdmissionControllerTest, IdleTenantCannotBankService) {
+  // Tenant 1 stays idle while tenant 0 accumulates pass; when tenant 1
+  // finally shows up it must share from *now* on, not seize the slot for
+  // its whole backlog because its pass is ancient.
+  AdmissionController admission({.global_max_concurrent = 1},
+                                {Policy("busy", 100, 1.0),
+                                 Policy("idle", 100, 1.0)});
+  EXPECT_EQ(admission.Offer(0, 0), Decision::kDispatch);
+  for (int64_t i = 1; i <= 200; ++i) admission.Offer(0, i);
+  admission.Release(0);
+  for (int round = 0; round < 100; ++round) {
+    const auto next = admission.TryDispatchQueued();
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next->first, 0);
+    if (round < 99) admission.Release(0);
+  }
+  // The slot is still held by tenant 0's latest query when the idle tenant
+  // arrives with a backlog, so its arrivals all queue.
+  for (int64_t i = 1; i <= 50; ++i) {
+    EXPECT_EQ(admission.Offer(1, 1000 + i), Decision::kQueue);
+  }
+  admission.Release(0);
+  int64_t dispatched[2] = {0, 0};
+  for (int round = 0; round < 100; ++round) {
+    const auto next = admission.TryDispatchQueued();
+    ASSERT_TRUE(next.has_value());
+    dispatched[next->first]++;
+    admission.Release(next->first);
+  }
+  // Even split from the moment of contention (±2 for stride phase).
+  EXPECT_NEAR(static_cast<double>(dispatched[0]), 50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(dispatched[1]), 50.0, 2.0);
+}
+
+TEST(AdmissionControllerTest, TieBreaksByTenantIndex) {
+  AdmissionController admission({.global_max_concurrent = 1},
+                                {Policy("a", 10, 1.0), Policy("b", 10, 1.0)});
+  EXPECT_EQ(admission.Offer(0, 0), Decision::kDispatch);
+  admission.Offer(1, 100);
+  admission.Offer(0, 1);
+  admission.Release(0);
+  // Equal pass: the lower tenant index wins.
+  const auto next = admission.TryDispatchQueued();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->first, 0);
+}
+
+TEST(AdmissionControllerTest, StatsAccumulate) {
+  AdmissionController admission({.global_max_concurrent = 100},
+                                {Policy("a", 2, 1.0, 1)});
+  admission.Offer(0, 1);
+  admission.Offer(0, 2);
+  admission.Offer(0, 3);  // queue
+  admission.Offer(0, 4);  // shed
+  const auto& stats = admission.stats(0);
+  EXPECT_EQ(stats.arrivals, 4);
+  EXPECT_EQ(stats.dispatched, 2);
+  EXPECT_EQ(stats.queued, 1);
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.peak_in_flight, 2);
+}
+
+}  // namespace
+}  // namespace skyrise::serving

@@ -1,0 +1,158 @@
+#include "serving/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/environment.h"
+
+namespace skyrise::serving {
+namespace {
+
+std::vector<SimTime> Generate(const ArrivalSpec& spec, uint64_t seed,
+                              uint64_t stream, SimTime horizon) {
+  sim::SimEnvironment env(seed);
+  ArrivalProcess process(spec, env.ForkRng(stream));
+  std::vector<SimTime> arrivals;
+  SimTime t = 0;
+  for (;;) {
+    t = process.Next(t);
+    if (t >= horizon) break;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+TEST(ArrivalProcessTest, PoissonHitsTargetRate) {
+  // 50 q/s over 200 sim-seconds: 10,000 expected arrivals, sd = 100. A
+  // +-5% band is 5 standard deviations wide — deterministic given the seed
+  // and far outside noise if the generator is correct.
+  const auto arrivals =
+      Generate(ArrivalSpec::Poisson(50.0), /*seed=*/7, /*stream=*/11,
+               Seconds(200));
+  const double rate =
+      static_cast<double>(arrivals.size()) / ToSeconds(Seconds(200));
+  EXPECT_NEAR(rate, 50.0, 50.0 * 0.05);
+}
+
+TEST(ArrivalProcessTest, PoissonInterArrivalsAreExponential) {
+  const auto arrivals =
+      Generate(ArrivalSpec::Poisson(20.0), 7, 11, Seconds(500));
+  ASSERT_GT(arrivals.size(), 1000u);
+  // Mean and CoV of exponential gaps: mean 50 ms, CoV ~1.
+  double sum = 0, sum_sq = 0;
+  SimTime prev = 0;
+  for (const SimTime t : arrivals) {
+    const double gap = ToSeconds(t - prev);
+    sum += gap;
+    sum_sq += gap * gap;
+    prev = t;
+  }
+  const double n = static_cast<double>(arrivals.size());
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.05, 0.05 * 0.1);
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.15);
+}
+
+TEST(ArrivalProcessTest, BitIdenticalAcrossRuns) {
+  for (const auto& spec :
+       {ArrivalSpec::Poisson(25.0),
+        ArrivalSpec::Diurnal(10.0, 0.9, Seconds(50)),
+        ArrivalSpec::Bursty(5.0, 10.0, Seconds(2), Seconds(8))}) {
+    const auto a = Generate(spec, 42, 3, Seconds(120));
+    const auto b = Generate(spec, 42, 3, Seconds(120));
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);  // Bit-identical arrival instants.
+    const auto c = Generate(spec, 43, 3, Seconds(120));
+    EXPECT_NE(a, c);  // And seed-sensitive.
+  }
+}
+
+TEST(ArrivalProcessTest, DiurnalModulatesRate) {
+  // Mean 10 q/s, amplitude 0.9, 100 s period, 400 s horizon. Quarter-period
+  // buckets around the sinusoid's peak must see several times the arrivals
+  // of trough buckets, while the overall mean stays near 10 q/s.
+  const auto spec = ArrivalSpec::Diurnal(10.0, 0.9, Seconds(100));
+  const auto arrivals = Generate(spec, 11, 5, Seconds(400));
+  const double rate =
+      static_cast<double>(arrivals.size()) / ToSeconds(Seconds(400));
+  EXPECT_NEAR(rate, 10.0, 10.0 * 0.10);
+
+  // Phase-fold into the period's four quarters. sin peaks in the first
+  // half (quarters 0-1) and dips in the second (quarters 2-3).
+  int64_t counts[4] = {0, 0, 0, 0};
+  for (const SimTime t : arrivals) {
+    const double phase =
+        std::fmod(ToSeconds(t), 100.0) / 100.0;  // [0, 1)
+    counts[static_cast<int>(phase * 4) % 4]++;
+  }
+  const double peak = static_cast<double>(counts[0] + counts[1]);
+  const double trough = static_cast<double>(counts[2] + counts[3]);
+  EXPECT_GT(peak, trough * 2.0);
+}
+
+TEST(ArrivalProcessTest, DiurnalRateAtFollowsSinusoid) {
+  sim::SimEnvironment env(1);
+  ArrivalProcess process(ArrivalSpec::Diurnal(10.0, 0.5, Seconds(100)),
+                         env.ForkRng(1));
+  EXPECT_NEAR(process.RateAt(0), 10.0, 1e-9);
+  EXPECT_NEAR(process.RateAt(Seconds(25)), 15.0, 1e-6);  // Peak.
+  EXPECT_NEAR(process.RateAt(Seconds(75)), 5.0, 1e-6);   // Trough.
+}
+
+TEST(ArrivalProcessTest, BurstyIsOverdispersed) {
+  // Fano factor (windowed count variance / mean) is ~1 for Poisson and
+  // far above 1 for an interrupted Poisson with strong ON/OFF contrast.
+  auto fano = [](const std::vector<SimTime>& arrivals, SimTime horizon) {
+    const int windows = static_cast<int>(ToSeconds(horizon));
+    std::vector<int64_t> counts(static_cast<size_t>(windows), 0);
+    for (const SimTime t : arrivals) {
+      const int w = static_cast<int>(ToSeconds(t));
+      if (w >= 0 && w < windows) counts[static_cast<size_t>(w)]++;
+    }
+    double sum = 0, sum_sq = 0;
+    for (const int64_t c : counts) {
+      sum += static_cast<double>(c);
+      sum_sq += static_cast<double>(c) * static_cast<double>(c);
+    }
+    const double mean = sum / windows;
+    const double var = sum_sq / windows - mean * mean;
+    return var / mean;
+  };
+  const SimTime horizon = Seconds(400);
+  const auto poisson =
+      Generate(ArrivalSpec::Poisson(8.0), 21, 9, horizon);
+  const auto bursty = Generate(
+      ArrivalSpec::Bursty(8.0, 8.0, Seconds(3), Seconds(12)), 21, 9, horizon);
+  EXPECT_LT(fano(poisson, horizon), 2.0);
+  EXPECT_GT(fano(bursty, horizon), 4.0);
+}
+
+TEST(ArrivalProcessTest, BurstyLongRunRateTracksDutyCycle) {
+  // ON 1/5 of the time at 8x, OFF 4/5 at 0.1x: long-run rate =
+  // base * (0.2*8 + 0.8*0.1) = base * 1.68.
+  const double base = 5.0;
+  const auto arrivals = Generate(
+      ArrivalSpec::Bursty(base, 8.0, Seconds(4), Seconds(16)), 3, 17,
+      Seconds(2000));
+  const double rate =
+      static_cast<double>(arrivals.size()) / ToSeconds(Seconds(2000));
+  EXPECT_NEAR(rate, base * 1.68, base * 1.68 * 0.15);
+}
+
+TEST(ArrivalProcessTest, ArrivalsStrictlyIncrease) {
+  for (const auto& spec :
+       {ArrivalSpec::Poisson(100.0),
+        ArrivalSpec::Diurnal(50.0, 0.8, Seconds(10)),
+        ArrivalSpec::Bursty(50.0, 6.0, Seconds(1), Seconds(2))}) {
+    const auto arrivals = Generate(spec, 5, 1, Seconds(30));
+    for (size_t i = 1; i < arrivals.size(); ++i) {
+      ASSERT_GT(arrivals[i], arrivals[i - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skyrise::serving

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "datagen/tpch.h"
+#include "datagen/tpcxbb.h"
+#include "platform/testbed.h"
+#include "serving/frontend.h"
+
+/// End-to-end serving: a small tenant population drives real suite queries
+/// through the coordinator on the simulated Lambda fleet. Pins the headline
+/// determinism claim — two identically-seeded scenarios produce
+/// byte-identical report JSON — plus cross-query sandbox reuse on the
+/// shared warm pool.
+
+namespace skyrise::serving {
+namespace {
+
+constexpr int kPartitions = 4;
+
+void UploadSuiteTables(storage::ObjectStore* store) {
+  datagen::TpchConfig tpch;
+  tpch.scale_factor = 0.002;
+  datagen::TpcxBbConfig bb;
+  bb.scale_factor = 0.01;
+  (void)*datagen::UploadDataset(
+      store, "lineitem", datagen::LineitemSchema(), kPartitions, [&](int p) {
+        return datagen::GenerateLineitemPartition(tpch, p, kPartitions);
+      });
+  (void)*datagen::UploadDataset(
+      store, "orders", datagen::OrdersSchema(), kPartitions, [&](int p) {
+        return datagen::GenerateOrdersPartition(tpch, p, kPartitions);
+      });
+  (void)*datagen::UploadDataset(
+      store, "clickstreams", datagen::ClickstreamsSchema(), kPartitions,
+      [&](int p) {
+        return datagen::GenerateClickstreamsPartition(bb, p, kPartitions);
+      });
+  (void)*datagen::UploadDataset(
+      store, "item", datagen::ItemSchema(), 1,
+      [&](int) { return datagen::GenerateItemTable(bb); });
+}
+
+std::vector<TenantSpec> Population() {
+  TenantSpec interactive;
+  interactive.policy.name = "interactive";
+  interactive.policy.max_concurrent = 3;
+  interactive.policy.weight = 2.0;
+  interactive.arrival = ArrivalSpec::Poisson(0.5);
+  interactive.mix = WorkloadMix::Interactive();
+
+  TenantSpec analytics;
+  analytics.policy.name = "analytics";
+  analytics.policy.max_concurrent = 2;
+  analytics.policy.weight = 1.0;
+  analytics.arrival = ArrivalSpec::Bursty(0.3, 4.0, Seconds(8), Seconds(20));
+  analytics.mix = WorkloadMix::Analytics();
+
+  return {interactive, analytics};
+}
+
+struct Scenario {
+  explicit Scenario(uint64_t seed) : bed(seed) {
+    UploadSuiteTables(&bed.base.s3);
+    ServingOptions options;
+    options.horizon = Seconds(45);
+    options.global_max_concurrent = 8;
+    options.suite.join_partitions = kPartitions;
+    options.fleet_probe = [this] {
+      return static_cast<int64_t>(bed.lambda->active_executions());
+    };
+    frontend = std::make_unique<ServingFrontend>(
+        &bed.base.env, bed.lambda.get(), bed.engine.get(), &bed.tracer,
+        &bed.metrics, options, Population());
+  }
+
+  ServingReport Run() {
+    frontend->Start();
+    frontend->DriveUntil(bed.base.env.now() + Hours(2));
+    return frontend->Report();
+  }
+
+  platform::EngineTestbed bed;
+  std::unique_ptr<ServingFrontend> frontend;
+};
+
+TEST(ServingE2ETest, MixedTenantsCompleteRealQueriesWithCost) {
+  Scenario scenario(4242);
+  const ServingReport report = scenario.Run();
+
+  ASSERT_TRUE(scenario.frontend->Done());
+  ASSERT_EQ(report.tenants.size(), 2u);
+  EXPECT_GT(report.total_completed, 10);
+  EXPECT_EQ(report.total_failed, 0);
+  EXPECT_EQ(report.total_completed, report.total_dispatched);
+  for (const auto& tenant : report.tenants) {
+    EXPECT_GT(tenant.completed, 0) << tenant.name;
+    // Real engine runs accrue real simulated dollars, attributed to the
+    // tenant via the serving span subtree.
+    EXPECT_GT(tenant.cost_usd, 0) << tenant.name;
+    EXPECT_GT(tenant.p50_ms, 0) << tenant.name;
+  }
+  EXPECT_GT(report.total_cost_usd, 0);
+  EXPECT_GT(report.cost_per_1k_usd, 0);
+  // Both mixes together cover several distinct query classes.
+  EXPECT_GE(report.classes.size(), 3u);
+
+  // One shared fleet: after the first wave, later queries reuse sandboxes
+  // that earlier queries (from any tenant) warmed.
+  const auto& lambda_stats = scenario.bed.lambda->stats();
+  EXPECT_GT(lambda_stats.warm_starts, 0);
+  EXPECT_GT(lambda_stats.active_peak, 0);
+  EXPECT_LT(lambda_stats.sandboxes_created, lambda_stats.invocations);
+
+  // The trace stays structurally valid with concurrent queries in flight.
+  EXPECT_TRUE(scenario.bed.tracer.Validate().ok());
+}
+
+TEST(ServingE2ETest, SameSeedScenariosAreByteIdentical) {
+  Scenario first(777);
+  Scenario second(777);
+  const std::string a = first.Run().ToJson().Dump(2);
+  const std::string b = second.Run().ToJson().Dump(2);
+  EXPECT_GT(a.size(), 100u);
+  EXPECT_EQ(a, b);
+
+  Scenario other(778);
+  EXPECT_NE(a, other.Run().ToJson().Dump(2));
+}
+
+TEST(ServingE2ETest, PerTenantMetricsArePublished) {
+  Scenario scenario(1010);
+  (void)scenario.Run();
+  const auto& metrics = scenario.bed.metrics;
+  EXPECT_GT(metrics.Counter("serving.arrivals"), 0);
+  EXPECT_GT(metrics.Counter("serving.completed"), 0);
+  EXPECT_GT(metrics.Counter("serving.interactive.completed"), 0);
+  EXPECT_GT(metrics.Counter("serving.analytics.completed"), 0);
+  EXPECT_EQ(metrics.Counter("serving.failed"), 0);
+  EXPECT_GT(metrics.Counter("lambda.active_peak"), 0);
+}
+
+}  // namespace
+}  // namespace skyrise::serving

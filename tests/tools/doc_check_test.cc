@@ -1,0 +1,74 @@
+#include "doc_check.h"
+
+#include <gtest/gtest.h>
+
+namespace skyrise::doccheck {
+namespace {
+
+TEST(DocCheckTest, SlugifyMatchesGithubRules) {
+  EXPECT_EQ(Slugify("Run a serving scenario"), "run-a-serving-scenario");
+  EXPECT_EQ(Slugify("10.2 Trace schema"), "102-trace-schema");
+  EXPECT_EQ(Slugify("Deadlines, budgets & breakers"),
+            "deadlines-budgets--breakers");
+  EXPECT_EQ(Slugify("snake_case and-dashes"), "snake_case-and-dashes");
+  EXPECT_EQ(Slugify("UPPER Case"), "upper-case");
+}
+
+TEST(DocCheckTest, ScanFindsLinksWithLineNumbers) {
+  const std::string doc =
+      "# Title\n"
+      "See [design](DESIGN.md) and [ops](docs/OPERATIONS.md#run-a-query).\n"
+      "External [site](https://example.com) is ignored by CheckLinks but\n"
+      "still scanned: `[not a link](skipped.md)` is inline code.\n"
+      "```\n"
+      "[fenced](also/skipped.md)\n"
+      "```\n"
+      "Last [one](#anchor).\n";
+  const auto links = ScanMarkdownLinks("README.md", doc);
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0].target, "DESIGN.md");
+  EXPECT_EQ(links[0].line, 2);
+  EXPECT_EQ(links[1].target, "docs/OPERATIONS.md#run-a-query");
+  EXPECT_EQ(links[2].target, "https://example.com");
+  EXPECT_EQ(links[2].line, 3);
+  EXPECT_EQ(links[3].target, "#anchor");
+  EXPECT_EQ(links[3].line, 8);
+}
+
+TEST(DocCheckTest, HeadingAnchorsWithDuplicates) {
+  const std::string doc =
+      "# One\n"
+      "## Two words\n"
+      "```\n"
+      "# not a heading\n"
+      "```\n"
+      "## Two words\n"
+      "#hashtag-not-a-heading\n";
+  const auto anchors = HeadingAnchors(doc);
+  ASSERT_EQ(anchors.size(), 3u);
+  EXPECT_EQ(anchors[0], "one");
+  EXPECT_EQ(anchors[1], "two-words");
+  EXPECT_EQ(anchors[2], "two-words-1");
+}
+
+TEST(DocCheckTest, RepoDocsHaveNoBrokenLinks) {
+  // The real gate CI runs, executed in-process against this source tree.
+  const auto broken =
+      CheckLinks(SKYRISE_SOURCE_DIR,
+                 {"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+                  "docs/OPERATIONS.md"});
+  for (const auto& link : broken) {
+    ADD_FAILURE() << link.ref.source_file << ":" << link.ref.line
+                  << " broken link '" << link.ref.target << "' ("
+                  << link.reason << ")";
+  }
+}
+
+TEST(DocCheckTest, ReportsMissingFileAndAnchor) {
+  const auto broken = CheckLinks(SKYRISE_SOURCE_DIR, {"no/such/doc.md"});
+  ASSERT_EQ(broken.size(), 1u);
+  EXPECT_EQ(broken[0].reason, "missing file");
+}
+
+}  // namespace
+}  // namespace skyrise::doccheck

@@ -1,0 +1,223 @@
+#include "doc_check.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace skyrise::doccheck {
+
+namespace {
+
+bool IsExternal(const std::string& target) {
+  return target.rfind("http://", 0) == 0 ||
+         target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+std::string ReadFile(const std::filesystem::path& path, bool* ok) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    *ok = false;
+    return "";
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *ok = true;
+  return buffer.str();
+}
+
+/// Resolves "a/b/../c" style components without touching the filesystem,
+/// so links are checked relative to their document's directory.
+std::string NormalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::stringstream stream(path);
+  while (std::getline(stream, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Slugify(const std::string& heading) {
+  std::string slug;
+  for (const char c : heading) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      slug += static_cast<char>(std::tolower(uc));
+    } else if (c == ' ') {
+      slug += '-';
+    } else if (c == '-' || c == '_') {
+      slug += c;
+    }
+    // Everything else ('&', '.', ':', emoji bytes, ...) is dropped.
+  }
+  return slug;
+}
+
+std::vector<LinkRef> ScanMarkdownLinks(const std::string& source_file,
+                                       const std::string& content) {
+  std::vector<LinkRef> links;
+  int line = 1;
+  bool in_code_fence = false;
+  size_t i = 0;
+  // A fence delimiter at the start of a line toggles code mode; links
+  // inside fenced blocks are examples, not navigation. The delimiter line
+  // is consumed whole so its own backticks never scan as inline code.
+  auto at_fence = [&content](size_t pos) {
+    return content.compare(pos, 3, "```") == 0;
+  };
+  auto skip_fence_line = [&content, &i] {
+    const size_t eol = content.find('\n', i);
+    i = eol == std::string::npos ? content.size() : eol;  // Keep the '\n'.
+  };
+  if (at_fence(0)) {
+    in_code_fence = true;
+    skip_fence_line();
+  }
+  while (i < content.size()) {
+    if (content[i] == '\n') {
+      ++line;
+      ++i;
+      if (at_fence(i)) {
+        in_code_fence = !in_code_fence;
+        skip_fence_line();
+      }
+      continue;
+    }
+    if (in_code_fence) {
+      ++i;
+      continue;
+    }
+    if (content[i] == '`') {
+      // Skip inline code spans.
+      const size_t close = content.find('`', i + 1);
+      if (close == std::string::npos) break;
+      for (size_t j = i; j < close; ++j) {
+        if (content[j] == '\n') ++line;
+      }
+      i = close + 1;
+      continue;
+    }
+    if (content.compare(i, 2, "](") == 0) {
+      const size_t close = content.find(')', i + 2);
+      if (close != std::string::npos) {
+        LinkRef ref;
+        ref.source_file = source_file;
+        ref.line = line;
+        ref.target = content.substr(i + 2, close - i - 2);
+        links.push_back(std::move(ref));
+        i = close + 1;
+        continue;
+      }
+    }
+    ++i;
+  }
+  return links;
+}
+
+std::vector<std::string> HeadingAnchors(const std::string& content) {
+  std::vector<std::string> anchors;
+  std::map<std::string, int> seen;
+  std::stringstream stream(content);
+  std::string line;
+  bool in_code_fence = false;
+  while (std::getline(stream, line)) {
+    if (line.rfind("```", 0) == 0) {
+      in_code_fence = !in_code_fence;
+      continue;
+    }
+    if (in_code_fence || line.empty() || line[0] != '#') continue;
+    size_t level = 0;
+    while (level < line.size() && line[level] == '#') ++level;
+    if (level >= line.size() || line[level] != ' ') continue;
+    std::string slug = Slugify(line.substr(level + 1));
+    const int count = seen[slug]++;
+    if (count > 0) slug += "-" + std::to_string(count);
+    anchors.push_back(std::move(slug));
+  }
+  return anchors;
+}
+
+std::vector<BrokenLink> CheckLinks(const std::string& root,
+                                   const std::vector<std::string>& documents) {
+  std::vector<BrokenLink> broken;
+  // Anchor cache per target markdown file (repo-relative path).
+  std::map<std::string, std::vector<std::string>> anchor_cache;
+  auto anchors_of = [&](const std::string& relative)
+      -> const std::vector<std::string>* {
+    auto it = anchor_cache.find(relative);
+    if (it == anchor_cache.end()) {
+      bool ok = false;
+      const std::string content =
+          ReadFile(std::filesystem::path(root) / relative, &ok);
+      if (!ok) return nullptr;
+      it = anchor_cache.emplace(relative, HeadingAnchors(content)).first;
+    }
+    return &it->second;
+  };
+
+  for (const std::string& document : documents) {
+    bool ok = false;
+    const std::string content =
+        ReadFile(std::filesystem::path(root) / document, &ok);
+    if (!ok) {
+      broken.push_back({{document, 0, document}, "missing file"});
+      continue;
+    }
+    const std::string directory =
+        std::filesystem::path(document).parent_path().string();
+    for (const LinkRef& ref : ScanMarkdownLinks(document, content)) {
+      if (IsExternal(ref.target) || ref.target.empty()) continue;
+      std::string path = ref.target;
+      std::string anchor;
+      const size_t hash = path.find('#');
+      if (hash != std::string::npos) {
+        anchor = path.substr(hash + 1);
+        path = path.substr(0, hash);
+      }
+      // Resolve the file part relative to the linking document.
+      std::string resolved = document;  // "#anchor" links stay in-file.
+      if (!path.empty()) {
+        resolved = NormalizePath(directory.empty() ? path
+                                                   : directory + "/" + path);
+        if (!std::filesystem::exists(std::filesystem::path(root) /
+                                     resolved)) {
+          broken.push_back({ref, "missing file"});
+          continue;
+        }
+      }
+      if (anchor.empty()) continue;
+      if (std::filesystem::path(resolved).extension() != ".md") continue;
+      const std::vector<std::string>* anchors = anchors_of(resolved);
+      if (anchors == nullptr) {
+        broken.push_back({ref, "missing file"});
+        continue;
+      }
+      bool found = false;
+      for (const std::string& candidate : *anchors) {
+        if (candidate == anchor) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) broken.push_back({ref, "missing anchor"});
+    }
+  }
+  return broken;
+}
+
+}  // namespace skyrise::doccheck

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file doc_check.h
+/// Dead-link checker for the repo's markdown documentation. Scans a fixed
+/// set of documents for intra-repo links — `[text](relative/path.md)` and
+/// heading anchors `[text](FILE.md#section)` / `[text](#section)` — and
+/// reports every link whose target file or heading does not exist. External
+/// links (http/https/mailto) are ignored: CI must not depend on the
+/// network. Exposed as a library so tools_test can pin the slug and scan
+/// behavior.
+
+namespace skyrise::doccheck {
+
+struct LinkRef {
+  std::string source_file;  ///< Repo-relative path of the document.
+  int line = 0;             ///< 1-based line of the link.
+  std::string target;       ///< Raw link target, e.g. "docs/OPERATIONS.md#x".
+};
+
+struct BrokenLink {
+  LinkRef ref;
+  std::string reason;  ///< "missing file" or "missing anchor".
+};
+
+/// GitHub-style heading slug: lowercase; keep alphanumerics, '-' and '_';
+/// spaces become '-'; everything else is dropped.
+std::string Slugify(const std::string& heading);
+
+/// Extracts all markdown link targets `](...)` from `content`, with line
+/// numbers. Inline code spans (backticks) are skipped.
+std::vector<LinkRef> ScanMarkdownLinks(const std::string& source_file,
+                                       const std::string& content);
+
+/// Anchors (slugified headings) defined by a markdown document. Duplicate
+/// headings get GitHub's "-1", "-2" suffixes.
+std::vector<std::string> HeadingAnchors(const std::string& content);
+
+/// Checks every intra-repo link in `documents` (repo-relative paths)
+/// against the tree rooted at `root`. Missing documents are themselves
+/// reported as broken links.
+std::vector<BrokenLink> CheckLinks(const std::string& root,
+                                   const std::vector<std::string>& documents);
+
+}  // namespace skyrise::doccheck
