@@ -9,6 +9,7 @@
 /// quiescent when the fabric drains, so event-based components (storage
 /// services, FaaS platform) and the fluid network co-simulate.
 
+// skyrise-domain(network)
 namespace skyrise::net {
 
 class FabricDriver {
@@ -22,8 +23,8 @@ class FabricDriver {
   /// spec's on_complete fires from a scheduled event.
   TransferId StartTransfer(Fabric::TransferSpec spec);
 
-  Fabric* fabric() { return fabric_; }
-  sim::SimEnvironment* env() { return env_; }
+  Fabric* fabric() const { return fabric_; }
+  sim::SimEnvironment* env() const { return env_; }
   SimDuration step() const { return step_; }
 
  private:

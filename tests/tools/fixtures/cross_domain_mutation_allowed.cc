@@ -1,0 +1,30 @@
+// Sanctioned crossings: a declared crossing-point API and a const read.
+namespace skyrise::storage {
+
+class Partition {
+ public:
+  // skyrise-domain-crossing(storage request API: a modeled RPC; latency and faults are simulated inside)
+  void Request() { ++writes_; }
+
+  long writes() const { return writes_; }
+
+ private:
+  long writes_ = 0;
+};
+
+}  // namespace skyrise::storage
+
+namespace skyrise::engine {
+
+class Driver {
+ public:
+  void Run(storage::Partition* partition) {
+    partition->Request();
+    total_ += partition->writes();
+  }
+
+ private:
+  long total_ = 0;
+};
+
+}  // namespace skyrise::engine

@@ -1,0 +1,24 @@
+// The same cross-shard mutation as the violation twin, justified in place.
+namespace skyrise::storage {
+
+class Partition {
+ public:
+  void Mutate() { ++writes_; }
+
+ private:
+  long writes_ = 0;
+};
+
+}  // namespace skyrise::storage
+
+namespace skyrise::engine {
+
+class Driver {
+ public:
+  void Run(storage::Partition* partition) {
+    // skyrise-check: allow(cross-domain-mutation) — construction wiring.
+    partition->Mutate();
+  }
+};
+
+}  // namespace skyrise::engine

@@ -1,0 +1,22 @@
+// A coordinator-domain method calls a non-const storage-partition method
+// that is not a declared crossing point: a cross-shard mutation.
+namespace skyrise::storage {
+
+class Partition {
+ public:
+  void Mutate() { ++writes_; }
+
+ private:
+  long writes_ = 0;
+};
+
+}  // namespace skyrise::storage
+
+namespace skyrise::engine {
+
+class Driver {
+ public:
+  void Run(storage::Partition* partition) { partition->Mutate(); }
+};
+
+}  // namespace skyrise::engine

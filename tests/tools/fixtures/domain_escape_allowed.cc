@@ -1,0 +1,40 @@
+// Sanctioned handle shapes: a const handle is a read, a handle to shared
+// (domain-less) state is not a crossing, and a sim-kernel handle IS the
+// event API every domain is allowed to reach.
+namespace skyrise::sim {
+
+class SimEnvironment {
+ public:
+  void Schedule() {}
+};
+
+}  // namespace skyrise::sim
+
+namespace skyrise::storage {
+
+class PartitionState {
+ public:
+  void Touch() { ++touches_; }
+
+ private:
+  long touches_ = 0;
+};
+
+}  // namespace skyrise::storage
+
+namespace skyrise::common {
+
+class Clock {};
+
+}  // namespace skyrise::common
+
+namespace skyrise::engine {
+
+class Scheduler {
+ private:
+  const storage::PartitionState* partition_ = nullptr;  // Read-only view.
+  sim::SimEnvironment* env_ = nullptr;                  // The event API.
+  common::Clock* clock_ = nullptr;                      // Shared pointee.
+};
+
+}  // namespace skyrise::engine

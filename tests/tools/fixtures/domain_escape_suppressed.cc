@@ -1,0 +1,22 @@
+// The same cross-domain handle as the violation twin, justified in place.
+namespace skyrise::storage {
+
+class PartitionState {
+ public:
+  void Touch() { ++touches_; }
+
+ private:
+  long touches_ = 0;
+};
+
+}  // namespace skyrise::storage
+
+namespace skyrise::engine {
+
+class Scheduler {
+ private:
+  // skyrise-check: allow(domain-escape) — client stub for a crossing API.
+  storage::PartitionState* partition_ = nullptr;
+};
+
+}  // namespace skyrise::engine

@@ -1,0 +1,22 @@
+// A coordinator-domain class retains a mutable handle into storage-partition
+// state: the escape the domain-ownership analysis exists to catch.
+namespace skyrise::storage {
+
+class PartitionState {
+ public:
+  void Touch() { ++touches_; }
+
+ private:
+  long touches_ = 0;
+};
+
+}  // namespace skyrise::storage
+
+namespace skyrise::engine {
+
+class Scheduler {
+ private:
+  storage::PartitionState* partition_ = nullptr;
+};
+
+}  // namespace skyrise::engine

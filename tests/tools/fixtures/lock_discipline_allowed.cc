@@ -1,0 +1,17 @@
+// The sanctioned shape: every acquisition is a scoped RAII guard, so no
+// exit path (early return, exception) can leak the lock.
+namespace skyrise::engine {
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  long count_ = 0;
+};
+
+}  // namespace skyrise::engine

@@ -1,0 +1,23 @@
+// The same raw-lock pattern as the violation twin, justified in place
+// (e.g. a split acquire/release across a callback boundary).
+namespace skyrise::engine {
+
+class Counter {
+ public:
+  void Bump() {
+    // skyrise-check: allow(lock-discipline) — split acquire, see Drain().
+    mu_.lock();
+    ++count_;
+    // skyrise-check: allow(lock-discipline) — split release, see Bump().
+    mu_.unlock();
+  }
+
+ private:
+  // skyrise-check: allow(lock-discipline) — guarded via split acquire.
+  std::mutex mu_;
+  long count_ = 0;
+  // skyrise-check: allow(lock-discipline) — cross-thread stat, relaxed.
+  std::atomic<long> hits_{0};
+};
+
+}  // namespace skyrise::engine

@@ -1,0 +1,20 @@
+// Raw lock()/unlock() with no RAII guard anywhere in the file, plus an
+// atomic outside the sim-kernel: the patterns the lock-discipline pass
+// rejects before the DES goes parallel.
+namespace skyrise::engine {
+
+class Counter {
+ public:
+  void Bump() {
+    mu_.lock();
+    ++count_;
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+  long count_ = 0;
+  std::atomic<long> hits_{0};
+};
+
+}  // namespace skyrise::engine

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -10,6 +12,8 @@
 
 #include "baseline.h"
 #include "cfg.h"
+#include "domains.h"
+#include "explain.h"
 #include "lexer.h"
 #include "nodiscard.h"
 #include "sarif.h"
@@ -233,6 +237,19 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.test_name);
     });
 
+// The v4 domain-ownership rule families follow the same contract: a
+// violation golden, an allowed twin (sanctioned crossing shapes), and a
+// suppressed twin (inline justification).
+INSTANTIATE_TEST_SUITE_P(
+    DomainRules, SkyriseCheckFlowGolden,
+    ::testing::Values(
+        RuleFixture{"DomainEscape", "domain_escape", ".cc"},
+        RuleFixture{"CrossDomainMutation", "cross_domain_mutation", ".cc"},
+        RuleFixture{"LockDiscipline", "lock_discipline", ".cc"}),
+    [](const ::testing::TestParamInfo<RuleFixture>& info) {
+      return std::string(info.param.test_name);
+    });
+
 // --- v3 interprocedural rules ----------------------------------------------
 
 TEST(SkyriseCheckInterproc, CrossTuTaintReachesThreeCallsDeep) {
@@ -359,13 +376,183 @@ TEST(SkyriseCheckState, InventoryHasNoUnclassifiedEntries) {
   EXPECT_NE(inventory.find("g_level"), std::string::npos);
 }
 
+// --- domain inventory -------------------------------------------------------
+
+TEST(SkyriseCheckDomain, CheckedInInventoryIsCurrent) {
+  // CI regenerates the domain inventory and diffs; this test is the local
+  // mirror of that ratchet. If it fails, rebuild and run:
+  //   skyrise_check --root . --domain-inventory tools/skyrise_check/domain_inventory.json
+  EXPECT_EQ(
+      RenderDomainInventoryForTree(SKYRISE_SOURCE_DIR),
+      ReadFile(SKYRISE_SOURCE_DIR "/tools/skyrise_check/domain_inventory.json"));
+}
+
+TEST(SkyriseCheckDomain, InventoryHasNoUnjustifiedCrossings) {
+  // Every recorded crossing edge must carry a sanction (event-api,
+  // crossing-point, const-read, or an inline allow); a "violation" entry is
+  // exactly what the domain rules reject.
+  const std::string inventory =
+      RenderDomainInventoryForTree(SKYRISE_SOURCE_DIR);
+  EXPECT_EQ(inventory.find("\"sanction\": \"violation\""), std::string::npos);
+  // The audit is not vacuous: the tree has domains, crossings, and declared
+  // crossing points.
+  EXPECT_NE(inventory.find("\"crossings\""), std::string::npos);
+  EXPECT_NE(inventory.find("\"crossing-point\""), std::string::npos);
+  EXPECT_NE(inventory.find("\"event-api\""), std::string::npos);
+}
+
+TEST(SkyriseCheckDomain, AnnotationOverridesNamespaceInference) {
+  Checker checker;
+  const auto diags = checker.CheckSources(
+      {{"src/serving/fake.cc",
+        "// skyrise-domain(sandbox-fleet)\n"
+        "namespace skyrise::serving {\n"
+        "class FakeFleet {\n"
+        " public:\n"
+        "  void Invoke() { ++calls_; }\n"
+        " private:\n"
+        "  long calls_ = 0;\n"
+        "};\n"
+        "}  // namespace skyrise::serving\n"}});
+  EXPECT_TRUE(diags.empty());
+  // The annotated domain shows up in the inventory with provenance.
+  SymbolIndex index;
+  index.AddFile(Preprocess(
+      "src/serving/fake.cc",
+      "// skyrise-domain(sandbox-fleet)\n"
+      "namespace skyrise::serving {\n"
+      "class FakeFleet {};\n"
+      "}  // namespace skyrise::serving\n"));
+  ASSERT_EQ(index.classes().size(), 1u);
+  EXPECT_EQ(index.classes()[0].domain, "sandbox-fleet");
+  EXPECT_EQ(std::string(index.classes()[0].domain_source), "annotation");
+}
+
+TEST(SkyriseCheckDomain, UnknownDomainNameIsFlagged) {
+  Checker checker;
+  const auto diags = checker.CheckSources(
+      {{"src/engine/x.cc",
+        "// skyrise-domain(warp-core)\n"
+        "namespace skyrise::engine {}\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "domain-escape");
+  EXPECT_NE(diags[0].message.find("warp-core"), std::string::npos);
+}
+
+// --- --explain ---------------------------------------------------------------
+
+TEST(SkyriseCheckExplain, EveryRuleHasADocAndEveryDocARule) {
+  const std::vector<std::string>& ids = Checker::RuleIds();
+  EXPECT_EQ(RuleDocs().size(), ids.size());
+  for (const std::string& id : ids) {
+    const RuleDoc* doc = FindRuleDoc(id);
+    ASSERT_NE(doc, nullptr) << "no RuleDoc for rule id " << id;
+    EXPECT_FALSE(std::string(doc->invariant).empty()) << id;
+    EXPECT_FALSE(std::string(doc->example).empty()) << id;
+  }
+  for (const RuleDoc& doc : RuleDocs()) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), std::string(doc.id)),
+              ids.end())
+        << "RuleDoc for unknown rule id " << doc.id;
+  }
+}
+
+TEST(SkyriseCheckExplain, RendersRuleAndRejectsUnknown) {
+  const std::string one = RenderExplain("lock-discipline");
+  EXPECT_NE(one.find("lock-discipline"), std::string::npos);
+  EXPECT_NE(one.find("DESIGN.md"), std::string::npos);
+  EXPECT_TRUE(RenderExplain("no-such-rule").empty());
+  const std::string all = RenderExplain("all");
+  for (const std::string& id : Checker::RuleIds()) {
+    EXPECT_NE(all.find(id), std::string::npos) << id;
+  }
+}
+
+TEST(SkyriseCheckExplain, EveryRuleIdIsDocumentedInDesignSection6) {
+  // The doc_check-style contract: DESIGN.md section 6 lists every rule id in
+  // bold, and every bold kebab-case token in section 6 names a real rule.
+  const std::string design = ReadFile(SKYRISE_SOURCE_DIR "/DESIGN.md");
+  const size_t begin = design.find("\n## 6.");
+  const size_t end = design.find("\n## 7.", begin);
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  const std::string section = design.substr(begin, end - begin);
+  const std::vector<std::string>& ids = Checker::RuleIds();
+  for (const std::string& id : ids) {
+    EXPECT_NE(section.find("**" + id + "**"), std::string::npos)
+        << "rule id " << id << " has no bold entry in DESIGN.md section 6";
+  }
+  // Reverse direction: every bold token shaped like a rule id (lowercase
+  // kebab-case with at least one dash) must be a known rule.
+  size_t pos = 0;
+  while ((pos = section.find("**", pos)) != std::string::npos) {
+    const size_t close = section.find("**", pos + 2);
+    if (close == std::string::npos) break;
+    const std::string token = section.substr(pos + 2, close - pos - 2);
+    pos = close + 2;
+    if (token.empty() || token.find(' ') != std::string::npos ||
+        token.find('-') == std::string::npos) {
+      continue;
+    }
+    bool kebab = true;
+    for (char c : token) {
+      if (!(std::islower(static_cast<unsigned char>(c)) || c == '-' ||
+            std::isdigit(static_cast<unsigned char>(c)))) {
+        kebab = false;
+        break;
+      }
+    }
+    if (!kebab) continue;
+    // Classification labels from the state audit, not rule ids.
+    if (token == "const-init" || token == "sim-confined") continue;
+    EXPECT_NE(std::find(ids.begin(), ids.end(), token), ids.end())
+        << "DESIGN.md section 6 documents unknown rule id " << token;
+  }
+}
+
+// --- parallel driver ---------------------------------------------------------
+
+TEST(SkyriseCheckParallel, DiagnosticsAreIdenticalAcrossJobCounts) {
+  // The per-file phases fan out over a worker pool; per-file result slots
+  // merged in file order make the output byte-identical for any job count.
+  PhaseTimings seq;
+  PhaseTimings par;
+  const std::vector<Diagnostic> one =
+      CheckTree(SKYRISE_SOURCE_DIR, {"src"}, 1, &seq);
+  const std::vector<Diagnostic> four =
+      CheckTree(SKYRISE_SOURCE_DIR, {"src"}, 4, &par);
+  ASSERT_EQ(one.size(), four.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(FormatDiagnostic(one[i]), FormatDiagnostic(four[i]));
+  }
+  EXPECT_EQ(seq.jobs, 1u);
+  EXPECT_EQ(par.jobs, 4u);
+  EXPECT_GT(seq.files, 100u);
+  EXPECT_EQ(seq.files, par.files);
+}
+
+TEST(SkyriseCheckParallel, PhaseTimingsCoverThePipeline) {
+  PhaseTimings timings;
+  (void)CheckTree(SKYRISE_SOURCE_DIR, {"src"}, 2, &timings);
+  // Phases are measured (>= 0) and the total covers the run.
+  EXPECT_GE(timings.preprocess_ms, 0.0);
+  EXPECT_GE(timings.collect_ms, 0.0);
+  EXPECT_GE(timings.index_ms, 0.0);
+  EXPECT_GE(timings.per_file_ms, 0.0);
+  EXPECT_GE(timings.interproc_ms, 0.0);
+  EXPECT_GT(timings.total_ms, 0.0);
+  EXPECT_GE(timings.total_ms, timings.interproc_ms);
+}
+
 // --- linter self-performance ------------------------------------------------
 
 TEST(SkyriseCheckPerf, WholeTreeInterproceduralPassStaysFast) {
-  // The interprocedural pass (index + graph + taint/retry/state on top of
-  // the flow rules) must stay interactive over the whole repo. The budget is
-  // ~100x the measured debug-build time, so it only trips on a complexity
-  // regression (e.g. quadratic resolution), not on machine noise.
+  // The interprocedural pass (index + graph + taint/retry/state/domains on
+  // top of the flow rules) must stay interactive over the whole repo. The
+  // budget is ~50x the measured debug-build time, so it only trips on a
+  // complexity regression (e.g. quadratic resolution), not machine noise.
+  // The v4 pin is half the v3 one: the per-file phases now fan out over a
+  // worker pool and must never regress past interactive latency.
   // skyrise-check: allow(banned-api, transitive-nondeterminism)
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<Diagnostic> diags = CheckTree(
@@ -375,7 +562,7 @@ TEST(SkyriseCheckPerf, WholeTreeInterproceduralPassStaysFast) {
   (void)diags;
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0)
                 .count(),
-            30000);
+            15000);
 }
 
 TEST(SkyriseCheckFlow, EarlyReturnNarrowsPath) {

@@ -1,13 +1,19 @@
 #include "checker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <iterator>
 #include <sstream>
+#include <thread>
 
 #include "callgraph.h"
 #include "dataflow.h"
+#include "domains.h"
 #include "nodiscard.h"
 #include "state_audit.h"
 #include "symbols.h"
@@ -94,6 +100,58 @@ void ParseAllows(const std::string& comment, int line,
     }
     pos = comment.find(marker, close);
   }
+}
+
+/// Parses `skyrise-domain(<name>)` and `skyrise-domain-crossing(<rationale>)`
+/// annotations out of a comment body. (The two markers cannot shadow each
+/// other: the domain marker requires `(` right after "skyrise-domain".)
+/// The marker must *lead* the comment (extra `/`, `!`, and whitespace
+/// allowed), so prose that merely mentions the marker is not an annotation.
+void ParseDomainNotes(const std::string& comment, int line, SourceFile* file) {
+  auto trimmed = [](const std::string& s) {
+    const size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return std::string();
+    const size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+  };
+  size_t lead = 0;
+  while (lead < comment.size() &&
+         (comment[lead] == '/' || comment[lead] == '!' ||
+          comment[lead] == ' ' || comment[lead] == '\t')) {
+    ++lead;
+  }
+  auto parse_one = [&](const std::string& marker,
+                       std::map<int, std::string>* notes) {
+    if (comment.compare(lead, marker.size(), marker) != 0) return;
+    const size_t open = lead + marker.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) return;
+    const std::string inside = trimmed(comment.substr(open, close - open));
+    if (!inside.empty()) (*notes)[line] = inside;
+  };
+  parse_one("skyrise-domain-crossing(", &file->crossing_notes);
+  parse_one("skyrise-domain(", &file->domain_notes);
+}
+
+/// Minimal deterministic worker pool: runs `fn(i)` for every i in [0, n)
+/// across up to `jobs` threads (the calling thread works too). Callers write
+/// results into pre-sized per-index slots, so the merged output is identical
+/// for any job count.
+void ParallelFor(size_t n, size_t jobs, const std::function<void(size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto work = [&]() {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+  };
+  std::vector<std::thread> workers;
+  const size_t extra = std::min(jobs, n) - 1;
+  workers.reserve(extra);
+  for (size_t t = 0; t < extra; ++t) workers.emplace_back(work);
+  work();
+  for (std::thread& w : workers) w.join();
 }
 
 /// Skips whitespace forward from `i` within a single line.
@@ -217,6 +275,7 @@ SourceFile Preprocess(const std::string& path, const std::string& contents) {
     }
     if (!comment_text.empty()) {
       ParseAllows(comment_text, static_cast<int>(li) + 1, &file.allows);
+      ParseDomainNotes(comment_text, static_cast<int>(li) + 1, &file);
     }
     file.code.push_back(std::move(out));
   }
@@ -237,7 +296,10 @@ const std::vector<std::string>& Checker::RuleIds() {
       "transitive-nondeterminism",
       "shared-mutable-state",
       "unbounded-retry-wrapper",
-      "span-transfer-leak"};
+      "span-transfer-leak",
+      "domain-escape",
+      "cross-domain-mutation",
+      "lock-discipline"};
   return kRules;
 }
 
@@ -869,32 +931,80 @@ void Checker::CheckFile(const SourceFile& file,
                         &span_source_names_};
   CheckFlowRules(file, ctx, out);
   CheckMissingNodiscard(file, out);
+  CheckLockDiscipline(file, out);
+  CheckDomainAnnotations(file, out);
 }
 
 std::vector<Diagnostic> Checker::CheckSources(
-    const std::vector<std::pair<std::string, std::string>>& path_contents) {
-  std::vector<SourceFile> files;
-  files.reserve(path_contents.size());
-  for (const auto& [path, contents] : path_contents) {
-    files.push_back(Preprocess(path, contents));
+    const std::vector<std::pair<std::string, std::string>>& path_contents,
+    size_t jobs, PhaseTimings* timings) {
+  // skyrise-check: allow(banned-api) — the tool timing its own phases.
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  auto ms = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) jobs = 1;
   }
+  const size_t n = path_contents.size();
+
+  // Phase 1 (parallel): preprocess into per-file slots.
+  std::vector<SourceFile> files(n);
+  ParallelFor(n, jobs, [&](size_t i) {
+    files[i] = Preprocess(path_contents[i].first, path_contents[i].second);
+  });
+  const auto t_pre = Clock::now();
+
+  // Phase 2 (sequential): the fallible-name harvest mutates shared sets; it
+  // is a cheap line scan, not worth slot-merging.
   for (const SourceFile& f : files) CollectFallibleNames(f);
+  const auto t_collect = Clock::now();
 
-  // Whole-program layer: index every file, so span sources, taint roots,
-  // and retry obligations cross TU boundaries.
+  // Phase 3 (parallel): per-file symbol indexes, merged in file order — the
+  // result is identical to sequential AddFile calls, so span sources, taint
+  // roots, and retry obligations cross TU boundaries deterministically.
+  std::vector<SymbolIndex> index_slots(n);
+  ParallelFor(n, jobs, [&](size_t i) { index_slots[i].AddFile(files[i]); });
   SymbolIndex index;
-  for (const SourceFile& f : files) index.AddFile(f);
+  for (SymbolIndex& s : index_slots) index.Merge(std::move(s));
   span_source_names_ = index.SpanSourceNames();
+  const auto t_index = Clock::now();
 
+  // Phase 4 (parallel): per-file rule passes. CheckFile only reads `this`
+  // and the file; diagnostics land in per-file slots merged in file order.
+  std::vector<std::vector<Diagnostic>> diag_slots(n);
+  ParallelFor(n, jobs, [&](size_t i) { CheckFile(files[i], &diag_slots[i]); });
   std::vector<Diagnostic> diags;
-  for (const SourceFile& f : files) CheckFile(f, &diags);
+  for (std::vector<Diagnostic>& slot : diag_slots) {
+    diags.insert(diags.end(), std::make_move_iterator(slot.begin()),
+                 std::make_move_iterator(slot.end()));
+  }
+  const auto t_per_file = Clock::now();
 
+  // Phase 5 (sequential): whole-program passes over the shared read-only
+  // index and call graph.
   const CallGraph graph = BuildCallGraph(index);
   FileMap file_map;
   for (const SourceFile& f : files) file_map[f.path] = &f;
   CheckTransitiveNondeterminism(index, graph, file_map, &diags);
   CheckRetryWrappers(index, graph, file_map, &diags);
   CheckSharedMutableState(index, file_map, &diags);
+  CheckDomainEscape(index, file_map, &diags, nullptr);
+  CheckCrossDomainMutation(index, graph, file_map, &diags, nullptr);
+  const auto t_end = Clock::now();
+
+  if (timings != nullptr) {
+    timings->preprocess_ms = ms(t0, t_pre);
+    timings->collect_ms = ms(t_pre, t_collect);
+    timings->index_ms = ms(t_collect, t_index);
+    timings->per_file_ms = ms(t_index, t_per_file);
+    timings->interproc_ms = ms(t_per_file, t_end);
+    timings->total_ms = ms(t0, t_end);
+    timings->files = n;
+    timings->jobs = n == 0 ? 1 : std::min(jobs, n);
+  }
 
   std::sort(diags.begin(), diags.end());
   return diags;
@@ -937,13 +1047,14 @@ std::vector<TreeFile> LoadTree(const std::string& root,
 }
 
 std::vector<Diagnostic> CheckTree(const std::string& root,
-                                  const std::vector<std::string>& dirs) {
+                                  const std::vector<std::string>& dirs,
+                                  size_t jobs, PhaseTimings* timings) {
   std::vector<std::pair<std::string, std::string>> sources;
   for (TreeFile& f : LoadTree(root, dirs)) {
     sources.emplace_back(std::move(f.rel), std::move(f.contents));
   }
   Checker checker;
-  return checker.CheckSources(sources);
+  return checker.CheckSources(sources, jobs, timings);
 }
 
 std::string FormatDiagnostic(const Diagnostic& diag) {

@@ -101,6 +101,27 @@
 ///                              span-leak (End obligation transfers at the
 ///                              call site)
 ///
+/// Domain-ownership rules (v4, built on the domain model in domains.h —
+/// every src/ type and function is assigned to a shard-ownership domain
+/// via `// skyrise-domain(<name>)` annotations or namespace inference):
+///   domain-escape              a class in one concrete domain retains a
+///                              pointer/reference/smart-pointer handle to a
+///                              class owned by a different concrete domain
+///                              (sim-kernel handles exempt — the event API
+///                              is the sanctioned crossing); witness chain
+///                              `A -> field f -> B (file:line)`
+///   cross-domain-mutation      a function in one concrete domain calls a
+///                              non-const method defined in a different
+///                              concrete domain outside the sanctioned
+///                              crossing points (the sim-kernel event API,
+///                              value/const reads, declared
+///                              `skyrise-domain-crossing(...)` functions)
+///   lock-discipline            synchronization hygiene ahead of the
+///                              parallel DES: a mutex with no RAII guard in
+///                              its file, raw .lock()/.unlock() calls,
+///                              std::atomic or thread_local outside the
+///                              sim-kernel domain
+///
 /// A suppression comment `// skyrise-check: allow(rule-a, rule-b)` silences
 /// the named rules on its own line and the following line, so intent stays
 /// visible next to the code it blesses.
@@ -131,6 +152,15 @@ struct SourceFile {
   std::vector<std::string> raw;
   std::vector<std::string> code;
   std::map<int, std::set<std::string>> allows;  ///< 1-based line -> rule ids.
+  /// `// skyrise-domain(<name>)` comments: 1-based line -> domain name. The
+  /// annotation assigns the namespace/class/function declared on its line or
+  /// the line below to that ownership domain (see domains.h).
+  std::map<int, std::string> domain_notes;
+  /// `// skyrise-domain-crossing(<rationale>)` comments: 1-based line ->
+  /// rationale. Declares the function defined on its line or the line below
+  /// a sanctioned domain-boundary API; calls to it are recorded as crossing
+  /// edges in the domain inventory instead of violations.
+  std::map<int, std::string> crossing_notes;
 };
 
 /// Builds a SourceFile from in-memory contents (used by tests) — strips
@@ -146,6 +176,19 @@ bool IsSuppressed(const SourceFile& file, int line, const std::string& rule);
 /// suppression semantics stay uniform.
 void EmitDiagnostic(const SourceFile& file, int line, const std::string& rule,
                     std::string message, std::vector<Diagnostic>* out);
+
+/// Wall-clock milliseconds per analysis phase, filled by CheckSources when a
+/// non-null pointer is passed (the CLI prints these under --verbose).
+struct PhaseTimings {
+  double preprocess_ms = 0;  ///< Comment/literal blanking, annotation parse.
+  double collect_ms = 0;     ///< Fallible-name harvest (sequential).
+  double index_ms = 0;       ///< Per-file symbol indexing + merge.
+  double per_file_ms = 0;    ///< Token/flow rule passes over each file.
+  double interproc_ms = 0;   ///< Call graph + whole-program rule drivers.
+  double total_ms = 0;
+  size_t files = 0;
+  size_t jobs = 1;  ///< Worker threads actually used.
+};
 
 class Checker {
  public:
@@ -163,10 +206,16 @@ class Checker {
 
   /// Preprocess + collect + check a set of in-memory files, then run the
   /// whole-program passes (cross-TU symbol index, call graph, transitive
-  /// taint, retry-wrapper obligations, shared-mutable-state audit) over the
-  /// set as one program.
+  /// taint, retry-wrapper obligations, shared-mutable-state audit, domain
+  /// ownership) over the set as one program. The embarrassingly parallel
+  /// phases (preprocess, per-file indexing, per-file rules) fan out over
+  /// `jobs` worker threads against the shared read-only symbol index;
+  /// `jobs == 0` means hardware concurrency. Output is byte-identical for
+  /// every job count: each phase writes to per-file slots merged in file
+  /// order, and diagnostics are sorted before returning.
   std::vector<Diagnostic> CheckSources(
-      const std::vector<std::pair<std::string, std::string>>& path_contents);
+      const std::vector<std::pair<std::string, std::string>>& path_contents,
+      size_t jobs = 0, PhaseTimings* timings = nullptr);
 
   const std::set<std::string>& fallible_names() const {
     return fallible_names_;
@@ -224,9 +273,12 @@ std::vector<TreeFile> LoadTree(const std::string& root,
 
 /// Walks `dirs` (recursively, deterministic lexicographic order), lints every
 /// .h/.hpp/.cc/.cpp file, and returns sorted diagnostics. Paths in
-/// diagnostics are relative to `root` when they fall under it.
+/// diagnostics are relative to `root` when they fall under it. `jobs` and
+/// `timings` pass through to CheckSources.
 std::vector<Diagnostic> CheckTree(const std::string& root,
-                                  const std::vector<std::string>& dirs);
+                                  const std::vector<std::string>& dirs,
+                                  size_t jobs = 0,
+                                  PhaseTimings* timings = nullptr);
 
 /// Formats one diagnostic as `file:line: [rule] message`.
 std::string FormatDiagnostic(const Diagnostic& diag);

@@ -1,0 +1,558 @@
+#include "domains.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace skyrise::check {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Reads the identifier starting at `i`; empty when `i` is mid-identifier or
+/// not an identifier character.
+std::string IdentAt(const std::string& line, size_t i) {
+  if (i >= line.size() || !IsIdentChar(line[i])) return "";
+  if (i > 0 && IsIdentChar(line[i - 1])) return "";
+  size_t e = i;
+  while (e < line.size() && IsIdentChar(line[e])) ++e;
+  return line.substr(i, e - i);
+}
+
+std::string LastSegment(const std::string& qualified) {
+  const size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+std::string DropLastSegment(const std::string& qualified) {
+  const size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? "" : qualified.substr(0, pos);
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Name-resolution context shared by the two interprocedural domain rules:
+/// classes by exact qualified name and by last segment.
+struct DomainCtx {
+  std::map<std::string, const ClassSym*> by_qualified;
+  std::map<std::string, std::vector<const ClassSym*>> by_name;
+
+  explicit DomainCtx(const SymbolIndex& index) {
+    for (const ClassSym& c : index.classes()) {
+      by_qualified.emplace(c.qualified, &c);
+      by_name[c.name].push_back(&c);
+    }
+  }
+
+  /// The class owning method `fn` (its qualified name minus the last
+  /// segment), or nullptr when `fn` is a free function or the class is
+  /// unknown. Exact qualified match first, then a unique last-segment match.
+  const ClassSym* OwningClass(const FunctionSym& fn) const {
+    const std::string prefix = DropLastSegment(fn.qualified);
+    if (prefix.empty()) return nullptr;
+    auto it = by_qualified.find(prefix);
+    if (it != by_qualified.end()) return it->second;
+    auto nit = by_name.find(LastSegment(prefix));
+    if (nit == by_name.end()) return nullptr;
+    // Ambiguous last-segment matches resolve only when every candidate
+    // agrees on the domain (the only fact the rules read).
+    const ClassSym* first = nit->second.front();
+    for (const ClassSym* c : nit->second) {
+      if (c->domain != first->domain) return nullptr;
+    }
+    return first;
+  }
+
+  /// Domain of the type a handle points at: a known class wins (annotation
+  /// respected), else namespace-segment inference on the pointee text, else
+  /// empty (unknown — no edge, the degrade-to-silence direction).
+  std::string PointeeDomain(const std::string& pointee) const {
+    auto it = by_qualified.find(pointee);
+    if (it != by_qualified.end()) return it->second->domain;
+    // Suffix match: `ComputePlatform` names `faas::ComputePlatform`.
+    auto nit = by_name.find(LastSegment(pointee));
+    if (nit != by_name.end()) {
+      const ClassSym* first = nit->second.front();
+      bool agree = true;
+      for (const ClassSym* c : nit->second) {
+        agree = agree && c->domain == first->domain;
+      }
+      if (agree) return first->domain;
+    }
+    const std::string inferred = InferDomainFromQualified(pointee);
+    // Bare unqualified names carry no namespace evidence; stay silent
+    // rather than defaulting them into `shared`.
+    if (inferred == kSharedDomain &&
+        pointee.find("::") == std::string::npos) {
+      return "";
+    }
+    return inferred;
+  }
+
+  /// A function's effective domain: its own annotation wins, then its owning
+  /// class's annotation (out-of-line methods inherit the class), then the
+  /// function's inferred/default domain.
+  std::string EffectiveDomain(const FunctionSym& fn) const {
+    if (std::string(fn.domain_source) == "annotation") return fn.domain;
+    const ClassSym* owner = OwningClass(fn);
+    if (owner != nullptr && std::string(owner->domain_source) == "annotation") {
+      return owner->domain;
+    }
+    return fn.domain;
+  }
+
+  /// Methods are the mutation vector the escape analysis cares about: a call
+  /// through a retained handle is a member call. In-class definitions are
+  /// certain; out-of-line definitions count when the penultimate qualified
+  /// segment names a known class.
+  bool IsMethod(const FunctionSym& fn) const {
+    if (fn.is_lambda || fn.is_static_method) return false;
+    return fn.in_class || OwningClass(fn) != nullptr;
+  }
+};
+
+bool KnownDomain(const std::string& name) {
+  const std::vector<std::string>& all = BuiltinDomains();
+  return std::find(all.begin(), all.end(), name) != all.end();
+}
+
+void MaybeEmit(const FileMap& files, const std::string& path, int line,
+               const std::string& rule, std::string message,
+               std::vector<Diagnostic>* out) {
+  if (out == nullptr) return;
+  auto it = files.find(path);
+  if (it == files.end()) return;
+  EmitDiagnostic(*it->second, line, rule, std::move(message), out);
+}
+
+/// True when `path` is owned by the sim-kernel domain: src/sim/ on disk, or
+/// a bare fixture name carrying "sim_kernel".
+bool SimKernelFile(const std::string& path) {
+  if (path.find('/') == std::string::npos) {
+    return path.find("sim_kernel") != std::string::npos;
+  }
+  return path.rfind("src/sim/", 0) == 0 ||
+         path.find("/src/sim/") != std::string::npos;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BuiltinDomains() {
+  static const std::vector<std::string> kDomains = {
+      "sim-kernel",    "network",  "storage-partition",
+      "sandbox-fleet", "coordinator", "serving",
+      "shared"};
+  return kDomains;
+}
+
+const char* DomainForSegment(const std::string& segment) {
+  struct Mapping {
+    const char* segment;
+    const char* domain;
+  };
+  static const Mapping kMap[] = {
+      {"sim", "sim-kernel"},      {"net", "network"},
+      {"storage", "storage-partition"}, {"faas", "sandbox-fleet"},
+      {"engine", "coordinator"},  {"serving", "serving"},
+      // The platform layer is the composition root: it builds, wires, owns,
+      // and drives the whole stack around the event loop. It is not
+      // shard-resident code, so it maps to the passive pseudo-domain.
+      {"platform", "shared"},
+  };
+  for (const Mapping& m : kMap) {
+    if (segment == m.segment) return m.domain;
+  }
+  return nullptr;
+}
+
+std::string InferDomainFromQualified(const std::string& qualified) {
+  size_t pos = 0;
+  while (pos <= qualified.size()) {
+    const size_t sep = qualified.find("::", pos);
+    const std::string seg =
+        sep == std::string::npos ? qualified.substr(pos)
+                                 : qualified.substr(pos, sep - pos);
+    if (const char* d = DomainForSegment(seg)) return d;
+    if (sep == std::string::npos) break;
+    pos = sep + 2;
+  }
+  return kSharedDomain;
+}
+
+void CheckDomainEscape(const SymbolIndex& index, const FileMap& files,
+                       std::vector<Diagnostic>* out,
+                       std::vector<CrossingEdge>* edges) {
+  const DomainCtx ctx(index);
+  for (const ClassSym& cls : index.classes()) {
+    if (!SrcScoped(cls.file)) continue;
+    if (cls.domain == kSharedDomain) continue;  // Passive value code.
+    for (const FieldHandle& h : cls.handles) {
+      const std::string to_domain = ctx.PointeeDomain(h.pointee);
+      if (to_domain.empty() || to_domain == cls.domain ||
+          to_domain == kSharedDomain) {
+        continue;  // Unknown, intra-domain, or a handle to passive code.
+      }
+      std::string sanction = "violation";
+      if (to_domain == "sim-kernel") {
+        // The env handle *is* the event API — the sanctioned crossing every
+        // shard keeps.
+        sanction = "event-api";
+      } else if (h.is_const) {
+        sanction = "const-read";
+      } else if (h.suppressed) {
+        sanction = "allow";
+      }
+      if (edges != nullptr) {
+        edges->push_back(CrossingEdge{"field", cls.qualified, cls.domain,
+                                      h.pointee, to_domain, cls.file, h.line,
+                                      sanction});
+      }
+      if (sanction == "violation") {
+        MaybeEmit(files, cls.file, h.line, "domain-escape",
+                  "cross-domain handle: `" + cls.qualified + "` (" +
+                      cls.domain + ") -> field `" + h.name + "` -> `" +
+                      h.pointee + "` (" + to_domain +
+                      "); a retained mutable handle lets one shard mutate "
+                      "another's state outside the event API — copy the "
+                      "value, make it const, route mutations through "
+                      "sim-kernel scheduling, or justify with "
+                      "allow(domain-escape)",
+                  out);
+      }
+    }
+  }
+}
+
+void CheckCrossDomainMutation(const SymbolIndex& index, const CallGraph& graph,
+                              const FileMap& files,
+                              std::vector<Diagnostic>* out,
+                              std::vector<CrossingEdge>* edges) {
+  const DomainCtx ctx(index);
+  const std::vector<FunctionSym>& funcs = index.functions();
+  for (size_t i = 0; i < funcs.size() && i < graph.callees.size(); ++i) {
+    const FunctionSym& caller = funcs[i];
+    if (!SrcScoped(caller.file)) continue;
+    const std::string caller_dom = ctx.EffectiveDomain(caller);
+    if (caller_dom == kSharedDomain) continue;  // Runs on the calling shard.
+    for (size_t j : graph.callees[i]) {
+      const FunctionSym& callee = funcs[j];
+      if (!ctx.IsMethod(callee)) continue;
+      const std::string callee_dom = ctx.EffectiveDomain(callee);
+      if (callee_dom.empty() || callee_dom == caller_dom ||
+          callee_dom == kSharedDomain) {
+        continue;
+      }
+      // Own-domain-first resolution: name-based edges over-approximate
+      // overloads, so a name that *also* resolves inside the caller's own
+      // domain (or shared) is assumed intra-domain. Deliberate
+      // under-approximation — the inventory's edge list keeps it visible.
+      bool resolves_home = false;
+      for (size_t k : graph.callees[i]) {
+        if (funcs[k].name != callee.name) continue;
+        const std::string dom = ctx.EffectiveDomain(funcs[k]);
+        if (dom == caller_dom || dom == kSharedDomain) {
+          resolves_home = true;
+          break;
+        }
+      }
+      if (resolves_home) continue;
+      auto lit = graph.edge_line.find({i, j});
+      const int line = lit != graph.edge_line.end() ? lit->second : caller.line;
+      std::string sanction = "violation";
+      if (callee.is_const_method) {
+        sanction = "const-read";
+      } else if (callee_dom == "sim-kernel") {
+        sanction = "event-api";  // ScheduleAt / now() — the event API itself.
+      } else if (callee.crossing_point) {
+        sanction = "crossing-point";
+      } else {
+        auto fit = files.find(caller.file);
+        if (fit != files.end() &&
+            IsSuppressed(*fit->second, line, "cross-domain-mutation")) {
+          sanction = "allow";
+        }
+      }
+      if (edges != nullptr) {
+        edges->push_back(CrossingEdge{"call", caller.qualified, caller_dom,
+                                      callee.qualified, callee_dom,
+                                      caller.file, line, sanction});
+      }
+      if (sanction == "violation") {
+        MaybeEmit(files, caller.file, line, "cross-domain-mutation",
+                  "cross-domain mutation: `" + caller.qualified + "` (" +
+                      caller_dom + ") -> call `" + callee.qualified +
+                      "` -> (" + callee_dom +
+                      "): non-const call crosses the shard boundary outside "
+                      "the sanctioned crossings; schedule through the "
+                      "sim-kernel event API, pass a message copy, declare "
+                      "the callee `skyrise-domain-crossing(<why>)`, or "
+                      "justify with allow(cross-domain-mutation)",
+                  out);
+      }
+    }
+  }
+}
+
+void CheckLockDiscipline(const SourceFile& file,
+                         std::vector<Diagnostic>* out) {
+  if (!SrcScoped(file.path) || out == nullptr) return;
+  const bool sim_kernel = SimKernelFile(file.path);
+
+  // Pass A: mutex declarations and guard mentions anywhere in the file.
+  bool has_guard = false;
+  int first_mutex_line = 0;
+  std::string first_mutex_name;
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (size_t i = 0; i < line.size(); ++i) {
+      const std::string tok = IdentAt(line, i);
+      if (tok.empty()) continue;
+      if (tok == "lock_guard" || tok == "scoped_lock" ||
+          tok == "unique_lock" || tok == "shared_lock") {
+        has_guard = true;
+      }
+      if ((tok == "mutex" || tok == "shared_mutex" ||
+           tok == "recursive_mutex" || tok == "timed_mutex") &&
+          first_mutex_line == 0) {
+        // Declaration shape: `std::mutex name` — an identifier follows.
+        size_t p = i + tok.size();
+        while (p < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[p]))) {
+          ++p;
+        }
+        const std::string name = IdentAt(line, p);
+        if (!name.empty()) {
+          first_mutex_line = static_cast<int>(li) + 1;
+          first_mutex_name = name;
+        }
+      }
+      i += tok.size() - 1;
+    }
+  }
+
+  if (first_mutex_line != 0 && !has_guard) {
+    EmitDiagnostic(
+        file, first_mutex_line, "lock-discipline",
+        "mutex `" + first_mutex_name +
+            "` is declared but no RAII guard (lock_guard / scoped_lock / "
+            "unique_lock) appears in this file; manual lock/unlock "
+            "pairing does not survive exceptions or early returns",
+        out);
+  }
+
+  // Pass B: per-line findings.
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (size_t i = 0; i < line.size(); ++i) {
+      const std::string tok = IdentAt(line, i);
+      if (tok.empty()) continue;
+      const bool member_access =
+          (i >= 1 && line[i - 1] == '.') ||
+          (i >= 2 && line[i - 2] == '-' && line[i - 1] == '>');
+      // Raw lock member calls, only in files that declare a mutex so
+      // weak_ptr::lock() elsewhere stays silent.
+      if (first_mutex_line != 0 && member_access &&
+          (tok == "lock" || tok == "unlock" || tok == "try_lock")) {
+        size_t p = i + tok.size();
+        while (p < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[p]))) {
+          ++p;
+        }
+        if (p < line.size() && line[p] == '(') {
+          EmitDiagnostic(file, lineno, "lock-discipline",
+                         "raw `." + tok +
+                             "()` call; hold the mutex through a RAII guard "
+                             "(std::lock_guard / std::scoped_lock) so every "
+                             "path releases it",
+                         out);
+        }
+      }
+      if (!sim_kernel && tok.rfind("atomic", 0) == 0 && i >= 2 &&
+          line[i - 1] == ':' && line[i - 2] == ':') {
+        EmitDiagnostic(
+            file, lineno, "lock-discipline",
+            "std::" + tok +
+                " outside the sim-kernel domain; cross-shard coordination "
+                "belongs in the kernel's event API — atomics elsewhere hide "
+                "an unsequenced cross-domain write",
+            out);
+      }
+      if (!sim_kernel && tok == "thread_local") {
+        EmitDiagnostic(
+            file, lineno, "lock-discipline",
+            "thread_local outside the sim-kernel domain; per-thread state "
+            "breaks replay once shards move across workers — key state by "
+            "shard/domain instead",
+            out);
+      }
+      i += tok.size() - 1;
+    }
+  }
+}
+
+void CheckDomainAnnotations(const SourceFile& file,
+                            std::vector<Diagnostic>* out) {
+  if (out == nullptr) return;
+  for (const auto& [line, name] : file.domain_notes) {
+    if (KnownDomain(name)) continue;
+    EmitDiagnostic(file, line, "domain-escape",
+                   "unknown domain `" + name +
+                       "` in skyrise-domain(...) annotation; built-in "
+                       "domains: sim-kernel, network, storage-partition, "
+                       "sandbox-fleet, coordinator, serving, shared",
+                   out);
+  }
+}
+
+std::string RenderDomainInventory(const SymbolIndex& index,
+                                  const FileMap& files) {
+  std::vector<CrossingEdge> edges;
+  CheckDomainEscape(index, files, nullptr, &edges);
+  const CallGraph graph = BuildCallGraph(index);
+  CheckCrossDomainMutation(index, graph, files, nullptr, &edges);
+  std::sort(edges.begin(), edges.end(),
+            [](const CrossingEdge& a, const CrossingEdge& b) {
+              return std::tie(a.file, a.line, a.kind, a.from, a.to) <
+                     std::tie(b.file, b.line, b.kind, b.from, b.to);
+            });
+
+  std::vector<const ClassSym*> classes;
+  for (const ClassSym& c : index.classes()) {
+    if (SrcScoped(c.file)) classes.push_back(&c);
+  }
+  std::sort(classes.begin(), classes.end(),
+            [](const ClassSym* a, const ClassSym* b) {
+              return std::tie(a->file, a->line, a->qualified) <
+                     std::tie(b->file, b->line, b->qualified);
+            });
+
+  // Named lambdas fold into their enclosing function's domain; listing them
+  // would churn the ratchet on every body edit.
+  std::vector<const FunctionSym*> funcs;
+  for (const FunctionSym& f : index.functions()) {
+    if (SrcScoped(f.file) && !f.is_lambda) funcs.push_back(&f);
+  }
+  std::sort(funcs.begin(), funcs.end(),
+            [](const FunctionSym* a, const FunctionSym* b) {
+              return std::tie(a->file, a->line, a->qualified) <
+                     std::tie(b->file, b->line, b->qualified);
+            });
+
+  std::string out = "{\n  \"domains\": [";
+  bool first = true;
+  for (const std::string& d : BuiltinDomains()) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(d, &out);
+  }
+  out += "],\n  \"classes\": [\n";
+  first = true;
+  for (const ClassSym* c : classes) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"qualified\": ";
+    AppendJsonString(c->qualified, &out);
+    out += ", \"file\": ";
+    AppendJsonString(c->file, &out);
+    out += ", \"line\": " + std::to_string(c->line);
+    out += ", \"domain\": ";
+    AppendJsonString(c->domain, &out);
+    out += ", \"source\": ";
+    AppendJsonString(c->domain_source, &out);
+    out += ", \"handles\": " + std::to_string(c->handles.size());
+    out += "}";
+  }
+  if (!first) out += "\n";
+  out += "  ],\n  \"functions\": [\n";
+  first = true;
+  for (const FunctionSym* f : funcs) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"qualified\": ";
+    AppendJsonString(f->qualified, &out);
+    out += ", \"file\": ";
+    AppendJsonString(f->file, &out);
+    out += ", \"line\": " + std::to_string(f->line);
+    out += ", \"domain\": ";
+    AppendJsonString(f->domain, &out);
+    out += ", \"source\": ";
+    AppendJsonString(f->domain_source, &out);
+    if (f->crossing_point) {
+      out += ", \"crossing_point\": true, \"rationale\": ";
+      AppendJsonString(f->crossing_rationale, &out);
+    }
+    out += "}";
+  }
+  if (!first) out += "\n";
+  out += "  ],\n  \"crossings\": [\n";
+  first = true;
+  for (const CrossingEdge& e : edges) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"kind\": ";
+    AppendJsonString(e.kind, &out);
+    out += ", \"from\": ";
+    AppendJsonString(e.from, &out);
+    out += ", \"from_domain\": ";
+    AppendJsonString(e.from_domain, &out);
+    out += ", \"to\": ";
+    AppendJsonString(e.to, &out);
+    out += ", \"to_domain\": ";
+    AppendJsonString(e.to_domain, &out);
+    out += ", \"file\": ";
+    AppendJsonString(e.file, &out);
+    out += ", \"line\": " + std::to_string(e.line);
+    out += ", \"sanction\": ";
+    AppendJsonString(e.sanction, &out);
+    out += "}";
+  }
+  if (!first) out += "\n";
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string RenderDomainInventoryForTree(const std::string& root) {
+  std::vector<SourceFile> sources;
+  SymbolIndex index;
+  for (const TreeFile& f : LoadTree(root, {"src"})) {
+    sources.push_back(Preprocess(f.rel, f.contents));
+  }
+  for (const SourceFile& f : sources) index.AddFile(f);
+  FileMap file_map;
+  for (const SourceFile& f : sources) file_map[f.path] = &f;
+  return RenderDomainInventory(index, file_map);
+}
+
+}  // namespace skyrise::check

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "checker.h"
+#include "symbols.h"
+
+/// \file domains.h
+/// Shard-ownership domain analysis — the certificate ROADMAP item 3
+/// (deterministic parallel simulation) needs on top of the PR-7
+/// shared-mutable-state audit. The static inventory proves src/ has no
+/// unconfined globals; this pass proves *instance* state is confined too:
+/// every type and function belongs to exactly one future shard domain, and
+/// no reference mutates across a domain boundary outside the event API.
+///
+/// Domain model:
+///  - Built-in domains mirror the natural sharding seams of the simulator
+///    (see kBuiltinDomains): `sim-kernel` (the event queue and virtual
+///    clock — the hub every shard synchronizes through), `network`,
+///    `storage-partition`, `sandbox-fleet`, `coordinator`, `serving`, and
+///    the pseudo-domain `shared` for passive value/utility code (common,
+///    data, format, obs, pricing, datagen) that executes on whichever shard
+///    calls it and retains no cross-call state of its own.
+///  - Assignment: an explicit `// skyrise-domain(<name>)` comment on (or
+///    above) a namespace, class, or function definition wins, innermost
+///    first; otherwise the domain is inferred from the qualified name's
+///    namespace segments (sim -> sim-kernel, net -> network, storage ->
+///    storage-partition, faas -> sandbox-fleet, engine -> coordinator,
+///    serving -> serving, everything else -> shared; `platform` maps to
+///    shared explicitly — it is the composition root that builds, wires,
+///    and drives the whole stack, not shard-resident code). Every
+///    assignment records its provenance in the inventory, so inference is
+///    explicit, not silent.
+///  - Sanctioned crossing points: the sim-kernel event API (ScheduleAt /
+///    event payloads — all cross-shard effects flow through it once the DES
+///    shards), const/value reads (a copy cannot race), the obs registry
+///    (shared domain), and functions declared boundary APIs with a
+///    `// skyrise-domain-crossing(<rationale>)` comment. Everything else
+///    that mutates across a boundary is a violation.
+///
+/// Rules (ids in checker.h):
+///   domain-escape          a class in concrete domain A retains a handle
+///                          (pointer/reference/smart-pointer member) to a
+///                          class in concrete domain B != A. Witness:
+///                          `A -> field f -> B (file:line)`. sim-kernel
+///                          handles are exempt (the env handle *is* the
+///                          event API); justified retained handles carry
+///                          allow(domain-escape) with a rationale.
+///   cross-domain-mutation  a function in concrete domain A calls a
+///                          non-const method defined in concrete domain
+///                          B != A outside the sanctioned crossings.
+///                          Member-call resolution is own-domain-first: a
+///                          name that also resolves inside A (or shared) is
+///                          assumed intra-domain — the conservative
+///                          direction for noise, made visible by the
+///                          inventory's crossing-edge list.
+///   lock-discipline        synchronization hygiene ahead of the first real
+///                          locks: a mutex declared in a file with no RAII
+///                          guard (lock_guard/scoped_lock/unique_lock),
+///                          raw .lock()/.unlock()/.try_lock() member calls
+///                          in mutex-declaring files, std::atomic outside
+///                          sim-kernel, thread_local outside sim-kernel.
+///
+/// The machine-readable side is `--domain-inventory`: every src/ class and
+/// function with its domain and provenance, plus every crossing edge (call
+/// or field) with its sanction. The committed copy
+/// (tools/skyrise_check/domain_inventory.json) is a CI ratchet diffed like
+/// state_inventory.json.
+
+namespace skyrise::check {
+
+/// Built-in domain names; `shared` last. Annotations naming anything else
+/// are themselves diagnosed (unknown domain).
+extern const std::vector<std::string>& BuiltinDomains();
+
+/// The pseudo-domain for passive value/utility code.
+inline const char* kSharedDomain = "shared";
+
+/// Maps a namespace segment to its inferred domain, or nullptr when the
+/// segment implies nothing (class names, unknown namespaces).
+const char* DomainForSegment(const std::string& segment);
+
+/// Infers a domain from a qualified name's segments (first match wins);
+/// returns kSharedDomain when no segment maps.
+std::string InferDomainFromQualified(const std::string& qualified);
+
+/// One cross-domain edge for the inventory: a call into another domain or a
+/// retained field handle.
+struct CrossingEdge {
+  std::string kind;         ///< "call" | "field".
+  std::string from;         ///< Qualified caller / owning class.
+  std::string from_domain;
+  std::string to;           ///< Qualified callee / pointee class.
+  std::string to_domain;
+  std::string file;         ///< Where the edge lives (caller side).
+  int line = 0;
+  /// "event-api" (into sim-kernel), "crossing-point" (declared boundary
+  /// API), "const-read" (const method), "allow" (suppressed with rationale),
+  /// or "violation".
+  std::string sanction;
+};
+
+/// Flags unjustified cross-domain handle members (domain-escape) and
+/// appends every cross-domain field edge to `edges` when non-null.
+void CheckDomainEscape(const SymbolIndex& index, const FileMap& files,
+                       std::vector<Diagnostic>* out,
+                       std::vector<CrossingEdge>* edges);
+
+/// Flags unjustified cross-domain mutations (cross-domain-mutation) and
+/// appends every cross-domain call edge to `edges` when non-null.
+void CheckCrossDomainMutation(const SymbolIndex& index, const CallGraph& graph,
+                              const FileMap& files,
+                              std::vector<Diagnostic>* out,
+                              std::vector<CrossingEdge>* edges);
+
+/// Lock/atomic/thread_local discipline over one file (src-scoped inside).
+void CheckLockDiscipline(const SourceFile& file,
+                         std::vector<Diagnostic>* out);
+
+/// Diagnoses `skyrise-domain(...)` annotations naming an unknown domain.
+void CheckDomainAnnotations(const SourceFile& file,
+                            std::vector<Diagnostic>* out);
+
+/// Renders the machine-readable domain inventory of every src-scoped class
+/// and function plus all crossing edges as deterministic JSON (sorted,
+/// trailing newline). CI regenerates this and diffs against the committed
+/// tools/skyrise_check/domain_inventory.json.
+std::string RenderDomainInventory(const SymbolIndex& index,
+                                  const FileMap& files);
+
+/// Convenience for the CLI and CI ratchet: indexes `root`/src from disk and
+/// renders the inventory.
+std::string RenderDomainInventoryForTree(const std::string& root);
+
+}  // namespace skyrise::check

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file explain.h
+/// `--explain <rule>` support: each rule carries the invariant it guards
+/// (the same statement DESIGN.md §6 records) and a minimal violating
+/// example, so a developer hitting a finding can see *why* the rule exists
+/// without leaving the terminal. A doc_check-style test asserts three-way
+/// sync: every id in Checker::RuleIds() has a RuleDoc, every RuleDoc id is a
+/// real rule, and every id has a DESIGN.md §6 entry (and vice versa).
+
+namespace skyrise::check {
+
+struct RuleDoc {
+  std::string id;
+  std::string invariant;  ///< What the rule guards and why, one paragraph.
+  std::string example;    ///< Minimal violating snippet.
+};
+
+/// One doc per rule id in Checker::RuleIds(), in the same order.
+const std::vector<RuleDoc>& RuleDocs();
+
+/// The doc for `rule`, or nullptr when unknown.
+const RuleDoc* FindRuleDoc(const std::string& rule);
+
+/// Renders the `--explain` output for one rule, or for every rule when
+/// `rule` is "all". Empty string for an unknown rule.
+std::string RenderExplain(const std::string& rule);
+
+}  // namespace skyrise::check

@@ -1,19 +1,23 @@
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "baseline.h"
 #include "checker.h"
+#include "domains.h"
+#include "explain.h"
 #include "nodiscard.h"
 #include "sarif.h"
 #include "state_audit.h"
 
 /// CLI for the skyrise static-analysis pass.
 ///
-///   skyrise_check [--root DIR] [--quiet] [--fix]
+///   skyrise_check [--root DIR] [--quiet] [--verbose] [--fix] [--jobs N]
 ///                 [--baseline FILE] [--write-baseline FILE]
-///                 [--sarif FILE] [--state-inventory FILE] [dirs...]
+///                 [--sarif FILE] [--state-inventory FILE]
+///                 [--domain-inventory FILE] [--explain RULE] [dirs...]
 ///
 /// With no dirs, lints the default trees: src, examples, bench, tests,
 /// tools (the checker lints its own sources). `--fix` applies mechanical
@@ -22,7 +26,12 @@
 /// ones; `--write-baseline` records the current findings and exits 0.
 /// `--sarif` writes the post-baseline findings as SARIF 2.1.0 for GitHub
 /// code-scanning upload; `--state-inventory` writes the shared-mutable-state
-/// audit of src/ as JSON (see state_audit.h) and exits 0.
+/// audit of src/ as JSON (see state_audit.h) and exits 0;
+/// `--domain-inventory` does the same for the shard-ownership domain audit
+/// (see domains.h). `--jobs N` caps the analysis worker pool (0 = hardware
+/// concurrency; output is byte-identical for any job count); `--verbose`
+/// reports per-phase timing. `--explain RULE` prints the rule's invariant
+/// and a minimal violating example ("all" prints every rule) and exits.
 /// Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
 
 namespace {
@@ -30,14 +39,19 @@ namespace {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: skyrise_check [--root DIR] [--quiet] [--list-rules] [--fix]\n"
-      "                     [--baseline FILE] [--write-baseline FILE]\n"
-      "                     [--sarif FILE] [--state-inventory FILE] "
+      "usage: skyrise_check [--root DIR] [--quiet] [--verbose] [--fix]\n"
+      "                     [--jobs N] [--baseline FILE] "
+      "[--write-baseline FILE]\n"
+      "                     [--sarif FILE] [--state-inventory FILE]\n"
+      "                     [--domain-inventory FILE] [--explain RULE] "
       "[dirs...]\n"
       "Lints .h/.hpp/.cc/.cpp files for skyrise determinism and "
       "error-handling invariants.\n"
       "  --fix             apply mechanical fixes (missing-nodiscard, "
       "pragma-once) in place\n"
+      "  --jobs N          worker threads for the per-file phases (0 = "
+      "hardware concurrency)\n"
+      "  --verbose         report per-phase timing on stderr\n"
       "  --baseline FILE   report only findings not recorded in FILE\n"
       "  --write-baseline FILE\n"
       "                    record current findings as the new baseline\n"
@@ -46,6 +60,11 @@ void PrintUsage() {
       "  --state-inventory FILE\n"
       "                    write the src/ static-state audit as JSON and "
       "exit\n"
+      "  --domain-inventory FILE\n"
+      "                    write the src/ shard-ownership domain audit as "
+      "JSON and exit\n"
+      "  --explain RULE    print RULE's invariant and a minimal violating\n"
+      "                    example (RULE may be 'all'), then exit\n"
       "Default dirs: src examples bench tests tools\n");
 }
 
@@ -57,13 +76,18 @@ int main(int argc, char** argv) {
   std::string write_baseline_path;
   std::string sarif_path;
   std::string inventory_path;
+  std::string domain_inventory_path;
   std::vector<std::string> dirs;
   bool quiet = false;
+  bool verbose = false;
   bool fix = false;
+  size_t jobs = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" || arg == "--baseline" || arg == "--write-baseline" ||
-        arg == "--sarif" || arg == "--state-inventory") {
+        arg == "--sarif" || arg == "--state-inventory" ||
+        arg == "--domain-inventory" || arg == "--explain" ||
+        arg == "--jobs") {
       if (i + 1 >= argc) {
         PrintUsage();
         return 2;
@@ -77,11 +101,27 @@ int main(int argc, char** argv) {
         sarif_path = value;
       } else if (arg == "--state-inventory") {
         inventory_path = value;
+      } else if (arg == "--domain-inventory") {
+        domain_inventory_path = value;
+      } else if (arg == "--jobs") {
+        jobs = static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
+      } else if (arg == "--explain") {
+        const std::string text = skyrise::check::RenderExplain(value);
+        if (text.empty()) {
+          std::fprintf(stderr,
+                       "skyrise_check: unknown rule `%s` (try --list-rules)\n",
+                       value.c_str());
+          return 2;
+        }
+        std::printf("%s", text.c_str());
+        return 0;
       } else {
         write_baseline_path = value;
       }
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
     } else if (arg == "--fix") {
       fix = true;
     } else if (arg == "--list-rules") {
@@ -117,6 +157,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!domain_inventory_path.empty()) {
+    std::ofstream out(domain_inventory_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "skyrise_check: cannot write %s\n",
+                   domain_inventory_path.c_str());
+      return 2;
+    }
+    out << skyrise::check::RenderDomainInventoryForTree(root);
+    if (!quiet) {
+      std::fprintf(stderr, "skyrise_check: wrote domain inventory to %s\n",
+                   domain_inventory_path.c_str());
+    }
+    return 0;
+  }
+
   if (fix) {
     size_t fixed = 0;
     for (const skyrise::check::TreeFile& f :
@@ -141,8 +196,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  skyrise::check::PhaseTimings timings;
   std::vector<skyrise::check::Diagnostic> diags =
-      skyrise::check::CheckTree(root, dirs);
+      skyrise::check::CheckTree(root, dirs, jobs, &timings);
+  if (verbose) {
+    std::fprintf(stderr,
+                 "skyrise_check: %zu file(s), %zu job(s)\n"
+                 "  preprocess  %8.1f ms\n"
+                 "  collect     %8.1f ms\n"
+                 "  index       %8.1f ms\n"
+                 "  per-file    %8.1f ms\n"
+                 "  interproc   %8.1f ms\n"
+                 "  total       %8.1f ms\n",
+                 timings.files, timings.jobs, timings.preprocess_ms,
+                 timings.collect_ms, timings.index_ms, timings.per_file_ms,
+                 timings.interproc_ms, timings.total_ms);
+  }
 
   if (!write_baseline_path.empty()) {
     std::ofstream out(write_baseline_path, std::ios::trunc);
